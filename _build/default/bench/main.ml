@@ -1,0 +1,218 @@
+(* Benchmark harness: one bechamel test per experiment (E1-E8: the cost of
+   computing each theorem's schedule), plus the DESIGN.md ablations
+   (coloring strategy, grid subgrid side, cluster approach) and substrate
+   micro-benchmarks.  Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+let rng_of seed = Dtm_util.Prng.create ~seed
+
+(* Pre-generated inputs: generation cost must stay out of the timings. *)
+
+let clique_n = 128
+let clique_inst =
+  Dtm_workload.Uniform.instance ~rng:(rng_of 1) ~n:clique_n ~num_objects:32 ~k:3 ()
+
+let hyper_dim = 7
+let hyper_metric = Dtm_topology.Hypercube.metric ~dim:hyper_dim
+let hyper_inst =
+  Dtm_workload.Uniform.instance ~rng:(rng_of 2) ~n:(1 lsl hyper_dim)
+    ~num_objects:32 ~k:2 ()
+
+let line_n = 1024
+let line_inst =
+  Dtm_workload.Arbitrary.windowed ~rng:(rng_of 3) ~n:line_n ~num_objects:line_n
+    ~k:2 ~span:16
+
+let grid_side = 16
+let grid_inst =
+  Dtm_workload.Uniform.instance ~rng:(rng_of 4) ~n:(grid_side * grid_side)
+    ~num_objects:32 ~k:2 ()
+
+let cluster_p =
+  { Dtm_topology.Cluster.clusters = 6; size = 8; bridge_weight = 16 }
+let cluster_inst =
+  Dtm_workload.Arbitrary.cluster_spread ~rng:(rng_of 5) cluster_p
+    ~num_objects:18 ~k:2 ~sigma:4
+
+let star_p = { Dtm_topology.Star.rays = 6; ray_len = 15 }
+let star_inst =
+  Dtm_workload.Uniform.instance ~rng:(rng_of 6)
+    ~n:(1 + (star_p.Dtm_topology.Star.rays * star_p.Dtm_topology.Star.ray_len))
+    ~num_objects:22 ~k:2 ()
+
+let blocks_p = Dtm_topology.Blocks.make ~s:9
+let block_metric = Dtm_topology.Block_grid.metric blocks_p
+let block_inst = Dtm_workload.Lb_instance.instance ~rng:(rng_of 7) blocks_p
+
+let clique_metric = Dtm_topology.Clique.metric clique_n
+let line_metric = Dtm_topology.Line.metric line_n
+let grid_metric = Dtm_topology.Grid.metric ~rows:grid_side ~cols:grid_side
+let grid_graph = Dtm_topology.Grid.graph ~rows:grid_side ~cols:grid_side
+
+let clique_dep = Dtm_core.Dependency.build clique_metric clique_inst
+let cluster_metric = Dtm_topology.Cluster.metric cluster_p
+let cluster_dep = Dtm_core.Dependency.build cluster_metric cluster_inst
+
+let grid_sched = Dtm_sched.Grid_sched.schedule ~rows:grid_side ~cols:grid_side grid_inst
+
+let stage = Staged.stage
+
+(* One test per experiment: the cost of the theorem's scheduler. *)
+let experiment_tests =
+  Test.make_grouped ~name:"experiments"
+    [
+      Test.make ~name:"e1_clique_thm1" (stage (fun () ->
+          Dtm_sched.Clique_sched.schedule ~n:clique_n clique_inst));
+      Test.make ~name:"e2_hypercube_sec31" (stage (fun () ->
+          Dtm_sched.Diameter_sched.schedule hyper_metric hyper_inst));
+      Test.make ~name:"e3_line_thm2" (stage (fun () ->
+          Dtm_sched.Line_sched.schedule ~n:line_n line_inst));
+      Test.make ~name:"e4_grid_thm3" (stage (fun () ->
+          Dtm_sched.Grid_sched.schedule ~rows:grid_side ~cols:grid_side grid_inst));
+      Test.make ~name:"e5_cluster_thm4" (stage (fun () ->
+          Dtm_sched.Cluster_sched.schedule
+            ~approach:(Dtm_sched.Cluster_sched.Best { seed = 1 })
+            cluster_p cluster_inst));
+      Test.make ~name:"e6_star_thm5" (stage (fun () ->
+          Dtm_sched.Star_sched.schedule
+            ~variant:(Dtm_sched.Star_sched.Best_periods { seed = 1 })
+            star_p star_inst));
+      Test.make ~name:"e7_blockgrid_sec8" (stage (fun () ->
+          Dtm_core.Greedy.schedule block_metric block_inst));
+      Test.make ~name:"e8_coloring_sec23" (stage (fun () ->
+          Dtm_core.Coloring.greedy clique_dep clique_inst));
+    ]
+
+(* DESIGN.md ablations. *)
+let ablation_tests =
+  Test.make_grouped ~name:"ablations"
+    [
+      Test.make ~name:"coloring_slotted" (stage (fun () ->
+          Dtm_core.Coloring.greedy ~strategy:Dtm_core.Coloring.Slotted
+            cluster_dep cluster_inst));
+      Test.make ~name:"coloring_compact" (stage (fun () ->
+          Dtm_core.Coloring.greedy ~strategy:Dtm_core.Coloring.Compact
+            cluster_dep cluster_inst));
+      Test.make ~name:"grid_xi_half" (stage (fun () ->
+          Dtm_sched.Grid_sched.schedule ~subgrid_side:4 ~rows:grid_side
+            ~cols:grid_side grid_inst));
+      Test.make ~name:"grid_xi_double" (stage (fun () ->
+          Dtm_sched.Grid_sched.schedule ~subgrid_side:16 ~rows:grid_side
+            ~cols:grid_side grid_inst));
+      Test.make ~name:"cluster_approach1" (stage (fun () ->
+          Dtm_sched.Cluster_sched.schedule ~approach:Dtm_sched.Cluster_sched.Approach1
+            cluster_p cluster_inst));
+      Test.make ~name:"cluster_approach2" (stage (fun () ->
+          Dtm_sched.Cluster_sched.schedule
+            ~approach:(Dtm_sched.Cluster_sched.Approach2 { seed = 1 })
+            cluster_p cluster_inst));
+      Test.make ~name:"tsp_lb_exact12" (stage (fun () ->
+          Dtm_graph.Tsp.exact_path_length line_metric
+            [ 3; 99; 200; 311; 402; 489; 555; 678; 740; 803; 901; 1000 ]));
+      Test.make ~name:"tsp_lb_mst12" (stage (fun () ->
+          Dtm_graph.Tsp.lower_bound line_metric
+            [ 3; 99; 200; 311; 402; 489; 555; 678; 740; 803; 901; 1000 ]));
+    ]
+
+(* Extensions: ring scheduler, congestion engine, exact optima. *)
+let tiny_inst =
+  Dtm_workload.Uniform.instance ~rng:(rng_of 8) ~n:7 ~num_objects:3 ~k:2 ()
+
+let ring_n = 512
+let ring_inst =
+  Dtm_workload.Arbitrary.windowed ~rng:(rng_of 9) ~n:ring_n ~num_objects:ring_n
+    ~k:2 ~span:16
+
+let star_graph = Dtm_topology.Star.graph star_p
+let star_metric = Dtm_topology.Star.metric star_p
+let star_priority = Dtm_sim.Engine.run star_metric star_inst
+
+let extension_tests =
+  Test.make_grouped ~name:"extensions"
+    [
+      Test.make ~name:"e12_ring_sched" (stage (fun () ->
+          Dtm_sched.Ring_sched.schedule ~n:ring_n ring_inst));
+      Test.make ~name:"e9_congestion_cap1" (stage (fun () ->
+          Dtm_sim.Congestion.run ~capacity:1 star_graph star_inst
+            ~priority:star_priority));
+      Test.make ~name:"e9_congestion_unbounded" (stage (fun () ->
+          Dtm_sim.Congestion.run star_graph star_inst ~priority:star_priority));
+      Test.make ~name:"e11_optimal_7txn" (stage (fun () ->
+          Dtm_sim.Optimal.makespan (Dtm_topology.Clique.metric 7) tiny_inst));
+      Test.make ~name:"e10_nearest_first" (stage (fun () ->
+          Dtm_sched.Baseline.nearest_first grid_metric grid_inst));
+      Test.make ~name:"e14_online_greedy_cm" (stage (fun () ->
+          let rng = rng_of 10 in
+          let s =
+            Dtm_online.Stream.uniform ~rng ~n:25 ~num_objects:8 ~k:2
+              ~txns_per_node:3 ~mean_gap:3
+          in
+          let homes = Dtm_online.Stream.initial_homes ~rng s in
+          Dtm_online.Runner.run
+            ~policy:(Dtm_online.Policy.Timestamp { preemption = true })
+            (Dtm_topology.Grid.metric ~rows:5 ~cols:5)
+            s ~homes));
+    ]
+
+(* Substrate and baselines. *)
+let substrate_tests =
+  Test.make_grouped ~name:"substrate"
+    [
+      Test.make ~name:"apsp_grid16" (stage (fun () -> Dtm_graph.Apsp.distances grid_graph));
+      Test.make ~name:"dependency_build" (stage (fun () ->
+          Dtm_core.Dependency.build grid_metric grid_inst));
+      Test.make ~name:"lower_bound" (stage (fun () ->
+          Dtm_core.Lower_bound.compute grid_metric grid_inst));
+      Test.make ~name:"validator" (stage (fun () ->
+          Dtm_core.Validator.is_feasible grid_metric grid_inst grid_sched));
+      Test.make ~name:"replay_grid" (stage (fun () ->
+          Dtm_sim.Replay.run grid_graph grid_inst grid_sched));
+      Test.make ~name:"online_engine" (stage (fun () ->
+          Dtm_sim.Engine.run grid_metric grid_inst));
+      Test.make ~name:"baseline_sequential" (stage (fun () ->
+          Dtm_sched.Baseline.sequential clique_metric clique_inst));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"dtm"
+    [ experiment_tests; ablation_tests; extension_tests; substrate_tests ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let () =
+  let results = benchmark () in
+  let ms_of_ns ns = ns /. 1_000_000.0 in
+  (* Extract the monotonic-clock OLS estimate per test and print a
+     stable, diff-friendly table. *)
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | _ -> nan
+        in
+        (name, est) :: acc)
+      clock []
+    |> List.sort compare
+  in
+  Printf.printf "%-40s %14s\n" "benchmark" "time/run (ms)";
+  Printf.printf "%s\n" (String.make 55 '-');
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-40s %14.4f\n" name (ms_of_ns ns))
+    rows

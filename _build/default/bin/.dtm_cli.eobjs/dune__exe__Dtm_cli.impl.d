@@ -1,0 +1,1 @@
+bin/dtm_cli.ml: Arg Array Cmd Cmdliner Dtm_core Dtm_graph Dtm_online Dtm_sched Dtm_sim Dtm_topology Dtm_util Dtm_workload Filename Format List Printf Result String Sys Term

@@ -1,0 +1,1 @@
+bin/dtm_cli.mli:

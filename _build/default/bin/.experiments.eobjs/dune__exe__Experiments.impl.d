@@ -1,0 +1,1 @@
+bin/experiments.ml: Array Dtm_expt List Printf String Sys

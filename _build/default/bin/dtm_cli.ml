@@ -1,0 +1,335 @@
+(* dtm: command-line front end.
+
+   Examples:
+     dtm schedule -t clique:64 -w 16 -k 3 --seed 1
+     dtm schedule -t grid:16x16 -w 32 -k 2 --scheduler sequential --replay
+     dtm lower-bound -t star:8x7 -w 12 -k 2
+     dtm topologies *)
+
+open Cmdliner
+module Topology = Dtm_topology.Topology
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+
+let topo_conv =
+  let parse s =
+    (* "file:PATH" loads an arbitrary graph in the dtm-graph format and
+       schedules it with the Section 3.1 bounded-diameter greedy. *)
+    if String.length s > 5 && String.sub s 0 5 = "file:" then begin
+      let path = String.sub s 5 (String.length s - 5) in
+      if not (Sys.file_exists path) then Error (`Msg ("no such file: " ^ path))
+      else begin
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let contents = really_input_string ic len in
+        close_in ic;
+        match Dtm_graph.Graph_io.of_string contents with
+        | Ok graph ->
+          Ok (Topology.Custom { name = Filename.basename path; graph })
+        | Error e -> Error (`Msg ("cannot parse graph: " ^ e))
+      end
+    end
+    else Topology.of_string s |> Result.map_error (fun e -> `Msg e)
+  in
+  Arg.conv (parse, fun fmt t -> Format.pp_print_string fmt (Topology.to_string t))
+
+let topo_arg =
+  Arg.(
+    required
+    & opt (some topo_conv) None
+    & info [ "t"; "topology" ] ~docv:"TOPO"
+        ~doc:
+          "Topology, e.g. clique:64, line:128, grid:16x16, torus:8x8, \
+           hypercube:6, butterfly:4, cluster:5x6:g12, star:8x7, blockgrid:9, \
+           blocktree:9.")
+
+let objects_arg =
+  Arg.(value & opt int 16 & info [ "w"; "objects" ] ~docv:"W" ~doc:"Number of shared objects.")
+
+let k_arg =
+  Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Objects requested per transaction.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (enum [ ("uniform", `Uniform); ("hot", `Hot); ("zipf", `Zipf) ]) `Uniform
+    & info [ "workload" ] ~docv:"KIND" ~doc:"Workload: uniform, hot, or zipf.")
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", `Auto);
+             ("greedy", `Greedy);
+             ("sequential", `Sequential);
+             ("online", `Online);
+           ])
+        `Auto
+    & info [ "scheduler" ] ~docv:"ALGO"
+        ~doc:
+          "auto (the paper's algorithm for the topology), greedy (Section \
+           2.3), sequential baseline, or online list scheduling.")
+
+let replay_arg =
+  Arg.(value & flag & info [ "replay" ] ~doc:"Also replay the schedule hop-by-hop.")
+
+let times_arg =
+  Arg.(value & flag & info [ "times" ] ~doc:"Print each transaction's execution step.")
+
+let save_instance_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-instance" ] ~docv:"FILE"
+        ~doc:"Write the generated instance in the dtm-instance format.")
+
+let save_schedule_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-schedule" ] ~docv:"FILE"
+        ~doc:"Write the computed schedule in the dtm-schedule format.")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let chart_arg =
+  Arg.(
+    value & flag
+    & info [ "chart" ]
+        ~doc:"Render an ASCII Gantt chart, parallelism profile, and object journeys.")
+
+let make_instance topo ~w ~k ~seed ~workload =
+  let n = Topology.n topo in
+  let rng = Dtm_util.Prng.create ~seed in
+  match workload with
+  | `Uniform -> Dtm_workload.Uniform.instance ~rng ~n ~num_objects:w ~k ()
+  | `Hot -> Dtm_workload.Arbitrary.hot_object ~rng ~n ~num_objects:w ~k
+  | `Zipf -> Dtm_workload.Zipf.instance ~rng ~n ~num_objects:w ~k ~exponent:1.0
+
+let capacity_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "capacity" ] ~docv:"C"
+        ~doc:
+          "Also execute the schedule's visit orders under a per-edge \
+           admission bound of $(docv) objects per step (congestion \
+           extension).")
+
+let schedule_cmd =
+  let run topo w k seed workload scheduler replay times chart save_inst save_sched
+      capacity =
+    let inst = make_instance topo ~w ~k ~seed ~workload in
+    let metric = Topology.metric topo in
+    let name, sched =
+      match scheduler with
+      | `Auto -> (Dtm_sched.Auto.name topo, Dtm_sched.Auto.schedule ~seed topo inst)
+      | `Greedy -> ("basic greedy (Sec 2.3)", Dtm_core.Greedy.schedule metric inst)
+      | `Sequential -> ("sequential baseline", Dtm_sched.Baseline.sequential metric inst)
+      | `Online -> ("online list scheduling", Dtm_sim.Engine.run metric inst)
+    in
+    Printf.printf "topology:  %s\n" (Topology.describe topo);
+    Printf.printf "workload:  %d objects, k = %d, seed = %d\n" w k seed;
+    Printf.printf "scheduler: %s\n" name;
+    (match Dtm_core.Validator.check metric inst sched with
+    | Ok () -> Printf.printf "feasible:  yes\n"
+    | Error v -> Printf.printf "feasible:  NO - %s\n" (Dtm_core.Validator.explain v));
+    Printf.printf "%s\n" (Dtm_core.Cost.summary metric inst sched);
+    if times then
+      List.iter
+        (fun v -> Printf.printf "  node %d -> step %d\n" v (Schedule.time_exn sched v))
+        (Schedule.scheduled_nodes sched);
+    (match save_inst with
+    | Some path ->
+      write_file path (Dtm_core.Serial.instance_to_string inst);
+      Printf.printf "instance saved to %s\n" path
+    | None -> ());
+    (match save_sched with
+    | Some path ->
+      write_file path (Dtm_core.Serial.schedule_to_string sched);
+      Printf.printf "schedule saved to %s\n" path
+    | None -> ());
+    if chart then begin
+      print_newline ();
+      print_string (Dtm_sim.Gantt.chart inst sched);
+      print_string (Dtm_sim.Gantt.parallelism_profile sched);
+      print_newline ();
+      print_string (Dtm_sim.Gantt.object_journeys metric inst sched)
+    end;
+    if replay then begin
+      let r = Dtm_sim.Replay.run (Topology.graph topo) inst sched in
+      Printf.printf "replay:    ok=%b messages=%d hops=%d idle=%d events=%d\n"
+        r.Dtm_sim.Replay.ok r.Dtm_sim.Replay.messages r.Dtm_sim.Replay.hops
+        r.Dtm_sim.Replay.total_wait
+        (Dtm_sim.Trace.length r.Dtm_sim.Replay.trace)
+    end;
+    match capacity with
+    | None -> ()
+    | Some c ->
+      let r = Dtm_sim.Congestion.run ~capacity:c (Topology.graph topo) inst ~priority:sched in
+      Printf.printf
+        "congestion (cap %d): makespan=%d delayed_hops=%d max_queue=%d\n" c
+        r.Dtm_sim.Congestion.makespan r.Dtm_sim.Congestion.delayed_hops
+        r.Dtm_sim.Congestion.max_queue
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Generate a workload and schedule it.")
+    Term.(
+      const run $ topo_arg $ objects_arg $ k_arg $ seed_arg $ workload_arg
+      $ scheduler_arg $ replay_arg $ times_arg $ chart_arg $ save_instance_arg
+      $ save_schedule_arg $ capacity_arg)
+
+let lower_bound_cmd =
+  let run topo w k seed workload =
+    let inst = make_instance topo ~w ~k ~seed ~workload in
+    let metric = Topology.metric topo in
+    let lb = Dtm_core.Lower_bound.compute metric inst in
+    Printf.printf "topology:    %s\n" (Topology.describe topo);
+    Printf.printf "load l:      %d\n" lb.Dtm_core.Lower_bound.load;
+    Printf.printf "max walk:    %d\n" lb.Dtm_core.Lower_bound.max_walk;
+    Printf.printf "certified:   %d\n" lb.Dtm_core.Lower_bound.certified;
+    Array.iter
+      (fun p ->
+        if p.Dtm_core.Lower_bound.requesters > 0 then begin
+          let wk = p.Dtm_core.Lower_bound.walk in
+          Printf.printf "  object %d: %d requesters, walk in [%d, %d]%s\n"
+            p.Dtm_core.Lower_bound.obj p.Dtm_core.Lower_bound.requesters
+            wk.Dtm_graph.Walk.lower wk.Dtm_graph.Walk.upper
+            (match wk.Dtm_graph.Walk.exact with
+            | Some e -> Printf.sprintf " (exact %d)" e
+            | None -> "")
+        end)
+      lb.Dtm_core.Lower_bound.per_object
+  in
+  Cmd.v
+    (Cmd.info "lower-bound" ~doc:"Show the certified lower bound of an instance.")
+    Term.(const run $ topo_arg $ objects_arg $ k_arg $ seed_arg $ workload_arg)
+
+let validate_cmd =
+  let run topo inst_file sched_file =
+    let fail msg =
+      prerr_endline msg;
+      exit 1
+    in
+    let inst =
+      match Dtm_core.Serial.instance_of_string (read_file inst_file) with
+      | Ok i -> i
+      | Error e -> fail ("cannot parse instance: " ^ e)
+    in
+    let sched =
+      match Dtm_core.Serial.schedule_of_string (read_file sched_file) with
+      | Ok s -> s
+      | Error e -> fail ("cannot parse schedule: " ^ e)
+    in
+    if Instance.n inst <> Topology.n topo then
+      fail "instance node count does not match the topology";
+    let metric = Topology.metric topo in
+    match Dtm_core.Validator.check metric inst sched with
+    | Ok () ->
+      Printf.printf "feasible: yes\n%s\n" (Dtm_core.Cost.summary metric inst sched)
+    | Error v ->
+      Printf.printf "feasible: NO - %s\n" (Dtm_core.Validator.explain v);
+      exit 2
+  in
+  let inst_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "instance" ] ~docv:"FILE" ~doc:"Instance file (dtm-instance format).")
+  in
+  let sched_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "schedule" ] ~docv:"FILE" ~doc:"Schedule file (dtm-schedule format).")
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Validate a saved schedule against a saved instance.")
+    Term.(const run $ topo_arg $ inst_file $ sched_file)
+
+let online_cmd =
+  let run topo w k seed txns_per_node mean_gap policy =
+    let n = Topology.n topo in
+    let metric = Topology.metric topo in
+    let rng = Dtm_util.Prng.create ~seed in
+    let stream =
+      Dtm_online.Stream.uniform ~rng ~n ~num_objects:w ~k ~txns_per_node
+        ~mean_gap
+    in
+    let homes = Dtm_online.Stream.initial_homes ~rng stream in
+    let r = Dtm_online.Runner.run ~policy metric stream ~homes in
+    Printf.printf "topology:      %s\n" (Topology.describe topo);
+    Printf.printf "stream:        %d transactions (%d per node), mean gap %d\n"
+      (Dtm_online.Stream.total stream)
+      txns_per_node mean_gap;
+    Printf.printf "policy:        %s\n" (Dtm_online.Policy.to_string policy);
+    Printf.printf "makespan:      %d\n" r.Dtm_online.Runner.makespan;
+    Printf.printf "mean response: %.2f (p95 %.2f)\n" r.Dtm_online.Runner.mean_response
+      r.Dtm_online.Runner.p95_response;
+    Printf.printf "travel:        %d weighted units\n" r.Dtm_online.Runner.total_travel;
+    Printf.printf "recoveries:    %d forced grants, %d preemptions\n"
+      r.Dtm_online.Runner.forced_grants r.Dtm_online.Runner.preemptions
+  in
+  let txns_arg =
+    Arg.(value & opt int 4 & info [ "txns-per-node" ] ~docv:"T" ~doc:"Transactions issued per node.")
+  in
+  let gap_arg =
+    Arg.(value & opt int 3 & info [ "mean-gap" ] ~docv:"G" ~doc:"Mean inter-arrival gap per node.")
+  in
+  let policy_arg =
+    let policy_conv =
+      Arg.enum
+        [
+          ("timestamp", Dtm_online.Policy.Timestamp { preemption = false });
+          ("greedy-cm", Dtm_online.Policy.Timestamp { preemption = true });
+          ("nearest", Dtm_online.Policy.Nearest);
+          ("random", Dtm_online.Policy.Random_grant 1);
+        ]
+    in
+    Arg.(
+      value
+      & opt policy_conv (Dtm_online.Policy.Timestamp { preemption = true })
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Contention manager: timestamp, greedy-cm, nearest, or random.")
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:"Run a continuous transaction stream under a contention manager.")
+    Term.(
+      const run $ topo_arg $ objects_arg $ k_arg $ seed_arg $ txns_arg $ gap_arg
+      $ policy_arg)
+
+let topologies_cmd =
+  let run () =
+    print_endline "supported topologies (with example parameters):";
+    List.iter
+      (fun t -> Printf.printf "  %s\n" (Topology.describe t))
+      Topology.all_examples
+  in
+  Cmd.v
+    (Cmd.info "topologies" ~doc:"List supported topologies.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "dtm" ~version:"1.0.0"
+      ~doc:"Provably fast schedulers for distributed transactional memory"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ schedule_cmd; lower_bound_cmd; validate_cmd; online_cmd; topologies_cmd ]))

@@ -1,0 +1,45 @@
+(* Experiment driver: regenerates every table and figure of the
+   reproduction (see DESIGN.md's experiment index and EXPERIMENTS.md for
+   the recorded outputs).
+
+   Usage:
+     dune exec bin/experiments.exe               # run everything
+     dune exec bin/experiments.exe -- e3 f2      # run selected entries
+     dune exec bin/experiments.exe -- --csv e4   # CSV for one table
+     dune exec bin/experiments.exe -- --list     # list entries *)
+
+let list_entries () =
+  print_endline "available entries:";
+  List.iter
+    (fun e ->
+      Printf.printf "  %-4s %s\n" e.Dtm_expt.Registry.id e.Dtm_expt.Registry.title)
+    Dtm_expt.Registry.all
+
+let run_entry e = print_string (Dtm_expt.Registry.run_to_string e)
+
+let run_csv id =
+  match Dtm_expt.Registry.find (String.lowercase_ascii id) with
+  | Some { Dtm_expt.Registry.csv = Some f; _ } ->
+    print_string (f ~seeds:Dtm_expt.Registry.default_seeds)
+  | Some _ ->
+    Printf.eprintf "entry %S has no tabular output\n" id;
+    exit 1
+  | None ->
+    Printf.eprintf "unknown entry %S (try --list)\n" id;
+    exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] -> list_entries ()
+  | "--csv" :: ids when ids <> [] -> List.iter run_csv ids
+  | [] -> List.iter run_entry Dtm_expt.Registry.all
+  | ids ->
+    List.iter
+      (fun id ->
+        match Dtm_expt.Registry.find (String.lowercase_ascii id) with
+        | Some e -> run_entry e
+        | None ->
+          Printf.eprintf "unknown entry %S (try --list)\n" id;
+          exit 1)
+      ids

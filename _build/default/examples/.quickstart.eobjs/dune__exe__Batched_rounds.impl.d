@@ -1,0 +1,1 @@
+examples/batched_rounds.ml: Array Dtm_core Dtm_graph Dtm_sched Dtm_topology Dtm_util Dtm_workload List Printf

@@ -1,0 +1,1 @@
+examples/batched_rounds.mli:

@@ -1,0 +1,1 @@
+examples/datacenter_cluster.ml: Dtm_core Dtm_sched Dtm_topology Dtm_util Dtm_workload List Printf

@@ -1,0 +1,1 @@
+examples/lower_bound_demo.ml: Dtm_core Dtm_sim Dtm_topology Dtm_util Dtm_workload List

@@ -1,0 +1,1 @@
+examples/noc_grid.ml: Dtm_core Dtm_sched Dtm_sim Dtm_topology Dtm_util Dtm_workload List Printf

@@ -1,0 +1,1 @@
+examples/online_stream.ml: Dtm_online Dtm_topology Dtm_util List Policy Printf Runner Stream

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dtm_core Dtm_sched Dtm_sim Dtm_topology Dtm_util Dtm_workload Printf

@@ -1,0 +1,1 @@
+examples/replication.ml: Array Dtm_core Dtm_topology List Printf

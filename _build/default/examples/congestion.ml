@@ -1,0 +1,53 @@
+(* Congestion: what bounded link capacity does to a hub.
+
+   The paper's model lets unboundedly many objects cross an edge per step;
+   Section 9 asks about bounded capacities.  This example runs the same
+   star-topology workload under shrinking per-edge admission bounds and
+   shows the queueing delay concentrating at the hub.
+
+   Run with: dune exec examples/congestion.exe *)
+
+module Table = Dtm_util.Table
+
+let () =
+  let p = { Dtm_topology.Star.rays = 8; ray_len = 4 } in
+  let n = 1 + (p.Dtm_topology.Star.rays * p.Dtm_topology.Star.ray_len) in
+  let g = Dtm_topology.Star.graph p in
+  let metric = Dtm_topology.Star.metric p in
+  let rng = Dtm_util.Prng.create ~seed:5 in
+  let inst = Dtm_workload.Uniform.instance ~rng ~n ~num_objects:10 ~k:2 () in
+  let priority = Dtm_sim.Engine.run metric inst in
+  Printf.printf
+    "Star %d rays x %d nodes; %d transactions; visit orders fixed by list scheduling\n\n"
+    p.Dtm_topology.Star.rays p.Dtm_topology.Star.ray_len
+    (Dtm_core.Instance.num_txns inst);
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("capacity / edge / step", Table.Left);
+          ("makespan", Table.Right);
+          ("delayed hops", Table.Right);
+          ("max queue", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (label, cap) ->
+      let r =
+        match cap with
+        | None -> Dtm_sim.Congestion.run g inst ~priority
+        | Some c -> Dtm_sim.Congestion.run ~capacity:c g inst ~priority
+      in
+      Table.add_row t
+        [
+          label;
+          Table.cell_int r.Dtm_sim.Congestion.makespan;
+          Table.cell_int r.Dtm_sim.Congestion.delayed_hops;
+          Table.cell_int r.Dtm_sim.Congestion.max_queue;
+        ])
+    [ ("unbounded (paper model)", None); ("4", Some 4); ("2", Some 2); ("1", Some 1) ];
+  Table.print t;
+  print_newline ();
+  print_endline
+    "With unbounded capacity this reproduces the paper's semantics exactly\n\
+     (property-tested against the list-scheduling engine)."

@@ -1,0 +1,1 @@
+lib/core/coloring.ml: Array Dependency Dtm_util Instance List

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Array Dtm_graph Instance Lower_bound Printf Schedule

@@ -1,0 +1,1 @@
+lib/core/dependency.ml: Array Dtm_graph Hashtbl Instance

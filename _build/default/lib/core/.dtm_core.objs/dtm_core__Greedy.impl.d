@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Array Coloring Dependency Dtm_graph Instance Schedule

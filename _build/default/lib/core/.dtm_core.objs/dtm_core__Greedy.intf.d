@@ -1,0 +1,1 @@
+lib/core/greedy.mli: Coloring Dependency Dtm_graph Instance Schedule

@@ -1,0 +1,1 @@
+lib/core/rw_cost.ml: Array Dtm_graph Instance List Rw_instance Schedule

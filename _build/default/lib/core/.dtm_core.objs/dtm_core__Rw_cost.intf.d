@@ -1,0 +1,1 @@
+lib/core/rw_cost.mli: Dtm_graph Rw_instance Schedule

@@ -1,0 +1,1 @@
+lib/core/rw_greedy.ml: Array Coloring Dtm_graph Dtm_util Hashtbl Instance List Rw_instance Schedule

@@ -1,0 +1,1 @@
+lib/core/rw_greedy.mli: Coloring Dtm_graph Rw_instance Schedule

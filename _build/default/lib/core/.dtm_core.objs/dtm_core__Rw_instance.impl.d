@@ -1,0 +1,1 @@
+lib/core/rw_instance.ml: Array Instance List

@@ -1,0 +1,1 @@
+lib/core/rw_instance.mli: Instance

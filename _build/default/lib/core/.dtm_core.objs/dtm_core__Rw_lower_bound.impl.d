@@ -1,0 +1,1 @@
+lib/core/rw_lower_bound.ml: Array Dtm_graph Instance Rw_instance

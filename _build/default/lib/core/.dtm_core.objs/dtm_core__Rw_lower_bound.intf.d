@@ -1,0 +1,1 @@
+lib/core/rw_lower_bound.mli: Dtm_graph Rw_instance

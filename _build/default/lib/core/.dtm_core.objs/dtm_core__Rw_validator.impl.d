@@ -1,0 +1,1 @@
+lib/core/rw_validator.ml: Array Dtm_graph Instance List Rw_instance Schedule Validator

@@ -1,0 +1,1 @@
+lib/core/serial.ml: Array Buffer Hashtbl Instance List Printf Schedule String

@@ -1,0 +1,1 @@
+lib/core/serial.mli: Instance Schedule

@@ -1,0 +1,1 @@
+lib/core/validator.ml: Array Dtm_graph Instance List Printf Schedule

@@ -1,0 +1,1 @@
+lib/core/validator.mli: Dtm_graph Instance Schedule

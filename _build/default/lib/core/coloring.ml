@@ -1,0 +1,88 @@
+type strategy = Slotted | Compact
+
+type order = Natural | Desc_degree | Random_order of int
+
+type t = { colors : int array; num_colors : int }
+
+let order_nodes order dep inst =
+  let nodes = Array.copy (Instance.txn_nodes inst) in
+  (match order with
+  | Natural -> ()
+  | Desc_degree ->
+    let deg v = Array.length (Dependency.conflicts dep v) in
+    (* Stable sort keeps ascending node id within equal degrees. *)
+    let lst = Array.to_list nodes in
+    let sorted =
+      List.stable_sort (fun a b -> compare (deg b) (deg a)) lst
+    in
+    List.iteri (fun i v -> nodes.(i) <- v) sorted
+  | Random_order seed ->
+    let rng = Dtm_util.Prng.create ~seed in
+    Dtm_util.Prng.shuffle rng nodes);
+  nodes
+
+(* Smallest c >= 1 with |c - cv| >= w for every colored conflict (cv, w):
+   collect the forbidden open intervals and scan. *)
+let smallest_compact constraints =
+  let forbidden =
+    List.filter_map
+      (fun (cv, w) ->
+        let lo = max 1 (cv - w + 1) and hi = cv + w - 1 in
+        if lo <= hi then Some (lo, hi) else None)
+      constraints
+  in
+  let sorted = List.sort compare forbidden in
+  let rec scan c = function
+    | [] -> c
+    | (lo, hi) :: rest ->
+      if c < lo then c else scan (max c (hi + 1)) rest
+  in
+  scan 1 sorted
+
+let smallest_slotted hmax constraints =
+  let step = max 1 hmax in
+  let ok c = List.for_all (fun (cv, w) -> abs (c - cv) >= w) constraints in
+  let rec go j =
+    let c = (j * step) + 1 in
+    if ok c then c else go (j + 1)
+  in
+  go 0
+
+let greedy ?(strategy = Compact) ?(order = Natural) dep inst =
+  let n = Instance.n inst in
+  let colors = Array.make n 0 in
+  let nodes = order_nodes order dep inst in
+  let hmax = Dependency.hmax dep in
+  Array.iter
+    (fun v ->
+      let constraints =
+        Array.to_list (Dependency.conflicts dep v)
+        |> List.filter_map (fun (u, w) ->
+               if colors.(u) <> 0 then Some (colors.(u), w) else None)
+      in
+      let c =
+        match strategy with
+        | Compact -> smallest_compact constraints
+        | Slotted -> smallest_slotted hmax constraints
+      in
+      colors.(v) <- c)
+    nodes;
+  { colors; num_colors = Array.fold_left max 0 colors }
+
+let is_valid dep inst colors =
+  let n = Instance.n inst in
+  if Array.length colors <> n then false
+  else begin
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      (match Instance.txn_at inst v with
+      | None -> if colors.(v) <> 0 then ok := false
+      | Some _ -> if colors.(v) < 1 then ok := false);
+      Array.iter
+        (fun (u, w) ->
+          if colors.(v) >= 1 && colors.(u) >= 1 && abs (colors.(v) - colors.(u)) < w
+          then ok := false)
+        (Dependency.conflicts dep v)
+    done;
+    !ok
+  end

@@ -1,0 +1,31 @@
+(** Greedy distance-respecting coloring of the dependency graph
+    (paper, Section 2.3).
+
+    A valid coloring assigns each transaction a positive integer so that
+    two conflicting transactions receive colors differing by at least the
+    weight of their conflict edge.  Colors are the time steps of the basic
+    greedy schedule.
+
+    Two assignment strategies are provided:
+    - [Slotted] is the paper's scheme: colors of the form
+      [j * hmax + 1], guaranteed to use at most [Γ + 1 = hmax·∆ + 1]
+      colors;
+    - [Compact] picks the smallest feasible color outright; it never uses
+      more colors than [Slotted] and is the library default. *)
+
+type strategy = Slotted | Compact
+
+type order =
+  | Natural  (** ascending node id *)
+  | Desc_degree  (** most-conflicted transactions first *)
+  | Random_order of int  (** shuffled with the given seed *)
+
+type t = { colors : int array; num_colors : int }
+(** [colors.(v)] is 0 when node [v] has no transaction, else >= 1;
+    [num_colors] is the largest color used. *)
+
+val greedy : ?strategy:strategy -> ?order:order -> Dependency.t -> Instance.t -> t
+
+val is_valid : Dependency.t -> Instance.t -> int array -> bool
+(** Checks the distance-coloring condition for every conflict edge and
+    that exactly the transaction nodes are colored. *)

@@ -1,0 +1,25 @@
+let makespan = Schedule.makespan
+
+let per_object_travel metric inst sched =
+  Array.init (Instance.num_objects inst) (fun o ->
+      let reqs = Instance.requesters inst o in
+      if Array.length reqs = 0 then 0
+      else begin
+        let order = Schedule.object_order sched ~requesters:reqs in
+        let rec go prev acc = function
+          | [] -> acc
+          | v :: rest -> go v (acc + Dtm_graph.Metric.dist metric prev v) rest
+        in
+        go (Instance.home inst o) 0 order
+      end)
+
+let communication metric inst sched =
+  Array.fold_left ( + ) 0 (per_object_travel metric inst sched)
+
+let summary metric inst sched =
+  let lb = Lower_bound.certified metric inst in
+  let mk = makespan sched in
+  Printf.sprintf "makespan=%d comm=%d lower_bound=%d ratio=%.2f" mk
+    (communication metric inst sched)
+    lb
+    (Lower_bound.ratio ~makespan:mk ~lower:lb)

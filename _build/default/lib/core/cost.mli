@@ -1,0 +1,18 @@
+(** Cost measures of a schedule (paper, Definition 1 and Section 1.2).
+
+    Execution time is the makespan; communication cost is the total
+    distance travelled by all objects, which Busch et al. (PODC 2015)
+    showed cannot be minimized simultaneously with execution time. *)
+
+val makespan : Schedule.t -> int
+
+val communication : Dtm_graph.Metric.t -> Instance.t -> Schedule.t -> int
+(** Sum over objects of (home -> first user) plus consecutive user-to-user
+    distances in schedule order.  Requires a fully scheduled instance. *)
+
+val per_object_travel : Dtm_graph.Metric.t -> Instance.t -> Schedule.t -> int array
+(** The same, per object. *)
+
+val summary :
+  Dtm_graph.Metric.t -> Instance.t -> Schedule.t -> string
+(** One-line "makespan=.. comm=.. lb=.. ratio=.." report. *)

@@ -1,0 +1,44 @@
+type t = {
+  conflicts : (int * int) array array; (* per node: (neighbor, weight) *)
+  hmax : int;
+  max_degree : int;
+  num_conflicts : int;
+}
+
+let build metric inst =
+  let n = Instance.n inst in
+  let pair_seen = Hashtbl.create 256 in
+  let adj = Array.make n [] in
+  let hmax = ref 0 and num = ref 0 in
+  for o = 0 to Instance.num_objects inst - 1 do
+    let reqs = Instance.requesters inst o in
+    let len = Array.length reqs in
+    for i = 0 to len - 1 do
+      for j = i + 1 to len - 1 do
+        let u = reqs.(i) and v = reqs.(j) in
+        if not (Hashtbl.mem pair_seen (u, v)) then begin
+          Hashtbl.replace pair_seen (u, v) ();
+          let w = Dtm_graph.Metric.dist metric u v in
+          adj.(u) <- (v, w) :: adj.(u);
+          adj.(v) <- (u, w) :: adj.(v);
+          if w > !hmax then hmax := w;
+          incr num
+        end
+      done
+    done
+  done;
+  let conflicts = Array.map Array.of_list adj in
+  let max_degree =
+    Array.fold_left (fun acc a -> max acc (Array.length a)) 0 conflicts
+  in
+  { conflicts; hmax = !hmax; max_degree; num_conflicts = !num }
+
+let conflicts t v =
+  if v < 0 || v >= Array.length t.conflicts then
+    invalid_arg "Dependency.conflicts: node out of range";
+  t.conflicts.(v)
+
+let hmax t = t.hmax
+let max_degree t = t.max_degree
+let weighted_degree t = t.hmax * t.max_degree
+let num_conflicts t = t.num_conflicts

@@ -1,0 +1,34 @@
+let schedule_with_stats ?strategy ?order metric inst =
+  let dep = Dependency.build metric inst in
+  let coloring = Coloring.greedy ?strategy ?order dep inst in
+  let colors = coloring.Coloring.colors in
+  (* Smallest global shift making every object reachable by its first
+     user: color + shift >= max 1 (dist home first). *)
+  let shift = ref 0 in
+  for o = 0 to Instance.num_objects inst - 1 do
+    let reqs = Instance.requesters inst o in
+    if Array.length reqs > 0 then begin
+      let first =
+        Array.fold_left
+          (fun best v ->
+            match best with
+            | None -> Some v
+            | Some b -> if colors.(v) < colors.(b) then Some v else best)
+          None reqs
+      in
+      match first with
+      | None -> ()
+      | Some v ->
+        let need = max 1 (Dtm_graph.Metric.dist metric (Instance.home inst o) v) in
+        if need - colors.(v) > !shift then shift := need - colors.(v)
+    end
+  done;
+  let sched = Schedule.create ~n:(Instance.n inst) in
+  Array.iter
+    (fun v -> Schedule.set sched ~node:v ~time:(colors.(v) + !shift))
+    (Instance.txn_nodes inst);
+  (sched, coloring, dep)
+
+let schedule ?strategy ?order metric inst =
+  let sched, _, _ = schedule_with_stats ?strategy ?order metric inst in
+  sched

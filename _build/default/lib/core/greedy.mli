@@ -1,0 +1,26 @@
+(** The basic greedy schedule of Section 2.3.
+
+    Builds the dependency graph, colors it greedily, and converts colors
+    to time steps.  The paper assumes objects are already positioned at
+    their first transaction; to produce schedules that are feasible from
+    the objects' real homes, colors are shifted by the smallest offset
+    that gives every object time to reach its first user.
+
+    On a clique this is the Theorem 1 O(k)-approximation; on any
+    diameter-d graph it is the Section 3.1 O(k·l·d) schedule. *)
+
+val schedule :
+  ?strategy:Coloring.strategy ->
+  ?order:Coloring.order ->
+  Dtm_graph.Metric.t ->
+  Instance.t ->
+  Schedule.t
+
+val schedule_with_stats :
+  ?strategy:Coloring.strategy ->
+  ?order:Coloring.order ->
+  Dtm_graph.Metric.t ->
+  Instance.t ->
+  Schedule.t * Coloring.t * Dependency.t
+(** Also exposes the coloring and dependency graph (for the ablation
+    benches and tests). *)

@@ -1,0 +1,106 @@
+type t = {
+  n : int;
+  num_objects : int;
+  txns : int array option array; (* per node: sorted requested objects *)
+  txn_nodes : int array;
+  requesters : int array array; (* per object: sorted requesting nodes *)
+  home : int array;
+}
+
+let create ~n ~num_objects ~txns ~home =
+  if n < 0 then invalid_arg "Instance.create: n < 0";
+  if num_objects < 0 then invalid_arg "Instance.create: num_objects < 0";
+  if Array.length home <> num_objects then
+    invalid_arg "Instance.create: home size mismatch";
+  Array.iter
+    (fun h -> if h < 0 || h >= n then invalid_arg "Instance.create: home out of range")
+    home;
+  let per_node = Array.make n None in
+  List.iter
+    (fun (node, objs) ->
+      if node < 0 || node >= n then invalid_arg "Instance.create: node out of range";
+      if per_node.(node) <> None then
+        invalid_arg "Instance.create: two transactions on one node";
+      let objs = List.sort_uniq compare objs in
+      if objs = [] then invalid_arg "Instance.create: empty object list";
+      List.iter
+        (fun o ->
+          if o < 0 || o >= num_objects then
+            invalid_arg "Instance.create: object out of range")
+        objs;
+      per_node.(node) <- Some (Array.of_list objs))
+    txns;
+  let txn_nodes =
+    Array.of_list
+      (List.filter (fun v -> per_node.(v) <> None) (List.init n Fun.id))
+  in
+  let req_lists = Array.make num_objects [] in
+  (* Iterate nodes descending so the accumulated lists come out ascending. *)
+  for i = Array.length txn_nodes - 1 downto 0 do
+    let v = txn_nodes.(i) in
+    match per_node.(v) with
+    | None -> ()
+    | Some objs -> Array.iter (fun o -> req_lists.(o) <- v :: req_lists.(o)) objs
+  done;
+  {
+    n;
+    num_objects;
+    txns = per_node;
+    txn_nodes;
+    requesters = Array.map Array.of_list req_lists;
+    home;
+  }
+
+let n t = t.n
+let num_objects t = t.num_objects
+let txn_at t v = t.txns.(v)
+let txn_nodes t = t.txn_nodes
+let num_txns t = Array.length t.txn_nodes
+
+let requesters t o =
+  if o < 0 || o >= t.num_objects then invalid_arg "Instance.requesters: bad object";
+  t.requesters.(o)
+
+let home t o =
+  if o < 0 || o >= t.num_objects then invalid_arg "Instance.home: bad object";
+  t.home.(o)
+
+let k_max t =
+  Array.fold_left
+    (fun acc objs -> match objs with None -> acc | Some a -> max acc (Array.length a))
+    0 t.txns
+
+let load t =
+  Array.fold_left (fun acc r -> max acc (Array.length r)) 0 t.requesters
+
+let uses t ~node ~obj =
+  match t.txns.(node) with
+  | None -> false
+  | Some objs -> Array.exists (fun o -> o = obj) objs
+
+let shared_objects t ~node1 ~node2 =
+  match (t.txns.(node1), t.txns.(node2)) with
+  | Some a, Some b ->
+    (* Both arrays are sorted: merge-intersect. *)
+    let res = ref [] and i = ref 0 and j = ref 0 in
+    while !i < Array.length a && !j < Array.length b do
+      let x = a.(!i) and y = b.(!j) in
+      if x = y then begin
+        res := x :: !res;
+        incr i;
+        incr j
+      end
+      else if x < y then incr i
+      else incr j
+    done;
+    List.rev !res
+  | _ -> []
+
+let homes_at_requesters t =
+  let ok = ref true in
+  Array.iteri
+    (fun o reqs ->
+      if Array.length reqs > 0 && not (Array.exists (fun v -> v = t.home.(o)) reqs)
+      then ok := false)
+    t.requesters;
+  !ok

@@ -1,0 +1,57 @@
+(** A batch scheduling problem instance (paper, Section 2.1).
+
+    [n] network nodes hold at most one transaction each; there are [w]
+    shared objects, each with a single mobile copy starting at its home
+    node.  A transaction is identified by the node it runs at and carries
+    the set of objects it needs.
+
+    Time convention used across the library: time steps are the positive
+    integers.  A transaction scheduled at step [t] has all its objects at
+    its node at step [t]; the object's home releases it at (virtual) step
+    0, and moving across distance [d] takes [d] steps.  So the first user
+    of an object at distance [d] from its home can run no earlier than
+    step [max 1 d]. *)
+
+type t
+
+val create :
+  n:int -> num_objects:int -> txns:(int * int list) list -> home:int array -> t
+(** [create ~n ~num_objects ~txns ~home] builds an instance.
+    [txns] maps nodes to requested object lists (duplicates within a list
+    are merged); [home.(o)] is object [o]'s initial node.  Raises
+    [Invalid_argument] on out-of-range nodes/objects, two transactions on
+    one node, an empty object list, or a mis-sized [home]. *)
+
+val n : t -> int
+val num_objects : t -> int
+
+val txn_at : t -> int -> int array option
+(** Objects requested by the transaction at a node, sorted; [None] when
+    the node has no transaction.  Do not mutate the result. *)
+
+val txn_nodes : t -> int array
+(** Nodes that hold a transaction, ascending.  Do not mutate. *)
+
+val num_txns : t -> int
+
+val requesters : t -> int -> int array
+(** Nodes whose transaction requests object [o], ascending.  Do not
+    mutate. *)
+
+val home : t -> int -> int
+
+val k_max : t -> int
+(** Largest per-transaction object count (the paper's k). *)
+
+val load : t -> int
+(** ℓ = max over objects of the number of requesting transactions. *)
+
+val uses : t -> node:int -> obj:int -> bool
+
+val shared_objects : t -> node1:int -> node2:int -> int list
+(** Objects requested by both transactions (empty if either node has no
+    transaction). *)
+
+val homes_at_requesters : t -> bool
+(** True when every object with at least one requester starts at one of
+    its requesters — the paper's usual initial placement. *)

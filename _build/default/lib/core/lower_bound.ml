@@ -1,0 +1,34 @@
+type per_object = { obj : int; requesters : int; walk : Dtm_graph.Walk.bounds }
+
+type t = {
+  load : int;
+  max_walk : int;
+  certified : int;
+  per_object : per_object array;
+}
+
+let compute metric inst =
+  let w = Instance.num_objects inst in
+  let per_object =
+    Array.init w (fun o ->
+        let reqs = Instance.requesters inst o in
+        let walk =
+          Dtm_graph.Walk.bounds metric ~home:(Instance.home inst o)
+            (Array.to_list reqs)
+        in
+        { obj = o; requesters = Array.length reqs; walk })
+  in
+  let load = Instance.load inst in
+  let max_walk =
+    Array.fold_left
+      (fun acc p ->
+        if p.requesters = 0 then acc
+        else max acc (Dtm_graph.Walk.best_lower p.walk))
+      0 per_object
+  in
+  let base = if Instance.num_txns inst > 0 then 1 else 0 in
+  { load; max_walk; certified = max base (max load max_walk); per_object }
+
+let certified metric inst = (compute metric inst).certified
+
+let ratio ~makespan ~lower = float_of_int makespan /. float_of_int (max 1 lower)

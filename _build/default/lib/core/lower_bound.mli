@@ -1,0 +1,35 @@
+(** Certified per-instance lower bounds on execution time.
+
+    The paper measures every upper bound against the objects' optimal
+    walks/TSP tours (Sections 1.1, 8) and the per-object load ℓ
+    (Theorem 1).  [certified] is a value provably <= the optimal
+    makespan, combining:
+
+    - [load]: some object is requested by ℓ transactions, which must
+      execute at distinct steps, so OPT >= ℓ;
+    - [max_walk]: some object must travel from its home through all its
+      requesters, so OPT >= its shortest-walk lower bound (exact TSP path
+      when the requester set is small, a certified MST bound otherwise);
+    - 1 whenever the instance has at least one transaction. *)
+
+type per_object = {
+  obj : int;
+  requesters : int;
+  walk : Dtm_graph.Walk.bounds;  (** walk bounds from the object's home *)
+}
+
+type t = {
+  load : int;
+  max_walk : int;
+  certified : int;
+  per_object : per_object array;
+}
+
+val compute : Dtm_graph.Metric.t -> Instance.t -> t
+
+val certified : Dtm_graph.Metric.t -> Instance.t -> int
+(** Just the combined bound. *)
+
+val ratio : makespan:int -> lower:int -> float
+(** [makespan / max 1 lower] — the approximation ratio the experiments
+    report. *)

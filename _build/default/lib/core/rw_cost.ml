@@ -1,0 +1,39 @@
+let per_object_traffic metric rw sched =
+  let inst = Rw_instance.base rw in
+  Array.init (Instance.num_objects inst) (fun o ->
+      let home = Instance.home inst o in
+      let writers = Rw_instance.writers rw o in
+      let worder =
+        if Array.length writers = 0 then []
+        else Schedule.object_order sched ~requesters:writers
+      in
+      (* Master chain. *)
+      let rec chain prev acc = function
+        | [] -> acc
+        | v :: rest -> chain v (acc + Dtm_graph.Metric.dist metric prev v) rest
+      in
+      let master = chain home 0 worder in
+      (* One copy per reader, from the latest preceding writer (by time),
+         or the home when none precedes. *)
+      let copies =
+        Array.fold_left
+          (fun acc r ->
+            let tr = Schedule.time_exn sched r in
+            let source =
+              List.fold_left
+                (fun best wv ->
+                  let tw = Schedule.time_exn sched wv in
+                  match best with
+                  | Some (_, bt) when tw <= bt -> best
+                  | _ -> if tw < tr then Some (wv, tw) else best)
+                None worder
+            in
+            let src = match source with Some (wv, _) -> wv | None -> home in
+            acc + Dtm_graph.Metric.dist metric src r)
+          0
+          (Rw_instance.readers rw o)
+      in
+      master + copies)
+
+let communication metric rw sched =
+  Array.fold_left ( + ) 0 (per_object_traffic metric rw sched)

@@ -1,0 +1,16 @@
+(** Communication cost under read replication.
+
+    Replication trades execution time for bandwidth: the master copy
+    still walks its writer chain, but every reader additionally receives
+    its own copy shipped from the latest preceding writer (or the home).
+    This module totals that traffic, so experiments can show the
+    time/messages trade-off of the replicated model next to
+    {!Cost.communication} for the base model. *)
+
+val per_object_traffic :
+  Dtm_graph.Metric.t -> Rw_instance.t -> Schedule.t -> int array
+(** Per object: master-chain distance plus one copy distance per
+    reader.  Requires a fully scheduled instance. *)
+
+val communication : Dtm_graph.Metric.t -> Rw_instance.t -> Schedule.t -> int
+(** Sum of {!per_object_traffic}. *)

@@ -1,0 +1,20 @@
+(** The basic greedy schedule under read replication.
+
+    Identical to {!Greedy}, except that the dependency graph only has an
+    edge when at least one of the two transactions {e writes} a shared
+    object: read-read pairs do not conflict, so read-mostly workloads
+    color with far fewer colors.  The W-R / R-W edges guarantee each
+    reader sits at distance-respecting offset from every writer, which is
+    exactly what {!Rw_validator}'s copy-shipping rule needs; a final
+    shift gives home-sourced copies (first writers, and readers with no
+    earlier writer) time to arrive. *)
+
+val schedule :
+  ?strategy:Coloring.strategy ->
+  ?order:Coloring.order ->
+  Dtm_graph.Metric.t ->
+  Rw_instance.t ->
+  Schedule.t
+
+val conflict_pairs : Rw_instance.t -> (int * int) list
+(** The conflicting transaction pairs (u < v), for tests and reporting. *)

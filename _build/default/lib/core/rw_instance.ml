@@ -1,0 +1,94 @@
+type t = {
+  base : Instance.t;
+  write : bool array array; (* per node: mask aligned with its object array *)
+  writers : int array array; (* per object *)
+  readers : int array array; (* per object *)
+}
+
+let build base write =
+  let w = Instance.num_objects base in
+  let writers = Array.make w [] and readers = Array.make w [] in
+  let nodes = Instance.txn_nodes base in
+  for i = Array.length nodes - 1 downto 0 do
+    let v = nodes.(i) in
+    match Instance.txn_at base v with
+    | None -> ()
+    | Some objs ->
+      Array.iteri
+        (fun j o ->
+          if write.(v).(j) then writers.(o) <- v :: writers.(o)
+          else readers.(o) <- v :: readers.(o))
+        objs
+  done;
+  {
+    base;
+    write;
+    writers = Array.map Array.of_list writers;
+    readers = Array.map Array.of_list readers;
+  }
+
+let create base ~writes =
+  let n = Instance.n base in
+  let write =
+    Array.init n (fun v ->
+        match Instance.txn_at base v with
+        | None -> [||]
+        | Some objs -> Array.make (Array.length objs) false)
+  in
+  let seen = Array.make n false in
+  List.iter
+    (fun (v, objs) ->
+      if v < 0 || v >= n then invalid_arg "Rw_instance.create: node out of range";
+      if seen.(v) then invalid_arg "Rw_instance.create: node listed twice";
+      seen.(v) <- true;
+      match Instance.txn_at base v with
+      | None -> invalid_arg "Rw_instance.create: node has no transaction"
+      | Some requested ->
+        List.iter
+          (fun o ->
+            let found = ref false in
+            Array.iteri
+              (fun j r ->
+                if r = o then begin
+                  write.(v).(j) <- true;
+                  found := true
+                end)
+              requested;
+            if not !found then
+              invalid_arg "Rw_instance.create: written object not requested")
+          objs)
+    writes;
+  build base write
+
+let all_write base =
+  let n = Instance.n base in
+  let write =
+    Array.init n (fun v ->
+        match Instance.txn_at base v with
+        | None -> [||]
+        | Some objs -> Array.make (Array.length objs) true)
+  in
+  build base write
+
+let base t = t.base
+
+let is_write t ~node ~obj =
+  match Instance.txn_at t.base node with
+  | None -> false
+  | Some objs ->
+    let res = ref false in
+    Array.iteri (fun j o -> if o = obj && t.write.(node).(j) then res := true) objs;
+    !res
+
+let writers t o =
+  if o < 0 || o >= Instance.num_objects t.base then
+    invalid_arg "Rw_instance.writers: bad object";
+  t.writers.(o)
+
+let readers t o =
+  if o < 0 || o >= Instance.num_objects t.base then
+    invalid_arg "Rw_instance.readers: bad object";
+  t.readers.(o)
+
+let write_load t =
+  Array.fold_left (fun acc ws -> max acc (Array.length ws)) 0 t.writers

@@ -1,0 +1,40 @@
+(** Read/write access modes — the replication extension.
+
+    Section 1.2 notes the data-flow results "also apply to restricted
+    versions of other models where objects may be replicated or
+    versioned".  This module refines an {!Instance} with per-transaction
+    write sets: the single master copy of an object still migrates
+    between its {e writers}, while {e readers} receive read-only copies
+    shipped from the most recent writer before them (multiversion
+    semantics: writers never wait for readers, and concurrent readers do
+    not conflict with each other).
+
+    When every access is a write this degenerates to the base model —
+    {!Rw_validator} and {!Rw_greedy} then agree exactly with
+    {!Validator} and {!Greedy} (tested). *)
+
+type t
+
+val create : Instance.t -> writes:(int * int list) list -> t
+(** [create inst ~writes] marks, per node, which of its requested objects
+    it writes; objects not listed are read.  Nodes absent from [writes]
+    read everything.  Raises [Invalid_argument] if a listed node has no
+    transaction, an object is not in the node's request set, or a node
+    appears twice. *)
+
+val all_write : Instance.t -> t
+(** Every access writes: the base model. *)
+
+val base : t -> Instance.t
+
+val is_write : t -> node:int -> obj:int -> bool
+
+val writers : t -> int -> int array
+(** Nodes writing object [o], ascending.  Do not mutate. *)
+
+val readers : t -> int -> int array
+(** Requesters of [o] that only read it, ascending.  Do not mutate. *)
+
+val write_load : t -> int
+(** Max number of writers of any object: the replicated analogue of the
+    paper's l, and a lower bound on the makespan. *)

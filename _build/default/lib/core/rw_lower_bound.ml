@@ -1,0 +1,29 @@
+type t = { write_load : int; writer_walk : int; reach : int; certified : int }
+
+let compute metric rw =
+  let inst = Rw_instance.base rw in
+  let write_load = Rw_instance.write_load rw in
+  let writer_walk = ref 0 and reach = ref 0 in
+  for o = 0 to Instance.num_objects inst - 1 do
+    let home = Instance.home inst o in
+    let writers = Array.to_list (Rw_instance.writers rw o) in
+    if writers <> [] then begin
+      let b = Dtm_graph.Walk.bounds metric ~home writers in
+      let w = Dtm_graph.Walk.best_lower b in
+      if w > !writer_walk then writer_walk := w
+    end;
+    Array.iter
+      (fun u ->
+        let d = Dtm_graph.Metric.dist metric home u in
+        if d > !reach then reach := d)
+      (Instance.requesters inst o)
+  done;
+  let base = if Instance.num_txns inst > 0 then 1 else 0 in
+  {
+    write_load;
+    writer_walk = !writer_walk;
+    reach = !reach;
+    certified = max base (max write_load (max !writer_walk !reach));
+  }
+
+let certified metric rw = (compute metric rw).certified

@@ -1,0 +1,21 @@
+(** Certified lower bounds under read replication.
+
+    Three provable components:
+    - [write_load]: an object's writers execute at distinct steps;
+    - [writer_walk]: the master copy must walk from its home through all
+      writers, so the walk lower bound over the {e writer} set applies;
+    - [reach]: any user (reader or writer) of object [o] at step [t]
+      needs a version that originated at the home at step 0, and every
+      forwarding path obeys the triangle inequality, so
+      [t >= max 1 (dist (home o) u)]. *)
+
+type t = {
+  write_load : int;
+  writer_walk : int;
+  reach : int;
+  certified : int;  (** max of the above (and 1 if any transaction) *)
+}
+
+val compute : Dtm_graph.Metric.t -> Rw_instance.t -> t
+
+val certified : Dtm_graph.Metric.t -> Rw_instance.t -> int

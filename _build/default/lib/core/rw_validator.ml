@@ -1,0 +1,69 @@
+let violation what obj node = { Validator.what; obj; node }
+
+let check metric rw sched =
+  let inst = Rw_instance.base rw in
+  let err = ref None in
+  let fail what ?obj ?node () =
+    if !err = None then err := Some (violation what obj node)
+  in
+  (* Completeness, as in the base validator. *)
+  for v = 0 to Instance.n inst - 1 do
+    match (Instance.txn_at inst v, Schedule.time sched v) with
+    | Some _, None -> fail "transaction not scheduled" ~node:v ()
+    | None, Some _ -> fail "schedule entry for node without transaction" ~node:v ()
+    | _ -> ()
+  done;
+  if !err = None then
+    for o = 0 to Instance.num_objects inst - 1 do
+      if !err = None then begin
+        let home = Instance.home inst o in
+        let writers = Rw_instance.writers rw o in
+        let readers = Rw_instance.readers rw o in
+        let all_scheduled =
+          Array.for_all (fun v -> Schedule.time sched v <> None) writers
+          && Array.for_all (fun v -> Schedule.time sched v <> None) readers
+        in
+        if all_scheduled then begin
+          let worder = Schedule.object_order sched ~requesters:writers in
+          (* Master-copy chain over the writers. *)
+          (match worder with
+          | [] -> ()
+          | w1 :: _ ->
+            let t1 = Schedule.time_exn sched w1 in
+            if t1 < max 1 (Dtm_graph.Metric.dist metric home w1) then
+              fail "first writer runs before the master copy can arrive" ~obj:o
+                ~node:w1 ());
+          let rec chain = function
+            | a :: (b :: _ as rest) ->
+              let ta = Schedule.time_exn sched a and tb = Schedule.time_exn sched b in
+              if tb - ta < Dtm_graph.Metric.dist metric a b then
+                fail "consecutive writers violate master travel time" ~obj:o
+                  ~node:b ();
+              if ta = tb then
+                fail "two writers of one object share a step" ~obj:o ~node:b ();
+              chain rest
+            | _ -> ()
+          in
+          chain worder;
+          (* Readers: copy from the latest strictly-earlier writer. *)
+          Array.iter
+            (fun r ->
+              let tr = Schedule.time_exn sched r in
+              let source = ref (home, 0) in
+              List.iter
+                (fun wv ->
+                  let tw = Schedule.time_exn sched wv in
+                  if tw = tr then
+                    fail "reader shares a step with a writer" ~obj:o ~node:r ();
+                  if tw < tr && tw >= snd !source then source := (wv, tw))
+                worder;
+              let src, release = !source in
+              if tr < max 1 (release + Dtm_graph.Metric.dist metric src r) then
+                fail "reader runs before its copy can arrive" ~obj:o ~node:r ())
+            readers
+        end
+      end
+    done;
+  match !err with None -> Ok () | Some v -> Error v
+
+let is_feasible metric rw sched = check metric rw sched = Ok ()

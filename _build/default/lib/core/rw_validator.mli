@@ -1,0 +1,17 @@
+(** Feasibility under read replication (multiversion semantics).
+
+    Per object:
+    - writers execute at distinct steps, and the master copy's chain
+      [home -> w1 -> w2 -> ...] respects travel times exactly as in the
+      base model;
+    - each reader [r] at step [t_r] needs a copy shipped from the latest
+      writer committed strictly before [t_r] (from the object's home when
+      there is none): [t_r >= t_source + dist(source, r)];
+    - a reader may not share a step with any writer of the same object
+      (the version it would read is ambiguous), but readers never block
+      writers or each other. *)
+
+val check :
+  Dtm_graph.Metric.t -> Rw_instance.t -> Schedule.t -> (unit, Validator.violation) result
+
+val is_feasible : Dtm_graph.Metric.t -> Rw_instance.t -> Schedule.t -> bool

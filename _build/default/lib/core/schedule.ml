@@ -1,0 +1,67 @@
+type t = { times : int array (* 0 = unscheduled, else the step >= 1 *) }
+
+let create ~n =
+  if n < 0 then invalid_arg "Schedule.create: n < 0";
+  { times = Array.make n 0 }
+
+let capacity t = Array.length t.times
+
+let set t ~node ~time =
+  if node < 0 || node >= Array.length t.times then
+    invalid_arg "Schedule.set: node out of range";
+  if time < 1 then invalid_arg "Schedule.set: time < 1";
+  t.times.(node) <- time
+
+let of_times assoc ~n =
+  let t = create ~n in
+  List.iter
+    (fun (node, time) ->
+      if node >= 0 && node < n && t.times.(node) <> 0 then
+        invalid_arg "Schedule.of_times: duplicate node";
+      set t ~node ~time)
+    assoc;
+  t
+
+let time t node =
+  if node < 0 || node >= Array.length t.times then
+    invalid_arg "Schedule.time: node out of range";
+  if t.times.(node) = 0 then None else Some t.times.(node)
+
+let time_exn t node =
+  match time t node with
+  | Some x -> x
+  | None -> invalid_arg "Schedule.time_exn: unscheduled node"
+
+let makespan t = Array.fold_left max 0 t.times
+
+let scheduled_nodes t =
+  List.filter (fun v -> t.times.(v) <> 0) (List.init (Array.length t.times) Fun.id)
+
+let object_order t ~requesters =
+  let reqs = Array.to_list requesters in
+  List.iter
+    (fun v ->
+      if time t v = None then
+        invalid_arg "Schedule.object_order: unscheduled requester")
+    reqs;
+  List.sort
+    (fun a b ->
+      match compare t.times.(a) t.times.(b) with 0 -> compare a b | c -> c)
+    reqs
+
+let shift t d =
+  Array.iteri
+    (fun i x ->
+      if x <> 0 then begin
+        if x + d < 1 then invalid_arg "Schedule.shift: time would drop below 1";
+        t.times.(i) <- x + d
+      end)
+    t.times
+
+let copy t = { times = Array.copy t.times }
+
+let pp fmt t =
+  Format.fprintf fmt "schedule(makespan=%d)" (makespan t);
+  let nodes = scheduled_nodes t in
+  if List.length nodes <= 32 then
+    List.iter (fun v -> Format.fprintf fmt "@ %d@%d" v t.times.(v)) nodes

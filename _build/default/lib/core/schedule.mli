@@ -1,0 +1,46 @@
+(** An execution schedule: the time step at which each transaction
+    executes and commits (paper, Definition 1).
+
+    Steps are positive integers; the makespan is the largest assigned
+    step.  Feasibility against an instance and a metric is checked by
+    {!Validator}. *)
+
+type t
+
+val create : n:int -> t
+(** All nodes unscheduled. *)
+
+val capacity : t -> int
+(** The [n] the schedule was created with. *)
+
+val of_times : (int * int) list -> n:int -> t
+(** [of_times assoc ~n] from [(node, time)] pairs.  Raises
+    [Invalid_argument] on duplicates, times < 1, or nodes out of range. *)
+
+val set : t -> node:int -> time:int -> unit
+(** Assign (or reassign) the execution step of the transaction at
+    [node].  [time >= 1]. *)
+
+val time : t -> int -> int option
+(** Scheduled step of the transaction at a node. *)
+
+val time_exn : t -> int -> int
+
+val makespan : t -> int
+(** 0 when nothing is scheduled. *)
+
+val scheduled_nodes : t -> int list
+(** Ascending. *)
+
+val object_order : t -> requesters:int array -> int list
+(** Requesting nodes sorted by scheduled time (unscheduled requesters are
+    an error) — the order in which the object visits them.  Ties broken
+    by node id; the validator rejects ties separately. *)
+
+val shift : t -> int -> unit
+(** [shift t d] adds [d] to every assigned time (d may be negative as
+    long as times stay >= 1). *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

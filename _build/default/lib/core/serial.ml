@@ -1,0 +1,97 @@
+let lines_of s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let tokens l = String.split_on_char ' ' l |> List.filter (fun t -> t <> "")
+
+let instance_to_string inst =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "dtm-instance v1\n";
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Instance.n inst));
+  Buffer.add_string buf (Printf.sprintf "objects %d\n" (Instance.num_objects inst));
+  for o = 0 to Instance.num_objects inst - 1 do
+    Buffer.add_string buf (Printf.sprintf "home %d %d\n" o (Instance.home inst o))
+  done;
+  Array.iter
+    (fun v ->
+      match Instance.txn_at inst v with
+      | None -> ()
+      | Some objs ->
+        Buffer.add_string buf (Printf.sprintf "txn %d" v);
+        Array.iter (fun o -> Buffer.add_string buf (Printf.sprintf " %d" o)) objs;
+        Buffer.add_char buf '\n')
+    (Instance.txn_nodes inst);
+  Buffer.contents buf
+
+let parse_int_exn what s =
+  match int_of_string_opt s with
+  | Some x -> x
+  | None -> failwith (Printf.sprintf "bad integer %S in %s" s what)
+
+let instance_of_string s =
+  try
+    match lines_of s with
+    | [] -> Error "empty input"
+    | header :: rest ->
+      if header <> "dtm-instance v1" then failwith "missing dtm-instance v1 header";
+      let n = ref (-1) and w = ref (-1) in
+      let homes = Hashtbl.create 16 in
+      let txns = ref [] in
+      List.iter
+        (fun line ->
+          match tokens line with
+          | [ "n"; x ] -> n := parse_int_exn "n" x
+          | [ "objects"; x ] -> w := parse_int_exn "objects" x
+          | [ "home"; o; v ] ->
+            Hashtbl.replace homes (parse_int_exn "home" o) (parse_int_exn "home" v)
+          | "txn" :: v :: objs when objs <> [] ->
+            txns :=
+              (parse_int_exn "txn" v, List.map (parse_int_exn "txn") objs) :: !txns
+          | _ -> failwith (Printf.sprintf "unrecognized line %S" line))
+        rest;
+      if !n < 0 then failwith "missing n";
+      if !w < 0 then failwith "missing objects";
+      let home =
+        Array.init !w (fun o ->
+            match Hashtbl.find_opt homes o with
+            | Some v -> v
+            | None -> failwith (Printf.sprintf "missing home for object %d" o))
+      in
+      Ok (Instance.create ~n:!n ~num_objects:!w ~txns:(List.rev !txns) ~home)
+  with
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let schedule_to_string sched =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "dtm-schedule v1\n";
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Schedule.capacity sched));
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "at %d %d\n" v (Schedule.time_exn sched v)))
+    (Schedule.scheduled_nodes sched);
+  Buffer.contents buf
+
+let schedule_of_string s =
+  try
+    match lines_of s with
+    | [] -> Error "empty input"
+    | header :: rest ->
+      if header <> "dtm-schedule v1" then failwith "missing dtm-schedule v1 header";
+      let n = ref (-1) in
+      let ats = ref [] in
+      List.iter
+        (fun line ->
+          match tokens line with
+          | [ "n"; x ] -> n := parse_int_exn "n" x
+          | [ "at"; v; t ] ->
+            ats := (parse_int_exn "at" v, parse_int_exn "at" t) :: !ats
+          | _ -> failwith (Printf.sprintf "unrecognized line %S" line))
+        rest;
+      if !n < 0 then failwith "missing n";
+      Ok (Schedule.of_times (List.rev !ats) ~n:!n)
+  with
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg

@@ -1,0 +1,30 @@
+(** Plain-text serialization of instances and schedules.
+
+    A small line-oriented format so experiment inputs and outputs can be
+    saved, diffed, and replayed across runs (the CLI's [--save-instance] /
+    [--load-instance] flags).  Format, one record per line, [#] comments
+    and blank lines ignored:
+
+    {v
+    dtm-instance v1
+    n <nodes>
+    objects <w>
+    home <o> <node>          (one line per object)
+    txn <node> <o1> <o2> ... (one line per transaction)
+    v}
+
+    and for schedules:
+
+    {v
+    dtm-schedule v1
+    n <nodes>
+    at <node> <time>
+    v} *)
+
+val instance_to_string : Instance.t -> string
+
+val instance_of_string : string -> (Instance.t, string) result
+
+val schedule_to_string : Schedule.t -> string
+
+val schedule_of_string : string -> (Schedule.t, string) result

@@ -1,0 +1,74 @@
+type violation = { what : string; obj : int option; node : int option }
+
+let explain v =
+  let extra =
+    match (v.obj, v.node) with
+    | Some o, Some n -> Printf.sprintf " (object %d, node %d)" o n
+    | Some o, None -> Printf.sprintf " (object %d)" o
+    | None, Some n -> Printf.sprintf " (node %d)" n
+    | None, None -> ""
+  in
+  v.what ^ extra
+
+let collect metric inst sched ~stop_at_first =
+  let out = ref [] in
+  let add what ?obj ?node () = out := { what; obj; node } :: !out in
+  let done_ () = stop_at_first && !out <> [] in
+  (* Every transaction scheduled; nothing else scheduled. *)
+  let n = Instance.n inst in
+  let v = ref 0 in
+  while (not (done_ ())) && !v < n do
+    (match (Instance.txn_at inst !v, Schedule.time sched !v) with
+    | Some _, None -> add "transaction not scheduled" ~node:!v ()
+    | None, Some _ -> add "schedule entry for node without transaction" ~node:!v ()
+    | _ -> ());
+    incr v
+  done;
+  (* Per-object itinerary constraints. *)
+  let o = ref 0 in
+  while (not (done_ ())) && !o < Instance.num_objects inst do
+    let reqs = Instance.requesters inst !o in
+    let all_scheduled =
+      Array.for_all (fun r -> Schedule.time sched r <> None) reqs
+    in
+    if all_scheduled && Array.length reqs > 0 then begin
+      let order = Schedule.object_order sched ~requesters:reqs in
+      (match order with
+      | [] -> ()
+      | first :: _ ->
+        let t1 = Schedule.time_exn sched first in
+        let d = Dtm_graph.Metric.dist metric (Instance.home inst !o) first in
+        if t1 < max 1 d then
+          add
+            (Printf.sprintf
+               "first requester at step %d but object needs %d steps from home"
+               t1 (max 1 d))
+            ~obj:!o ~node:first ());
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+          let ta = Schedule.time_exn sched a and tb = Schedule.time_exn sched b in
+          let d = Dtm_graph.Metric.dist metric a b in
+          if tb - ta < d then
+            add
+              (Printf.sprintf
+                 "consecutive users at steps %d and %d but distance is %d" ta tb d)
+              ~obj:!o ~node:b ();
+          if ta = tb then
+            add "two users of one object share a time step" ~obj:!o ~node:b ();
+          if not (done_ ()) then pairs rest
+        | _ -> ()
+      in
+      pairs order
+    end;
+    incr o
+  done;
+  List.rev !out
+
+let check_all metric inst sched = collect metric inst sched ~stop_at_first:false
+
+let check metric inst sched =
+  match collect metric inst sched ~stop_at_first:true with
+  | [] -> Ok ()
+  | v :: _ -> Error v
+
+let is_feasible metric inst sched = check metric inst sched = Ok ()

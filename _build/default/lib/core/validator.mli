@@ -1,0 +1,26 @@
+(** Feasibility checking for schedules (paper, Section 2.1).
+
+    A schedule is feasible when every transaction is scheduled, and each
+    object — released by its home at virtual step 0 and travelling along
+    shortest paths — can reach each of its requesters in turn by that
+    requester's execution step:
+
+    - the first requester [v1] runs at step [t1 >= max 1 (dist home v1)];
+    - consecutive requesters satisfy [t_{j+1} - t_j >= dist v_j v_{j+1}]
+      (in particular no two users of one object share a step). *)
+
+type violation = {
+  what : string;  (** human-readable description *)
+  obj : int option;  (** offending object, when object-related *)
+  node : int option;  (** offending node *)
+}
+
+val check : Dtm_graph.Metric.t -> Instance.t -> Schedule.t -> (unit, violation) result
+
+val check_all :
+  Dtm_graph.Metric.t -> Instance.t -> Schedule.t -> violation list
+(** All violations rather than the first. *)
+
+val is_feasible : Dtm_graph.Metric.t -> Instance.t -> Schedule.t -> bool
+
+val explain : violation -> string

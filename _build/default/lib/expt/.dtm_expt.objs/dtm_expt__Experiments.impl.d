@@ -1,0 +1,1 @@
+lib/expt/experiments.ml: Array Dtm_core Dtm_graph Dtm_online Dtm_sched Dtm_sim Dtm_topology Dtm_util Dtm_workload List Printf Runner Sys

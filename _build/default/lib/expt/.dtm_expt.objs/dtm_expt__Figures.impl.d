@@ -1,0 +1,1 @@
+lib/expt/figures.ml: Buffer Dtm_graph Dtm_sched Dtm_topology Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/expt/registry.ml: Dtm_util Experiments Figures List Printf String

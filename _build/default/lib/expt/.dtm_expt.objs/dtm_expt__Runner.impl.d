@@ -1,0 +1,1 @@
+lib/expt/runner.ml: Array Dtm_core Dtm_util List Printf

@@ -1,0 +1,1 @@
+lib/expt/runner.mli: Dtm_core Dtm_graph Dtm_util

@@ -1,0 +1,59 @@
+(** The E1-E8 experiments: one per theorem (see DESIGN.md's experiment
+    index).  Each returns a rendered table plus interpretation notes;
+    EXPERIMENTS.md records their output against the paper's claims. *)
+
+type result = { table : Dtm_util.Table.t; notes : string list }
+
+val e1_clique : seeds:int list -> result
+(** Theorem 1: clique ratio grows with k, independent of n. *)
+
+val e2_diameter : seeds:int list -> result
+(** Section 3.1: hypercube/butterfly ratio tracks k·log n. *)
+
+val e3_line : seeds:int list -> result
+(** Theorem 2: line makespan <= 4l, ratio flat in n. *)
+
+val e4_grid : seeds:int list -> result
+(** Theorem 3: grid ratio within O(k log m) for random k-subsets. *)
+
+val e5_cluster : seeds:int list -> result
+(** Theorem 4: Approach 1 degrades with beta, Approach 2 does not. *)
+
+val e6_star : seeds:int list -> result
+(** Theorem 5: star ratio within O(log beta * min(k beta, c^k ln^k m)). *)
+
+val e7_lower_bound : seeds:int list -> result
+(** Theorem 6 / Section 8: makespan-to-TSP gap grows with s on both the
+    block grid and the block tree. *)
+
+val e8_greedy : seeds:int list -> result
+(** Section 2.3: coloring count <= Gamma + 1; order/strategy ablation. *)
+
+val e9_congestion : seeds:int list -> result
+(** Extension (paper Section 9): execution time as per-link capacity
+    shrinks, on topologies that funnel traffic (star) and that spread it
+    (clique, grid). *)
+
+val e10_tradeoff : seeds:int list -> result
+(** Extension (Section 1.2 / Busch et al. PODC 2015): the tension between
+    makespan and total communication across schedulers. *)
+
+val e11_lb_tightness : seeds:int list -> result
+(** Extension: exact optimum (exhaustive, <= 8 transactions) vs the
+    certified lower bound and the greedy schedule — how much measured
+    ratio is scheduler slack vs lower-bound slack. *)
+
+val e12_ring : seeds:int list -> result
+(** Extension: the ring scheduler's O(1) factor, mirroring E3. *)
+
+val e13_replication : seeds:int list -> result
+(** Extension (Section 1.2 remark): read replication thins the
+    dependency graph; makespan vs write fraction. *)
+
+val e14_online : seeds:int list -> result
+(** Extension (Section 9 open problem #1): online arrival streams under
+    different contention-management policies. *)
+
+val e15_scaling : seeds:int list -> result
+(** Release hygiene: empirical wall-clock growth exponents of the main
+    schedulers. *)

@@ -1,0 +1,215 @@
+module G = Dtm_graph.Graph
+module Metric = Dtm_graph.Metric
+module Star = Dtm_topology.Star
+module Cluster = Dtm_topology.Cluster
+module Blocks = Dtm_topology.Blocks
+
+type result = { rendering : string; checks : (string * bool) list }
+
+let buf_render f =
+  let buf = Buffer.create 512 in
+  f buf;
+  Buffer.contents buf
+
+(* Fig. 1: line with n = 32 and l = 8. *)
+let f1_line () =
+  let n = 32 and l = 8 in
+  let g = Dtm_topology.Line.graph n in
+  let rendering =
+    buf_render (fun buf ->
+        Buffer.add_string buf
+          (Printf.sprintf "Line graph, n = %d, l = %d (Fig. 1)\n" n l);
+        for v = 0 to n - 1 do
+          Buffer.add_string buf (if v mod l = 0 && v > 0 then "| " else "");
+          Buffer.add_string buf "o-"
+        done;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf "phase:  ";
+        for j = 0 to (n / l) - 1 do
+          Buffer.add_string buf
+            (Printf.sprintf "%-16s" (if j mod 2 = 0 then "S1 (phase 1)" else "S2 (phase 2)"))
+        done;
+        Buffer.add_char buf '\n')
+  in
+  {
+    rendering;
+    checks =
+      [
+        ("32 nodes", G.n g = 32);
+        ("31 unit edges", G.num_edges g = 31 && G.max_weight g = 1);
+        ("4 subgraphs of length l", n / l = 4);
+        ("S1 and S2 alternate", true);
+      ];
+  }
+
+(* Fig. 2: 16x16 grid with 4x4 subgrids and the execution order. *)
+let f2_grid () =
+  let side = 16 and sub = 4 in
+  let order = Dtm_sched.Grid_sched.subgrid_order ~rows:side ~cols:side ~side:sub in
+  let idx = Hashtbl.create 16 in
+  List.iteri (fun k ij -> Hashtbl.replace idx ij k) order;
+  let rendering =
+    buf_render (fun buf ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "Grid %dx%d with %dx%d subgrids; numbers give execution order (Fig. 2)\n"
+             side side sub sub);
+        for i = 0 to (side / sub) - 1 do
+          for j = 0 to (side / sub) - 1 do
+            Buffer.add_string buf
+              (Printf.sprintf " %2d " (Hashtbl.find idx (i, j)))
+          done;
+          Buffer.add_char buf '\n'
+        done)
+  in
+  let g = Dtm_topology.Grid.graph ~rows:side ~cols:side in
+  let column_major_boustrophedon =
+    (* First column goes top-down, second bottom-up. *)
+    Hashtbl.find idx (0, 0) = 0
+    && Hashtbl.find idx (3, 0) = 3
+    && Hashtbl.find idx (3, 1) = 4
+    && Hashtbl.find idx (0, 1) = 7
+    && Hashtbl.find idx (0, 2) = 8
+  in
+  {
+    rendering;
+    checks =
+      [
+        ("256 nodes", G.n g = 256);
+        ("16 subgrids", List.length order = 16);
+        ("boustrophedon order", column_major_boustrophedon);
+      ];
+  }
+
+(* Fig. 3: 5 clusters of 6 nodes with weight-gamma bridges. *)
+let f3_cluster () =
+  let p = { Cluster.clusters = 5; size = 6; bridge_weight = 9 } in
+  let g = Cluster.graph p in
+  let m = Cluster.metric p in
+  let rendering =
+    buf_render (fun buf ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "Cluster graph: %d cliques x %d nodes, bridges of weight %d (Fig. 3)\n"
+             p.Cluster.clusters p.Cluster.size p.Cluster.bridge_weight);
+        for c = 0 to p.Cluster.clusters - 1 do
+          Buffer.add_string buf
+            (Printf.sprintf "  C%d: bridge node %d, members %s\n" (c + 1)
+               (Cluster.bridge_node p c)
+               (String.concat ","
+                  (List.map string_of_int (Cluster.nodes_of_cluster p c))))
+        done)
+  in
+  let intra_ok = Metric.dist m 1 2 = 1 in
+  let bridge_ok =
+    G.edge_weight g (Cluster.bridge_node p 0) (Cluster.bridge_node p 4)
+    = Some p.Cluster.bridge_weight
+  in
+  let inter_ok = Metric.dist m 1 7 = 1 + p.Cluster.bridge_weight + 1 in
+  {
+    rendering;
+    checks =
+      [
+        ("30 nodes", G.n g = 30);
+        ("unit edges inside cliques", intra_ok);
+        ("all bridge pairs linked with weight gamma", bridge_ok);
+        ("non-bridge to non-bridge distance = gamma + 2", inter_ok);
+      ];
+  }
+
+(* Fig. 4: star with 8 rays x 7 nodes and rings V1..V3. *)
+let f4_star () =
+  let p = { Star.rays = 8; ray_len = 7 } in
+  let g = Star.graph p in
+  let rendering =
+    buf_render (fun buf ->
+        Buffer.add_string buf
+          (Printf.sprintf "Star graph: %d rays x %d nodes + center (Fig. 4)\n"
+             p.Star.rays p.Star.ray_len);
+        for i = 1 to Star.num_segments p do
+          let lo, hi = Star.segment_depths p i in
+          Buffer.add_string buf
+            (Printf.sprintf "  ring V%d: depths %d..%d (%d nodes per ray)\n" i lo
+               hi (hi - lo + 1))
+        done)
+  in
+  let seg_sizes_double =
+    Star.segment_depths p 1 = (1, 1)
+    && Star.segment_depths p 2 = (2, 3)
+    && Star.segment_depths p 3 = (4, 7)
+  in
+  {
+    rendering;
+    checks =
+      [
+        ("57 nodes", G.n g = 57);
+        ("tree: n-1 edges", G.num_edges g = 56);
+        ("center degree = rays", G.degree g Star.center = 8);
+        ("3 exponentially growing rings", seg_sizes_double);
+      ];
+  }
+
+let block_rendering name (p : Blocks.params) g =
+  buf_render (fun buf ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s: %d blocks of %d rows x %d cols; inter-block edges weight %d\n"
+           name p.Blocks.s p.Blocks.s p.Blocks.root p.Blocks.s);
+      Buffer.add_string buf
+        (Printf.sprintf "  total %d nodes, %d edges\n" (G.n g) (G.num_edges g)))
+
+(* Fig. 5: Section 8 block grid with s = 9. *)
+let f5_block_grid () =
+  let p = Blocks.make ~s:9 in
+  let g = Dtm_topology.Block_grid.graph p in
+  let m = Dtm_topology.Block_grid.metric p in
+  let separated =
+    Metric.dist m (Blocks.node p ~block:0 ~x:0 ~y:0) (Blocks.node p ~block:1 ~x:0 ~y:0)
+    >= p.Blocks.s
+  in
+  let per_row_bridges =
+    G.edge_weight g
+      (Blocks.node p ~block:0 ~x:(p.Blocks.root - 1) ~y:5)
+      (Blocks.node p ~block:1 ~x:0 ~y:5)
+    = Some p.Blocks.s
+  in
+  {
+    rendering = block_rendering "Block grid (Fig. 5)" p g;
+    checks =
+      [
+        ("s*s*sqrt(s) nodes", G.n g = Blocks.n p);
+        ("blocks separated by >= s", separated);
+        ("weight-s bridge on every row", per_row_bridges);
+        ("connected", G.is_connected g);
+      ];
+  }
+
+(* Fig. 6: Section 8 block tree with s = 9. *)
+let f6_block_tree () =
+  let p = Blocks.make ~s:9 in
+  let g = Dtm_topology.Block_tree.graph p in
+  let m = Dtm_topology.Block_tree.metric p in
+  let separated =
+    Metric.dist m (Blocks.node p ~block:0 ~x:0 ~y:0) (Blocks.node p ~block:1 ~x:0 ~y:0)
+    >= p.Blocks.s
+  in
+  {
+    rendering = block_rendering "Block tree (Fig. 6)" p g;
+    checks =
+      [
+        ("s*s*sqrt(s) nodes", G.n g = Blocks.n p);
+        ("tree: n-1 edges", G.num_edges g = Blocks.n p - 1);
+        ("blocks separated by >= s", separated);
+        ("connected", G.is_connected g);
+      ];
+  }
+
+let all =
+  [
+    ("f1", f1_line);
+    ("f2", f2_grid);
+    ("f3", f3_cluster);
+    ("f4", f4_star);
+    ("f5", f5_block_grid);
+    ("f6", f6_block_tree);
+  ]

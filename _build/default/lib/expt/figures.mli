@@ -1,0 +1,28 @@
+(** Reproductions of the paper's six structural figures as ASCII
+    renderings plus machine-checked structural assertions. *)
+
+type result = { rendering : string; checks : (string * bool) list }
+
+val f1_line : unit -> result
+(** Fig. 1: a 32-node line with l = 8, showing the S1/S2 subgraph
+    decomposition the Theorem 2 schedule uses. *)
+
+val f2_grid : unit -> result
+(** Fig. 2: a 16x16 grid cut into 4x4 subgrids with the boustrophedon
+    execution order. *)
+
+val f3_cluster : unit -> result
+(** Fig. 3: 5 clusters of 6 nodes, unit intra-cluster edges, weight-gamma
+    bridges. *)
+
+val f4_star : unit -> result
+(** Fig. 4: a star with 8 rays of 7 nodes and its segment rings V1..V3. *)
+
+val f5_block_grid : unit -> result
+(** Fig. 5: the Section 8 grid of s blocks with weight-s links. *)
+
+val f6_block_tree : unit -> result
+(** Fig. 6: the Section 8 comb-tree variant. *)
+
+val all : (string * (unit -> result)) list
+(** [(id, figure)] pairs, f1..f6. *)

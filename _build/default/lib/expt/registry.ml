@@ -1,0 +1,187 @@
+type entry = {
+  id : string;
+  title : string;
+  claim : string;
+  run : seeds:int list -> string;
+  csv : (seeds:int list -> string) option;
+}
+
+let default_seeds = [ 1; 2; 3; 4; 5 ]
+
+let of_experiment f ~seeds =
+  let r = f ~seeds in
+  Dtm_util.Table.render r.Experiments.table
+  ^ "\n"
+  ^ String.concat "\n" (List.map (fun n -> "  " ^ n) r.Experiments.notes)
+  ^ "\n"
+
+let csv_of_experiment f ~seeds =
+  Dtm_util.Table.to_csv (f ~seeds).Experiments.table
+
+let of_figure f ~seeds:_ =
+  let r = f () in
+  r.Figures.rendering ^ "\nchecks:\n"
+  ^ String.concat "\n"
+      (List.map
+         (fun (name, ok) ->
+           Printf.sprintf "  [%s] %s" (if ok then "ok" else "FAIL") name)
+         r.Figures.checks)
+  ^ "\n"
+
+let all =
+  [
+    {
+      id = "e1";
+      title = "Clique schedules (Theorem 1)";
+      claim = "O(k)-approximation on complete graphs, independent of n";
+      run = of_experiment Experiments.e1_clique;
+      csv = Some (csv_of_experiment Experiments.e1_clique);
+    };
+    {
+      id = "e2";
+      title = "Hypercube and Butterfly schedules (Section 3.1)";
+      claim = "O(k log n)-approximation on diameter-log-n graphs";
+      run = of_experiment Experiments.e2_diameter;
+      csv = Some (csv_of_experiment Experiments.e2_diameter);
+    };
+    {
+      id = "e3";
+      title = "Line schedules (Theorem 2)";
+      claim = "makespan <= 4l: asymptotically optimal on lines";
+      run = of_experiment Experiments.e3_line;
+      csv = Some (csv_of_experiment Experiments.e3_line);
+    };
+    {
+      id = "e4";
+      title = "Grid schedules (Theorem 3)";
+      claim = "O(k log m)-approximation whp for random k-subsets on grids";
+      run = of_experiment Experiments.e4_grid;
+      csv = Some (csv_of_experiment Experiments.e4_grid);
+    };
+    {
+      id = "e5";
+      title = "Cluster schedules (Theorem 4 / Algorithm 1)";
+      claim = "O(min(k beta, 40^k ln^k m))-approximation on cluster graphs";
+      run = of_experiment Experiments.e5_cluster;
+      csv = Some (csv_of_experiment Experiments.e5_cluster);
+    };
+    {
+      id = "e6";
+      title = "Star schedules (Theorem 5)";
+      claim = "O(log beta * min(k beta, c^k ln^k m))-approximation on stars";
+      run = of_experiment Experiments.e6_star;
+      csv = Some (csv_of_experiment Experiments.e6_star);
+    };
+    {
+      id = "e7";
+      title = "Execution-time lower bound (Theorem 6, Section 8)";
+      claim = "makespan must outgrow all TSP tours on the block instances";
+      run = of_experiment Experiments.e7_lower_bound;
+      csv = Some (csv_of_experiment Experiments.e7_lower_bound);
+    };
+    {
+      id = "e8";
+      title = "Greedy coloring framework (Section 2.3)";
+      claim = "greedy schedule uses at most Gamma + 1 = hmax*Delta + 1 colors";
+      run = of_experiment Experiments.e8_greedy;
+      csv = Some (csv_of_experiment Experiments.e8_greedy);
+    };
+    {
+      id = "e9";
+      title = "Congestion extension (Section 9 open problem)";
+      claim = "bounded link capacity slows hub topologies most";
+      run = of_experiment Experiments.e9_congestion;
+      csv = Some (csv_of_experiment Experiments.e9_congestion);
+    };
+    {
+      id = "e10";
+      title = "Time vs communication trade-off (Section 1.2)";
+      claim = "makespan and communication cannot both be minimized";
+      run = of_experiment Experiments.e10_tradeoff;
+      csv = Some (csv_of_experiment Experiments.e10_tradeoff);
+    };
+    {
+      id = "e11";
+      title = "Lower-bound tightness (exact optima)";
+      claim = "certified walk/load bounds are near-tight on small instances";
+      run = of_experiment Experiments.e11_lb_tightness;
+      csv = Some (csv_of_experiment Experiments.e11_lb_tightness);
+    };
+    {
+      id = "e12";
+      title = "Ring extension of Theorem 2";
+      claim = "makespan <= 9l on cycles: constant-factor, flat in n";
+      run = of_experiment Experiments.e12_ring;
+      csv = Some (csv_of_experiment Experiments.e12_ring);
+    };
+    {
+      id = "e13";
+      title = "Read-replication extension (Section 1.2 remark)";
+      claim = "makespan collapses as the write fraction shrinks";
+      run = of_experiment Experiments.e13_replication;
+      csv = Some (csv_of_experiment Experiments.e13_replication);
+    };
+    {
+      id = "e14";
+      title = "Online scheduling extension (Section 9 open problem)";
+      claim = "continuous arrivals; greedy CM needs no deadlock recovery";
+      run = of_experiment Experiments.e14_online;
+      csv = Some (csv_of_experiment Experiments.e14_online);
+    };
+    {
+      id = "e15";
+      title = "Scheduler scalability (wall-clock growth)";
+      claim = "all schedulers are low-polynomial in n";
+      run = of_experiment Experiments.e15_scaling;
+      csv = Some (csv_of_experiment Experiments.e15_scaling);
+    };
+    {
+      id = "f1";
+      title = "Figure 1: line decomposition";
+      claim = "n = 32 line, l = 8, alternating S1/S2 subgraphs";
+      run = of_figure Figures.f1_line;
+      csv = None;
+    };
+    {
+      id = "f2";
+      title = "Figure 2: grid subgrid order";
+      claim = "16x16 grid, 4x4 subgrids, boustrophedon column-major order";
+      run = of_figure Figures.f2_grid;
+      csv = None;
+    };
+    {
+      id = "f3";
+      title = "Figure 3: cluster graph";
+      claim = "5 cliques of 6 nodes joined by weight-gamma bridges";
+      run = of_figure Figures.f3_cluster;
+      csv = None;
+    };
+    {
+      id = "f4";
+      title = "Figure 4: star graph rings";
+      claim = "8 rays of 7 nodes; segment rings V1..V3 double in size";
+      run = of_figure Figures.f4_star;
+      csv = None;
+    };
+    {
+      id = "f5";
+      title = "Figure 5: Section 8 block grid";
+      claim = "s blocks of s x sqrt(s) nodes, weight-s inter-block edges";
+      run = of_figure Figures.f5_block_grid;
+      csv = None;
+    };
+    {
+      id = "f6";
+      title = "Figure 6: Section 8 block tree";
+      claim = "comb-tree blocks joined through the top row, a single tree";
+      run = of_figure Figures.f6_block_tree;
+      csv = None;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_to_string ?(seeds = default_seeds) e =
+  let line = String.make 72 '=' in
+  Printf.sprintf "%s\n%s: %s\npaper claim: %s\n%s\n%s" line
+    (String.uppercase_ascii e.id) e.title e.claim line (e.run ~seeds)

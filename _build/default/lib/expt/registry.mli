@@ -1,0 +1,21 @@
+(** The experiment registry: every theorem experiment (e1-e8) and figure
+    reproduction (f1-f6) under one id-addressable interface, used by
+    [bin/experiments.ml] and recorded in EXPERIMENTS.md. *)
+
+type entry = {
+  id : string;  (** "e1".."e13", "f1".."f6" *)
+  title : string;
+  claim : string;  (** the paper statement being reproduced *)
+  run : seeds:int list -> string;  (** rendered output *)
+  csv : (seeds:int list -> string) option;
+      (** CSV rendering of the table (experiments only) *)
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val default_seeds : int list
+
+val run_to_string : ?seeds:int list -> entry -> string
+(** Header + claim + output. *)

@@ -1,0 +1,32 @@
+type measurement = {
+  makespan : int;
+  lower : int;
+  ratio : float;
+  feasible : bool;
+}
+
+let measure metric inst sched =
+  let makespan = Dtm_core.Schedule.makespan sched in
+  let lower = Dtm_core.Lower_bound.certified metric inst in
+  {
+    makespan;
+    lower;
+    ratio = Dtm_core.Lower_bound.ratio ~makespan ~lower;
+    feasible = Dtm_core.Validator.is_feasible metric inst sched;
+  }
+
+let mean_ratio ~seeds ~gen ~metric ~sched =
+  let ratios, ok =
+    List.fold_left
+      (fun (acc, ok) seed ->
+        let rng = Dtm_util.Prng.create ~seed in
+        let inst = gen rng in
+        let m = measure metric inst (sched inst) in
+        (m.ratio :: acc, ok && m.feasible))
+      ([], true) seeds
+  in
+  let arr = Array.of_list ratios in
+  let _, worst = Dtm_util.Stats.min_max arr in
+  (Dtm_util.Stats.mean arr, worst, ok)
+
+let fmt_ratio r = Printf.sprintf "%.2f" r

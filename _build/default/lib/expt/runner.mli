@@ -1,0 +1,27 @@
+(** Shared measurement helpers for the experiment suite. *)
+
+type measurement = {
+  makespan : int;
+  lower : int;
+  ratio : float;
+  feasible : bool;
+}
+
+val measure :
+  Dtm_graph.Metric.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t ->
+  measurement
+(** Makespan, certified lower bound, their ratio, and a validator
+    verdict. *)
+
+val mean_ratio :
+  seeds:int list ->
+  gen:(Dtm_util.Prng.t -> Dtm_core.Instance.t) ->
+  metric:Dtm_graph.Metric.t ->
+  sched:(Dtm_core.Instance.t -> Dtm_core.Schedule.t) ->
+  float * float * bool
+(** [(mean, max, all_feasible)] of the ratio over one instance per
+    seed. *)
+
+val fmt_ratio : float -> string

@@ -1,0 +1,1 @@
+lib/graph/dijkstra.ml: Array Dtm_util Graph

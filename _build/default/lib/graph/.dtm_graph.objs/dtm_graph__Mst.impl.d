@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Array Dtm_util Graph List Metric

@@ -1,0 +1,1 @@
+lib/graph/tsp.ml: Array Hashtbl List Metric Mst

@@ -1,0 +1,1 @@
+lib/graph/walk.mli: Metric

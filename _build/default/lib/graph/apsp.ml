@@ -1,0 +1,8 @@
+let unit_weights g = List.for_all (fun e -> e.Graph.w = 1) (Graph.edges g)
+
+let distances g =
+  let n = Graph.n g in
+  let single = if unit_weights g then Bfs.distances else Dijkstra.distances in
+  Array.init n (fun src -> single g ~src)
+
+let to_metric g = Metric.of_matrix (distances g)

@@ -1,0 +1,14 @@
+(** All-pairs shortest paths.
+
+    Runs BFS from every source when all weights are 1, Dijkstra otherwise.
+    The resulting matrix backs a {!Metric.t} for schedulers that run on
+    arbitrary graphs. *)
+
+val distances : Graph.t -> int array array
+(** [distances g] is the full matrix; [max_int] marks unreachable pairs. *)
+
+val to_metric : Graph.t -> Metric.t
+(** APSP-backed metric for [g]. *)
+
+val unit_weights : Graph.t -> bool
+(** True when every edge has weight 1. *)

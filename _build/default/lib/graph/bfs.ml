@@ -1,0 +1,28 @@
+let search g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    Graph.iter_neighbors g u (fun v _ ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.add v q
+        end)
+  done;
+  (dist, parent)
+
+let distances g ~src = fst (search g ~src)
+let parents g ~src = snd (search g ~src)
+
+let path g ~src ~dst =
+  let dist, parent = search g ~src in
+  if dist.(dst) = max_int then None
+  else begin
+    let rec build v acc = if v = src then src :: acc else build parent.(v) (v :: acc) in
+    Some (build dst [])
+  end

@@ -1,0 +1,16 @@
+(** Breadth-first shortest paths for unit-weight graphs.
+
+    Distances here count edges; only correct when every edge weight is 1
+    (checked by {!Apsp}, which picks BFS or Dijkstra accordingly). *)
+
+val distances : Graph.t -> src:int -> int array
+(** [distances g ~src] has entry [d.(v)] = hop count from [src] to [v], or
+    [max_int] when unreachable. *)
+
+val parents : Graph.t -> src:int -> int array
+(** Parent of each node in a BFS tree rooted at [src]; [-1] for [src] and
+    for unreachable nodes. *)
+
+val path : Graph.t -> src:int -> dst:int -> int list option
+(** Node sequence from [src] to [dst] inclusive along a shortest (fewest
+    hops) path, or [None] if unreachable. *)

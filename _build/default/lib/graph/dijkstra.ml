@@ -1,0 +1,36 @@
+let distances_and_parents g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let pq = Dtm_util.Pqueue.create () in
+  dist.(src) <- 0;
+  Dtm_util.Pqueue.push pq ~prio:0 src;
+  let rec loop () =
+    match Dtm_util.Pqueue.pop pq with
+    | None -> ()
+    | Some (d, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        Graph.iter_neighbors g u (fun v w ->
+            let nd = d + w in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              parent.(v) <- u;
+              Dtm_util.Pqueue.push pq ~prio:nd v
+            end)
+      end;
+      loop ()
+  in
+  loop ();
+  (dist, parent)
+
+let distances g ~src = fst (distances_and_parents g ~src)
+
+let path g ~src ~dst =
+  let dist, parent = distances_and_parents g ~src in
+  if dist.(dst) = max_int then None
+  else begin
+    let rec build v acc = if v = src then src :: acc else build parent.(v) (v :: acc) in
+    Some (build dst [])
+  end

@@ -1,0 +1,12 @@
+(** Single-source shortest paths on weighted graphs. *)
+
+val distances : Graph.t -> src:int -> int array
+(** [distances g ~src] has [d.(v)] = weighted distance from [src], or
+    [max_int] when unreachable. *)
+
+val distances_and_parents : Graph.t -> src:int -> int array * int array
+(** Also returns a shortest-path-tree parent array ([-1] for [src] and
+    unreachable nodes). *)
+
+val path : Graph.t -> src:int -> dst:int -> int list option
+(** Node sequence of a weighted shortest path, endpoints inclusive. *)

@@ -1,0 +1,95 @@
+type edge = { u : int; v : int; w : int }
+
+type t = { n : int; adj : (int * int) array array; edge_list : edge list }
+
+let of_edges ~n triples =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let seen = Hashtbl.create (2 * List.length triples) in
+  let canon =
+    List.map
+      (fun (u, v, w) ->
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg "Graph.of_edges: node out of range";
+        if u = v then invalid_arg "Graph.of_edges: self-loop";
+        if w <= 0 then invalid_arg "Graph.of_edges: non-positive weight";
+        let u, v = if u < v then (u, v) else (v, u) in
+        if Hashtbl.mem seen (u, v) then
+          invalid_arg "Graph.of_edges: duplicate edge";
+        Hashtbl.replace seen (u, v) ();
+        { u; v; w })
+      triples
+  in
+  let edge_list = List.sort compare canon in
+  let deg = Array.make n 0 in
+  List.iter
+    (fun { u; v; _ } ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edge_list;
+  let adj = Array.init n (fun i -> Array.make deg.(i) (0, 0)) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun { u; v; w } ->
+      adj.(u).(fill.(u)) <- (v, w);
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- (u, w);
+      fill.(v) <- fill.(v) + 1)
+    edge_list;
+  { n; adj; edge_list }
+
+let n g = g.n
+let num_edges g = List.length g.edge_list
+let edges g = g.edge_list
+let degree g u = Array.length g.adj.(u)
+let neighbors g u = g.adj.(u)
+
+let iter_neighbors g u f = Array.iter (fun (v, w) -> f v w) g.adj.(u)
+
+let edge_weight g u v =
+  let found = ref None in
+  Array.iter (fun (x, w) -> if x = v then found := Some w) g.adj.(u);
+  !found
+
+let mem_edge g u v = edge_weight g u v <> None
+
+let max_weight g = List.fold_left (fun acc e -> max acc e.w) 0 g.edge_list
+
+let max_degree g =
+  let best = ref 0 in
+  for u = 0 to g.n - 1 do
+    best := max !best (Array.length g.adj.(u))
+  done;
+  !best
+
+let total_weight g = List.fold_left (fun acc e -> acc + e.w) 0 g.edge_list
+
+let is_connected g =
+  if g.n <= 1 then true
+  else begin
+    let seen = Array.make g.n false in
+    let stack = ref [ 0 ] in
+    seen.(0) <- true;
+    let count = ref 1 in
+    let rec go () =
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+        stack := rest;
+        iter_neighbors g u (fun v _ ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              incr count;
+              stack := v :: !stack
+            end);
+        go ()
+    in
+    go ();
+    !count = g.n
+  end
+
+let pp fmt g =
+  Format.fprintf fmt "graph(n=%d, m=%d)" g.n (num_edges g);
+  if num_edges g <= 32 then
+    List.iter
+      (fun { u; v; w } -> Format.fprintf fmt "@ (%d-%d:%d)" u v w)
+      g.edge_list

@@ -1,0 +1,50 @@
+(** Immutable weighted undirected graphs.
+
+    Nodes are the integers [0, n).  Edge weights are strictly positive
+    integers and model communication delays (paper, Section 2.1).  The
+    representation is adjacency arrays, built once; all traversals in the
+    library go through this module. *)
+
+type t
+
+type edge = { u : int; v : int; w : int }
+
+val of_edges : n:int -> (int * int * int) list -> t
+(** [of_edges ~n edges] builds a graph on [n] nodes from [(u, v, w)]
+    triples.  Raises [Invalid_argument] on self-loops, nodes out of range,
+    non-positive weights, or duplicate edges (in either orientation). *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val num_edges : t -> int
+
+val edges : t -> edge list
+(** Each undirected edge exactly once, with [u < v], sorted. *)
+
+val degree : t -> int -> int
+
+val neighbors : t -> int -> (int * int) array
+(** [neighbors g u] is the array of [(v, w)] pairs adjacent to [u].  The
+    returned array must not be mutated. *)
+
+val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
+(** [iter_neighbors g u f] applies [f v w] for each edge [(u, v, w)]. *)
+
+val edge_weight : t -> int -> int -> int option
+(** [edge_weight g u v] is [Some w] if the edge exists. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val max_weight : t -> int
+(** Largest edge weight; 0 for edgeless graphs. *)
+
+val is_connected : t -> bool
+(** True for the empty and one-node graph. *)
+
+val max_degree : t -> int
+
+val total_weight : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: node/edge counts and the edge list when small. *)

@@ -1,0 +1,42 @@
+let to_string g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "dtm-graph v1\n";
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Graph.n g));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %d %d %d\n" e.Graph.u e.Graph.v e.Graph.w))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  try
+    match lines with
+    | [] -> Error "empty input"
+    | header :: rest ->
+      if header <> "dtm-graph v1" then failwith "missing dtm-graph v1 header";
+      let n = ref (-1) in
+      let edges = ref [] in
+      let int what x =
+        match int_of_string_opt x with
+        | Some v -> v
+        | None -> failwith (Printf.sprintf "bad integer %S in %s" x what)
+      in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+          | [ "n"; x ] -> n := int "n" x
+          | [ "edge"; u; v; w ] ->
+            edges := (int "edge" u, int "edge" v, int "edge" w) :: !edges
+          | _ -> failwith (Printf.sprintf "unrecognized line %S" line))
+        rest;
+      if !n < 0 then failwith "missing n";
+      Ok (Graph.of_edges ~n:!n (List.rev !edges))
+  with
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg

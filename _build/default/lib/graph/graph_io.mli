@@ -1,0 +1,15 @@
+(** Plain-text graph format, for running the schedulers on arbitrary
+    user-supplied networks (the general case of Section 3.1's O(k·l·d)
+    bound).  One record per line, [#] comments and blank lines ignored:
+
+    {v
+    dtm-graph v1
+    n <nodes>
+    edge <u> <v> <weight>
+    v} *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> (Graph.t, string) result
+(** Rejects malformed headers/records and everything {!Graph.of_edges}
+    rejects (self-loops, duplicates, bad weights, out-of-range nodes). *)

@@ -1,0 +1,62 @@
+type t = { size : int; dist : int -> int -> int }
+
+let make ~size dist =
+  if size < 0 then invalid_arg "Metric.make: negative size";
+  { size; dist }
+
+let of_matrix m =
+  let size = Array.length m in
+  Array.iter
+    (fun row ->
+      if Array.length row <> size then invalid_arg "Metric.of_matrix: ragged")
+    m;
+  { size; dist = (fun u v -> m.(u).(v)) }
+
+let size t = t.size
+
+let dist t u v =
+  if u < 0 || u >= t.size || v < 0 || v >= t.size then
+    invalid_arg "Metric.dist: node out of range";
+  t.dist u v
+
+let diameter t =
+  let best = ref 0 in
+  for u = 0 to t.size - 1 do
+    for v = u + 1 to t.size - 1 do
+      let d = t.dist u v in
+      if d < max_int then best := max !best d
+    done
+  done;
+  !best
+
+let max_dist_among t nodes =
+  let best = ref 0 in
+  let rec outer = function
+    | [] -> ()
+    | u :: rest ->
+      List.iter (fun v -> best := max !best (dist t u v)) rest;
+      outer rest
+  in
+  outer nodes;
+  !best
+
+let validate t =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  for u = 0 to t.size - 1 do
+    if t.dist u u <> 0 then fail "dist(%d,%d) <> 0" u u;
+    for v = 0 to t.size - 1 do
+      if t.dist u v <> t.dist v u then fail "asymmetric at (%d,%d)" u v;
+      if u <> v && t.dist u v <= 0 then fail "non-positive dist(%d,%d)" u v
+    done
+  done;
+  for u = 0 to t.size - 1 do
+    for v = 0 to t.size - 1 do
+      for w = 0 to t.size - 1 do
+        let duv = t.dist u v and duw = t.dist u w and dwv = t.dist w v in
+        if duw < max_int && dwv < max_int && duv > duw + dwv then
+          fail "triangle violated: d(%d,%d) > d(%d,%d)+d(%d,%d)" u v u w w v
+      done
+    done
+  done;
+  match !err with None -> Ok () | Some e -> Error e

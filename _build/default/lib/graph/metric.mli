@@ -1,0 +1,33 @@
+(** Distance oracles.
+
+    Schedulers only need pairwise distances, and for the structured
+    topologies of the paper these have closed forms (Manhattan distance on
+    the grid, Hamming distance on the hypercube, ...).  A [Metric.t]
+    abstracts over closed-form oracles and APSP-backed matrices so that a
+    scheduler can run on either without caring which. *)
+
+type t
+
+val make : size:int -> (int -> int -> int) -> t
+(** [make ~size dist] wraps a distance function over [0, size).  The
+    function must be symmetric, zero on the diagonal, and satisfy the
+    triangle inequality; {!check} can verify this on small instances. *)
+
+val of_matrix : int array array -> t
+(** Wraps a precomputed distance matrix (not copied). *)
+
+val size : t -> int
+
+val dist : t -> int -> int -> int
+(** [dist m u v]; raises [Invalid_argument] if a node is out of range. *)
+
+val diameter : t -> int
+(** Maximum finite pairwise distance (O(size^2) calls). *)
+
+val max_dist_among : t -> int list -> int
+(** Largest pairwise distance within the given node list; 0 for lists of
+    length < 2. *)
+
+val validate : t -> (unit, string) result
+(** Exhaustively checks symmetry, identity, and triangle inequality.
+    O(size^3); intended for tests. *)

@@ -1,0 +1,53 @@
+let kruskal g =
+  let edges =
+    List.sort (fun a b -> compare a.Graph.w b.Graph.w) (Graph.edges g)
+  in
+  let uf = Dtm_util.Union_find.create (Graph.n g) in
+  let tree = ref [] and total = ref 0 in
+  List.iter
+    (fun e ->
+      if Dtm_util.Union_find.union uf e.Graph.u e.Graph.v then begin
+        tree := e :: !tree;
+        total := !total + e.Graph.w
+      end)
+    edges;
+  (List.rev !tree, !total)
+
+let metric_mst m terminals =
+  let terms = List.sort_uniq compare terminals in
+  let arr = Array.of_list terms in
+  let t = Array.length arr in
+  if t <= 1 then ([], 0)
+  else begin
+    (* Prim's algorithm over the metric closure: O(t^2) distance calls. *)
+    let in_tree = Array.make t false in
+    let best = Array.make t max_int in
+    let best_from = Array.make t (-1) in
+    in_tree.(0) <- true;
+    for j = 1 to t - 1 do
+      best.(j) <- Metric.dist m arr.(0) arr.(j);
+      best_from.(j) <- 0
+    done;
+    let tree = ref [] and total = ref 0 in
+    for _ = 1 to t - 1 do
+      let pick = ref (-1) in
+      for j = 0 to t - 1 do
+        if (not in_tree.(j)) && (!pick = -1 || best.(j) < best.(!pick)) then
+          pick := j
+      done;
+      let j = !pick in
+      in_tree.(j) <- true;
+      tree := (arr.(best_from.(j)), arr.(j)) :: !tree;
+      total := !total + best.(j);
+      for x = 0 to t - 1 do
+        if not in_tree.(x) then begin
+          let d = Metric.dist m arr.(j) arr.(x) in
+          if d < best.(x) then begin
+            best.(x) <- d;
+            best_from.(x) <- j
+          end
+        end
+      done
+    done;
+    (List.rev !tree, !total)
+  end

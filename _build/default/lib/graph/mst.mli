@@ -1,0 +1,14 @@
+(** Minimum spanning trees (Kruskal).
+
+    Besides spanning trees of explicit graphs, this module computes MSTs of
+    the {e metric closure} over a terminal set — the quantity the TSP
+    bounds in {!Tsp} and {!Walk} are built from. *)
+
+val kruskal : Graph.t -> Graph.edge list * int
+(** [kruskal g] is a minimum spanning forest (edge list) and its total
+    weight. *)
+
+val metric_mst : Metric.t -> int list -> (int * int) list * int
+(** [metric_mst m terminals] is an MST of the complete graph over
+    [terminals] with weights [Metric.dist m].  Returns tree edges as node
+    pairs and the total weight.  Duplicate terminals are merged. *)

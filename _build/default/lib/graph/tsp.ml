@@ -1,0 +1,125 @@
+let max_exact_terminals = 15
+
+let dedup terminals = List.sort_uniq compare terminals
+
+(* Held-Karp dynamic program over subsets of terminals.  [start] is an
+   optional mandatory first node outside the subset indexing. *)
+let exact_path_length m ?start terminals =
+  let terms = Array.of_list (dedup terminals) in
+  let t = Array.length terms in
+  if t = 0 then 0
+  else if t > max_exact_terminals then
+    invalid_arg "Tsp.exact_path_length: too many terminals"
+  else begin
+    let d i j = Metric.dist m terms.(i) terms.(j) in
+    let full = (1 lsl t) - 1 in
+    let dp = Array.make_matrix (full + 1) t max_int in
+    for j = 0 to t - 1 do
+      dp.(1 lsl j).(j) <-
+        (match start with None -> 0 | Some s -> Metric.dist m s terms.(j))
+    done;
+    for set = 1 to full do
+      for last = 0 to t - 1 do
+        let cur = dp.(set).(last) in
+        if cur < max_int && set land (1 lsl last) <> 0 then
+          for next = 0 to t - 1 do
+            if set land (1 lsl next) = 0 then begin
+              let nset = set lor (1 lsl next) in
+              let cand = cur + d last next in
+              if cand < dp.(nset).(next) then dp.(nset).(next) <- cand
+            end
+          done
+      done
+    done;
+    let best = ref max_int in
+    for j = 0 to t - 1 do
+      if dp.(full).(j) < !best then best := dp.(full).(j)
+    done;
+    !best
+  end
+
+let nearest_neighbor m ~start terminals =
+  let terms = Array.of_list (dedup terminals) in
+  let t = Array.length terms in
+  let visited = Array.make t false in
+  let order = ref [] and total = ref 0 and cur = ref start in
+  for _ = 1 to t do
+    let pick = ref (-1) and best = ref max_int in
+    for j = 0 to t - 1 do
+      if not visited.(j) then begin
+        let d = Metric.dist m !cur terms.(j) in
+        if d < !best then begin
+          best := d;
+          pick := j
+        end
+      end
+    done;
+    visited.(!pick) <- true;
+    order := terms.(!pick) :: !order;
+    total := !total + !best;
+    cur := terms.(!pick)
+  done;
+  (List.rev !order, !total)
+
+let mst_preorder m ?start terminals =
+  let terms = dedup terminals in
+  match terms with
+  | [] -> ([], 0)
+  | [ x ] ->
+    let d = match start with None -> 0 | Some s -> Metric.dist m s x in
+    ([ x ], d)
+  | root :: _ ->
+    let tree, _ = Mst.metric_mst m terms in
+    let children = Hashtbl.create 16 in
+    let add_child u v =
+      let cur = try Hashtbl.find children u with Not_found -> [] in
+      Hashtbl.replace children u (v :: cur)
+    in
+    List.iter
+      (fun (u, v) ->
+        add_child u v;
+        add_child v u)
+      tree;
+    let visited = Hashtbl.create 16 in
+    let order = ref [] in
+    let rec dfs u =
+      if not (Hashtbl.mem visited u) then begin
+        Hashtbl.replace visited u ();
+        order := u :: !order;
+        let kids = try Hashtbl.find children u with Not_found -> [] in
+        List.iter dfs (List.rev kids)
+      end
+    in
+    dfs root;
+    let order = List.rev !order in
+    let total = ref 0 in
+    let rec walk prev = function
+      | [] -> ()
+      | x :: rest ->
+        total := !total + Metric.dist m prev x;
+        walk x rest
+    in
+    (match (start, order) with
+    | Some s, _ -> walk s order
+    | None, first :: rest -> walk first rest
+    | None, [] -> ());
+    (order, !total)
+
+let lower_bound m ?start terminals =
+  let terms = dedup terminals in
+  let pts = match start with None -> terms | Some s -> dedup (s :: terms) in
+  let _, w = Mst.metric_mst m pts in
+  w
+
+let upper_bound m ?start terminals =
+  let terms = dedup terminals in
+  match terms with
+  | [] -> 0
+  | first :: _ ->
+    (* Without a mandatory start, anchoring nearest-neighbour at the first
+       terminal makes its initial hop cost 0, so the result is still a
+       valid Hamiltonian path over the terminal set. *)
+    let nn_start = match start with Some s -> s | None -> first in
+    let _, nn = nearest_neighbor m ~start:nn_start terminals in
+    let _, pre = mst_preorder m ?start terminals in
+    min nn pre

@@ -1,0 +1,35 @@
+(** Travelling-salesman {e path} bounds over a metric.
+
+    The paper's optimal-time surrogate is the shortest walk an object must
+    make through the nodes that request it (Sections 1.1 and 8).  Under a
+    shortest-path metric, the shortest such walk equals the shortest
+    Hamiltonian path on the terminal set in the metric closure.  This
+    module provides an exact solver for small terminal sets (Held-Karp) and
+    certified lower/upper bounds for larger ones. *)
+
+val max_exact_terminals : int
+(** Largest terminal count accepted by {!exact_path_length} (15: the DP is
+    O(2^t t^2)). *)
+
+val exact_path_length : Metric.t -> ?start:int -> int list -> int
+(** [exact_path_length m ?start terminals] is the length of a shortest
+    path visiting every terminal once, optionally beginning at [start]
+    (which need not be a terminal).  Duplicates are merged.  Returns 0 for
+    an empty or singleton set (with no [start]).  Raises
+    [Invalid_argument] beyond {!max_exact_terminals} terminals. *)
+
+val nearest_neighbor : Metric.t -> start:int -> int list -> int list * int
+(** Greedy visiting order from [start] (not included in the returned
+    order unless it is a terminal) and its length.  An upper bound. *)
+
+val mst_preorder : Metric.t -> ?start:int -> int list -> int list * int
+(** Visiting order obtained by a preorder traversal of the metric MST —
+    the classic 2-approximation — and its length. *)
+
+val lower_bound : Metric.t -> ?start:int -> int list -> int
+(** Certified lower bound on the shortest path through the terminals
+    ([start] included as a mandatory first node when given): the metric
+    MST weight, which every Hamiltonian path dominates. *)
+
+val upper_bound : Metric.t -> ?start:int -> int list -> int
+(** Best of {!nearest_neighbor} and {!mst_preorder}. *)

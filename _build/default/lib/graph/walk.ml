@@ -1,0 +1,20 @@
+type bounds = { lower : int; upper : int; exact : int option }
+
+let bounds m ?home requesters =
+  let terms = List.sort_uniq compare requesters in
+  match terms with
+  | [] -> { lower = 0; upper = 0; exact = Some 0 }
+  | _ ->
+    let lower = Tsp.lower_bound m ?start:home terms in
+    let upper = Tsp.upper_bound m ?start:home terms in
+    let exact =
+      if List.length terms <= Tsp.max_exact_terminals then
+        Some (Tsp.exact_path_length m ?start:home terms)
+      else None
+    in
+    let lower = match exact with Some e -> max lower e | None -> lower in
+    let upper = match exact with Some e -> min upper e | None -> upper in
+    { lower; upper; exact }
+
+let best_lower b = match b.exact with Some e -> e | None -> b.lower
+let best_upper b = match b.exact with Some e -> e | None -> b.upper

@@ -1,0 +1,25 @@
+(** Shortest-walk bounds for a mobile object.
+
+    An object starting at its home node must visit every node whose
+    transaction requests it.  The length of the shortest such walk is the
+    paper's per-object lower bound on execution time (Section 8), and its
+    TSP-path equivalent is what the upper-bound theorems are measured
+    against.  This module packages certified lower/upper bounds, with the
+    exact value when the requester set is small enough for Held-Karp. *)
+
+type bounds = {
+  lower : int;  (** certified lower bound on the shortest walk *)
+  upper : int;  (** length of an explicit feasible walk *)
+  exact : int option;  (** exact optimum when computed *)
+}
+
+val bounds : Metric.t -> ?home:int -> int list -> bounds
+(** [bounds m ?home requesters]: walk bounds through [requesters],
+    starting at [home] when given.  Invariant: [lower <= upper], and when
+    [exact = Some e], [lower <= e <= upper]. *)
+
+val best_lower : bounds -> int
+(** [exact] when available, else [lower]. *)
+
+val best_upper : bounds -> int
+(** [exact] when available, else [upper]. *)

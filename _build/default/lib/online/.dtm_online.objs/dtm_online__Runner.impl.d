@@ -1,0 +1,1 @@
+lib/online/runner.ml: Array Dtm_graph Dtm_util List Policy Stream

@@ -1,0 +1,1 @@
+lib/online/runner.mli: Dtm_graph Policy Stream

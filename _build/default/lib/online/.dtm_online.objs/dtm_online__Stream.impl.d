@@ -1,0 +1,1 @@
+lib/online/stream.ml: Array Dtm_util List

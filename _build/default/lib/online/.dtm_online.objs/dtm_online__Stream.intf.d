@@ -1,0 +1,1 @@
+lib/online/stream.mli: Dtm_util

@@ -1,0 +1,10 @@
+type t =
+  | Timestamp of { preemption : bool }
+  | Nearest
+  | Random_grant of int
+
+let to_string = function
+  | Timestamp { preemption = true } -> "timestamp+preemption (Greedy CM)"
+  | Timestamp { preemption = false } -> "timestamp"
+  | Nearest -> "nearest"
+  | Random_grant _ -> "random"

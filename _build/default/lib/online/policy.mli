@@ -1,0 +1,20 @@
+(** Object-granting policies for the online executor — the contention
+    managers of the TM literature the paper builds on (Section 1.2 cites
+    the greedy manager of Guerraoui-Herlihy-Pochon and the experimental
+    managers of Scherer-Scott).
+
+    When an object is released (or revoked), the policy picks which
+    waiting transaction receives it next. *)
+
+type t =
+  | Timestamp of { preemption : bool }
+      (** oldest waiting transaction first (ties by node id).  With
+          [preemption], an older waiter steals an object that sits,
+          undelivered-to-commit, at a younger transaction — the classic
+          Greedy contention manager, which needs no deadlock recovery. *)
+  | Nearest
+      (** the waiter closest to the object's current position (ties by
+          age) — locality-seeking, but deadlock-prone without recovery. *)
+  | Random_grant of int  (** uniformly random waiter, seeded. *)
+
+val to_string : t -> string

@@ -1,0 +1,244 @@
+type stats = {
+  makespan : int;
+  completed : int;
+  mean_response : float;
+  p95_response : float;
+  total_travel : int;
+  forced_grants : int;
+  preemptions : int;
+}
+
+type txn = {
+  id : int;
+  node : int;
+  objects : int array;
+  arrival : int;
+  mutable ready : int; (* step it was issued; -1 before *)
+  mutable done_ : bool;
+  mutable commit : int;
+}
+
+type obj = {
+  mutable pos : int;
+  mutable granted : int option; (* txn id *)
+  mutable dest : int;
+  mutable transit_until : int; (* 0 = not in transit *)
+}
+
+let run ?(policy = Policy.Timestamp { preemption = false }) ?(patience = 50)
+    metric stream ~homes =
+  if Array.length homes <> Stream.num_objects stream then
+    invalid_arg "Runner.run: homes size mismatch";
+  if patience < 1 then invalid_arg "Runner.run: patience < 1";
+  let rng =
+    match policy with
+    | Policy.Random_grant seed -> Dtm_util.Prng.create ~seed
+    | Policy.Timestamp _ | Policy.Nearest -> Dtm_util.Prng.create ~seed:0
+  in
+  (* Flatten per-node queues, keeping issue order. *)
+  let txns = ref [] in
+  let next_id = ref 0 in
+  let queues =
+    Array.init (Stream.n stream) (fun v ->
+        Stream.queue_at stream v
+        |> List.map (fun t ->
+               let r =
+                 {
+                   id = !next_id;
+                   node = v;
+                   objects = Array.of_list t.Stream.objects;
+                   arrival = t.Stream.arrival;
+                   ready = -1;
+                   done_ = false;
+                   commit = 0;
+                 }
+               in
+               incr next_id;
+               txns := r :: !txns;
+               r)
+        |> Array.of_list)
+  in
+  let txns = Array.of_list (List.rev !txns) in
+  let cursor = Array.make (Stream.n stream) 0 in
+  let objs =
+    Array.map
+      (fun h -> { pos = h; granted = None; dest = h; transit_until = 0 })
+      homes
+  in
+  let total = Stream.total stream in
+  let completed = ref 0 in
+  let travel = ref 0 and forced = ref 0 and preempted = ref 0 in
+  let makespan = ref 0 in
+  let responses = ref [] in
+  let older a b =
+    match compare txns.(a).arrival txns.(b).arrival with
+    | 0 -> compare a b
+    | c -> c
+  in
+  let waiting t = t.ready >= 0 && not t.done_ in
+  (* Waiting transactions that request object [o] but do not hold it. *)
+  let waiters o oid =
+    Array.to_list txns
+    |> List.filter (fun t ->
+           waiting t
+           && Array.exists (fun x -> x = oid) t.objects
+           && o.granted <> Some t.id)
+    |> List.map (fun t -> t.id)
+  in
+  let send o oid ~to_ now =
+    let d = Dtm_graph.Metric.dist metric o.pos txns.(to_).node in
+    o.granted <- Some to_;
+    o.dest <- txns.(to_).node;
+    o.transit_until <- now + max 1 d;
+    travel := !travel + d;
+    ignore oid
+  in
+  let choose o oid candidates =
+    match candidates with
+    | [] -> None
+    | _ ->
+      let best =
+        match policy with
+        | Policy.Timestamp _ ->
+          List.fold_left
+            (fun acc c ->
+              match acc with
+              | None -> Some c
+              | Some b -> if older c b < 0 then Some c else acc)
+            None candidates
+        | Policy.Nearest ->
+          let dist c = Dtm_graph.Metric.dist metric o.pos txns.(c).node in
+          List.fold_left
+            (fun acc c ->
+              match acc with
+              | None -> Some c
+              | Some b ->
+                if
+                  dist c < dist b
+                  || (dist c = dist b && older c b < 0)
+                then Some c
+                else acc)
+            None candidates
+        | Policy.Random_grant _ ->
+          Some (Dtm_util.Prng.choose_list rng candidates)
+      in
+      ignore oid;
+      best
+  in
+  let t = ref 0 in
+  let last_progress = ref 0 in
+  let step_cap = 1_000_000 in
+  while !completed < total do
+    incr t;
+    if !t > step_cap then failwith "Runner.run: step cap exceeded";
+    let now = !t in
+    (* 1. Issue. *)
+    Array.iteri
+      (fun v q ->
+        if cursor.(v) < Array.length q then begin
+          let txn = q.(cursor.(v)) in
+          let prev_done =
+            cursor.(v) = 0
+            ||
+            let prev = q.(cursor.(v) - 1) in
+            prev.done_ && prev.commit < now
+          in
+          if txn.ready < 0 && now >= txn.arrival && prev_done then begin
+            txn.ready <- now;
+            last_progress := now
+          end
+        end)
+      queues;
+    (* 2. Deliver. *)
+    Array.iter
+      (fun o ->
+        if o.transit_until <> 0 && o.transit_until <= now then begin
+          o.pos <- o.dest;
+          o.transit_until <- 0;
+          last_progress := now
+        end)
+      objs;
+    (* 3. Execute. *)
+    Array.iter
+      (fun txn ->
+        if waiting txn then begin
+          let ready_to_commit =
+            Array.for_all
+              (fun oid ->
+                let o = objs.(oid) in
+                o.granted = Some txn.id && o.transit_until = 0 && o.pos = txn.node)
+              txn.objects
+          in
+          if ready_to_commit then begin
+            txn.done_ <- true;
+            txn.commit <- now;
+            if now > !makespan then makespan := now;
+            responses := float_of_int (now - txn.ready + 1) :: !responses;
+            incr completed;
+            cursor.(txn.node) <- cursor.(txn.node) + 1;
+            Array.iter (fun oid -> objs.(oid).granted <- None) txn.objects;
+            last_progress := now
+          end
+        end)
+      txns;
+    (* 4. Grant free objects; preempt if the policy allows. *)
+    Array.iteri
+      (fun oid o ->
+        if o.transit_until = 0 then begin
+          match o.granted with
+          | None -> (
+            match choose o oid (waiters o oid) with
+            | Some c -> send o oid ~to_:c now
+            | None -> ())
+          | Some holder -> (
+            match policy with
+            | Policy.Timestamp { preemption = true } when not txns.(holder).done_
+              -> (
+              let ws = List.filter (fun c -> older c holder < 0) (waiters o oid) in
+              match choose o oid ws with
+              | Some c ->
+                incr preempted;
+                send o oid ~to_:c now
+              | None -> ())
+            | _ -> ())
+        end)
+      objs;
+    (* 5. Watchdog: break waits-for cycles by force-granting the oldest
+       waiting transaction's objects. *)
+    if now - !last_progress > patience && !completed < total then begin
+      let oldest =
+        Array.fold_left
+          (fun acc txn ->
+            if waiting txn then
+              match acc with
+              | None -> Some txn.id
+              | Some b -> if older txn.id b < 0 then Some txn.id else acc
+            else acc)
+          None txns
+      in
+      match oldest with
+      | None ->
+        (* No waiting transaction: arrivals are just sparse; wait on. *)
+        last_progress := now
+      | Some star ->
+        Array.iter
+          (fun oid ->
+            let o = objs.(oid) in
+            if o.granted <> Some star && o.transit_until = 0 then begin
+              incr forced;
+              send o oid ~to_:star now
+            end)
+          txns.(star).objects;
+        last_progress := now
+    end
+  done;
+  let resp = Array.of_list !responses in
+  {
+    makespan = !makespan;
+    completed = !completed;
+    mean_response = Dtm_util.Stats.mean resp;
+    p95_response = Dtm_util.Stats.percentile resp 95.0;
+    total_travel = !travel;
+    forced_grants = !forced;
+    preemptions = !preempted;
+  }

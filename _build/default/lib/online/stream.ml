@@ -1,0 +1,77 @@
+type txn = { node : int; objects : int list; arrival : int }
+
+type t = { n : int; num_objects : int; queues : txn list array }
+
+let create ~n ~num_objects txns =
+  if n < 1 then invalid_arg "Stream.create: n < 1";
+  if num_objects < 1 then invalid_arg "Stream.create: num_objects < 1";
+  let queues = Array.make n [] in
+  List.iter
+    (fun t ->
+      if t.node < 0 || t.node >= n then invalid_arg "Stream.create: node out of range";
+      if t.arrival < 1 then invalid_arg "Stream.create: arrival < 1";
+      if t.objects = [] then invalid_arg "Stream.create: empty object list";
+      List.iter
+        (fun o ->
+          if o < 0 || o >= num_objects then
+            invalid_arg "Stream.create: object out of range")
+        t.objects;
+      queues.(t.node) <- t :: queues.(t.node))
+    txns;
+  Array.iteri
+    (fun v q ->
+      let q = List.rev q in
+      let rec check_sorted = function
+        | a :: (b :: _ as rest) ->
+          if b.arrival < a.arrival then
+            invalid_arg "Stream.create: arrivals not sorted per node";
+          check_sorted rest
+        | _ -> ()
+      in
+      check_sorted q;
+      queues.(v) <- q)
+    queues;
+  { n; num_objects; queues }
+
+let n t = t.n
+let num_objects t = t.num_objects
+let queue_at t v = t.queues.(v)
+
+let txns t =
+  Array.to_list t.queues |> List.concat
+  |> List.sort (fun a b ->
+         match compare a.arrival b.arrival with
+         | 0 -> compare a.node b.node
+         | c -> c)
+
+let total t = Array.fold_left (fun acc q -> acc + List.length q) 0 t.queues
+
+let uniform ~rng ~n ~num_objects ~k ~txns_per_node ~mean_gap =
+  if k < 1 || k > num_objects then invalid_arg "Stream.uniform: bad k";
+  if txns_per_node < 0 then invalid_arg "Stream.uniform: negative txns_per_node";
+  if mean_gap < 1 then invalid_arg "Stream.uniform: mean_gap < 1";
+  let all = ref [] in
+  for node = 0 to n - 1 do
+    let time = ref 0 in
+    for _ = 1 to txns_per_node do
+      time := !time + 1 + Dtm_util.Prng.int rng (2 * mean_gap);
+      let objects =
+        Array.to_list (Dtm_util.Prng.sample_subset rng ~k ~n:num_objects)
+      in
+      all := { node; objects; arrival = !time } :: !all
+    done
+  done;
+  create ~n ~num_objects (List.rev !all)
+
+let initial_homes ~rng t =
+  let users = Array.make t.num_objects [] in
+  Array.iter
+    (List.iter (fun txn ->
+         List.iter (fun o -> users.(o) <- txn.node :: users.(o)) txn.objects))
+    t.queues;
+  Array.map
+    (fun l ->
+      match l with
+      | [] -> Dtm_util.Prng.int rng t.n
+      | _ -> Dtm_util.Prng.choose_list rng l)
+    users

@@ -1,0 +1,46 @@
+(** Dynamic transaction streams (the online setting of Section 9).
+
+    Each node issues a queue of transactions over time: a node's next
+    transaction becomes ready [think] steps after its previous one
+    commits, but never before its nominal arrival step.  A stream fixes
+    the per-node queues and arrival offsets; the executor
+    ({!Runner}) resolves actual start times. *)
+
+type txn = {
+  node : int;
+  objects : int list;  (** non-empty *)
+  arrival : int;  (** earliest step at which the transaction exists, >= 1 *)
+}
+
+type t
+
+val create : n:int -> num_objects:int -> txn list -> t
+(** Validates ranges and that each node's transactions have
+    non-decreasing arrivals; within a node they execute in list order. *)
+
+val n : t -> int
+val num_objects : t -> int
+
+val txns : t -> txn list
+(** All transactions, globally sorted by (arrival, node). *)
+
+val queue_at : t -> int -> txn list
+(** A node's transactions in issue order. *)
+
+val total : t -> int
+
+val uniform :
+  rng:Dtm_util.Prng.t ->
+  n:int ->
+  num_objects:int ->
+  k:int ->
+  txns_per_node:int ->
+  mean_gap:int ->
+  t
+(** Random stream: every node issues [txns_per_node] transactions over
+    uniform k-subsets; inter-arrival gaps are geometric-ish with the
+    given mean (>= 1). *)
+
+val initial_homes : rng:Dtm_util.Prng.t -> t -> int array
+(** Homes for the objects: a uniform requester of each (uniform node if
+    unused), as in the batch workloads. *)

@@ -1,0 +1,1 @@
+lib/sched/auto.ml: Clique_sched Cluster_sched Diameter_sched Dtm_topology Grid_sched Line_sched Ring_sched Star_sched

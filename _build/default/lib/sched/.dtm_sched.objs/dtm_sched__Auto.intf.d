@@ -1,0 +1,1 @@
+lib/sched/auto.mli: Dtm_core Dtm_topology

@@ -1,0 +1,1 @@
+lib/sched/baseline.ml: Array Composer Dtm_core Dtm_graph Dtm_util

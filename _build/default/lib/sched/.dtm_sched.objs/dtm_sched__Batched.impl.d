@@ -1,0 +1,1 @@
+lib/sched/batched.ml: Array Dtm_core List

@@ -1,0 +1,1 @@
+lib/sched/batched.mli: Dtm_core Dtm_graph

@@ -1,0 +1,1 @@
+lib/sched/bounds.ml: Array Cluster_sched Dtm_core Dtm_graph Dtm_topology Grid_sched Hashtbl Line_sched List Option Ring_sched

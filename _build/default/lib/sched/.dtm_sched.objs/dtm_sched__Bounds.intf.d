@@ -1,0 +1,1 @@
+lib/sched/bounds.mli: Dtm_core Dtm_graph Dtm_topology

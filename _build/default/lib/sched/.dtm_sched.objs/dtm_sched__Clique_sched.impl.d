@@ -1,0 +1,1 @@
+lib/sched/clique_sched.ml: Dtm_core Dtm_topology

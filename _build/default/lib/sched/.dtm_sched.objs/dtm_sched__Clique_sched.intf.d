@@ -1,0 +1,1 @@
+lib/sched/clique_sched.mli: Dtm_core

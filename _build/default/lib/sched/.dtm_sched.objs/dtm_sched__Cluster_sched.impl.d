@@ -1,0 +1,1 @@
+lib/sched/cluster_sched.ml: Array Composer Dtm_core Dtm_topology Dtm_util Float Fun List Rounds

@@ -1,0 +1,1 @@
+lib/sched/cluster_sched.mli: Dtm_core Dtm_topology

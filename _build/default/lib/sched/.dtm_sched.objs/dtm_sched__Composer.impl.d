@@ -1,0 +1,1 @@
+lib/sched/composer.ml: Array Dtm_core Dtm_graph Hashtbl List

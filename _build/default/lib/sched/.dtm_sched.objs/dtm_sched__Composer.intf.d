@@ -1,0 +1,1 @@
+lib/sched/composer.mli: Dtm_core Dtm_graph

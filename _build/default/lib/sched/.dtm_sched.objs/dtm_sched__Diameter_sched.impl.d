@@ -1,0 +1,1 @@
+lib/sched/diameter_sched.ml: Dtm_core Dtm_graph

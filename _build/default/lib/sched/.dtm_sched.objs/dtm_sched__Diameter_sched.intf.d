@@ -1,0 +1,1 @@
+lib/sched/diameter_sched.mli: Dtm_core Dtm_graph

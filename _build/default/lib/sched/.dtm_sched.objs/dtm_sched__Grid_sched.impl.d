@@ -1,0 +1,1 @@
+lib/sched/grid_sched.ml: Array Composer Dtm_core Dtm_topology List

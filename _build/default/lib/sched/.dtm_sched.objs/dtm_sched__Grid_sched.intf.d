@@ -1,0 +1,1 @@
+lib/sched/grid_sched.mli: Dtm_core

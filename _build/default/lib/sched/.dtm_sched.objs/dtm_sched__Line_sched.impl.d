@@ -1,0 +1,1 @@
+lib/sched/line_sched.ml: Array Dtm_core

@@ -1,0 +1,1 @@
+lib/sched/line_sched.mli: Dtm_core

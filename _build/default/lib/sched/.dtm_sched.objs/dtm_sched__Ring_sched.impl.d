@@ -1,0 +1,1 @@
+lib/sched/ring_sched.ml: Array Dtm_core Dtm_topology

@@ -1,0 +1,1 @@
+lib/sched/ring_sched.mli: Dtm_core

@@ -1,0 +1,1 @@
+lib/sched/rounds.ml: Array Composer Dtm_core Dtm_util List

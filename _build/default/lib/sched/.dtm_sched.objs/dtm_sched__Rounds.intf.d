@@ -1,0 +1,1 @@
+lib/sched/rounds.mli: Composer Dtm_core Dtm_util

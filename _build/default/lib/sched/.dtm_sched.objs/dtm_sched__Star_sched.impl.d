@@ -1,0 +1,1 @@
+lib/sched/star_sched.ml: Array Composer Dtm_core Dtm_topology Dtm_util Fun List Rounds

@@ -1,0 +1,26 @@
+module Topology = Dtm_topology.Topology
+
+let schedule ?(seed = 0) topo inst =
+  match topo with
+  | Topology.Clique n -> Clique_sched.schedule ~n inst
+  | Topology.Line n -> Line_sched.schedule ~n inst
+  | Topology.Ring n -> Ring_sched.schedule ~n inst
+  | Topology.Grid { rows; cols } -> Grid_sched.schedule ~rows ~cols inst
+  | Topology.Cluster p -> Cluster_sched.schedule ~approach:(Best { seed }) p inst
+  | Topology.Star p -> Star_sched.schedule ~variant:(Best_periods { seed }) p inst
+  | Topology.Torus _ | Topology.Hypercube _ | Topology.Butterfly _
+  | Topology.Tree _ | Topology.Hypergrid _ | Topology.Block_grid _
+  | Topology.Block_tree _ | Topology.Custom _ ->
+    Diameter_sched.schedule (Topology.metric topo) inst
+
+let name = function
+  | Topology.Clique _ -> "greedy (Thm 1)"
+  | Topology.Line _ -> "two-phase sweep (Thm 2)"
+  | Topology.Ring _ -> "ring arc sweep (Thm 2 extension)"
+  | Topology.Grid _ -> "subgrid decomposition (Thm 3)"
+  | Topology.Cluster _ -> "cluster best-of-approaches (Thm 4)"
+  | Topology.Star _ -> "star period schedule (Thm 5)"
+  | Topology.Torus _ | Topology.Hypercube _ | Topology.Butterfly _
+  | Topology.Tree _ | Topology.Hypergrid _ | Topology.Block_grid _
+  | Topology.Block_tree _ | Topology.Custom _ ->
+    "bounded-diameter greedy (Sec 3.1)"

@@ -1,0 +1,17 @@
+(** Dispatch: pick the paper's algorithm for a topology.
+
+    - Clique: Theorem 1 greedy;
+    - Line: Theorem 2 two-phase sweeps;
+    - Ring: the Theorem 2 technique extended to cycles;
+    - Grid: Theorem 3 subgrid decomposition;
+    - Cluster: Theorem 4 (best of Approaches 1 and 2);
+    - Star: Theorem 5 period schedule;
+    - Hypercube / Butterfly / Torus / the Section 8 carriers:
+      the Section 3.1 bounded-diameter greedy. *)
+
+val schedule :
+  ?seed:int -> Dtm_topology.Topology.t -> Dtm_core.Instance.t -> Dtm_core.Schedule.t
+(** [seed] feeds the randomized cluster/star variants (default 0). *)
+
+val name : Dtm_topology.Topology.t -> string
+(** Which algorithm [schedule] will use, for reports. *)

@@ -1,0 +1,39 @@
+module Instance = Dtm_core.Instance
+
+let in_order order metric inst =
+  let composer = Composer.create metric inst in
+  Array.iter (fun v -> Composer.run_greedy_group composer [ v ]) order;
+  Composer.schedule composer
+
+let sequential metric inst = in_order (Instance.txn_nodes inst) metric inst
+
+let random_order ~seed metric inst =
+  let rng = Dtm_util.Prng.create ~seed in
+  let order = Dtm_util.Prng.shuffled_copy rng (Instance.txn_nodes inst) in
+  in_order order metric inst
+
+let nearest_first metric inst =
+  let nodes = Instance.txn_nodes inst in
+  let m = Array.length nodes in
+  if m = 0 then in_order [||] metric inst
+  else begin
+    let visited = Array.make m false in
+    let order = Array.make m nodes.(0) in
+    visited.(0) <- true;
+    for i = 1 to m - 1 do
+      let cur = order.(i - 1) in
+      let pick = ref (-1) and best = ref max_int in
+      for j = 0 to m - 1 do
+        if not visited.(j) then begin
+          let d = Dtm_graph.Metric.dist metric cur nodes.(j) in
+          if d < !best then begin
+            best := d;
+            pick := j
+          end
+        end
+      done;
+      visited.(!pick) <- true;
+      order.(i) <- nodes.(!pick)
+    done;
+    in_order order metric inst
+  end

@@ -1,0 +1,18 @@
+(** Baseline schedulers the paper's algorithms are compared against.
+
+    [sequential] executes the transactions one at a time in node order,
+    waiting for each transaction's objects to travel from wherever the
+    previous transactions left them — the natural "global lock"
+    strategy of the naive distributed TMs discussed in Section 1.2.
+    [random_order] is the same with a shuffled order. *)
+
+val sequential : Dtm_graph.Metric.t -> Dtm_core.Instance.t -> Dtm_core.Schedule.t
+
+val random_order :
+  seed:int -> Dtm_graph.Metric.t -> Dtm_core.Instance.t -> Dtm_core.Schedule.t
+
+val nearest_first : Dtm_graph.Metric.t -> Dtm_core.Instance.t -> Dtm_core.Schedule.t
+(** Serial execution in a nearest-neighbour tour over the transaction
+    nodes: a communication-minimizing heuristic.  Together with the
+    others it exhibits the execution-time / communication-cost tension of
+    Busch et al. (PODC 2015) discussed in Section 1.2. *)

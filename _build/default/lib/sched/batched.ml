@@ -1,0 +1,55 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+
+type step = {
+  schedule : Schedule.t;
+  entry_positions : int array;
+  exit_positions : int array;
+}
+
+let rehome inst positions =
+  Instance.create ~n:(Instance.n inst)
+    ~num_objects:(Instance.num_objects inst)
+    ~txns:
+      (Array.to_list (Instance.txn_nodes inst)
+      |> List.map (fun v ->
+             match Instance.txn_at inst v with
+             | Some objs -> (v, Array.to_list objs)
+             | None -> assert false))
+    ~home:positions
+
+let schedule metric ~homes batches =
+  (match batches with
+  | [] -> ()
+  | first :: rest ->
+    if Array.length homes <> Instance.num_objects first then
+      invalid_arg "Batched.schedule: homes size mismatch";
+    List.iter
+      (fun b ->
+        if
+          Instance.n b <> Instance.n first
+          || Instance.num_objects b <> Instance.num_objects first
+        then invalid_arg "Batched.schedule: batch shape mismatch")
+      rest);
+  let positions = ref (Array.copy homes) in
+  List.map
+    (fun batch ->
+      let entry_positions = Array.copy !positions in
+      let inst = rehome batch entry_positions in
+      let sched = Dtm_core.Greedy.schedule metric inst in
+      (* Objects end wherever their last scheduled user sits. *)
+      let exit_positions = Array.copy entry_positions in
+      for o = 0 to Instance.num_objects inst - 1 do
+        let reqs = Instance.requesters inst o in
+        if Array.length reqs > 0 then begin
+          match List.rev (Schedule.object_order sched ~requesters:reqs) with
+          | last :: _ -> exit_positions.(o) <- last
+          | [] -> ()
+        end
+      done;
+      positions := exit_positions;
+      { schedule = sched; entry_positions; exit_positions })
+    batches
+
+let total_makespan steps =
+  List.fold_left (fun acc s -> acc + Schedule.makespan s.schedule) 0 steps

@@ -1,0 +1,28 @@
+(** Repeated batches — the multi-shot setting behind the one-shot model.
+
+    The paper schedules a single batch (Section 2: one transaction per
+    node), noting that multiprocessor work studies repeated/window-based
+    executions (Section 1.2 cites window-based greedy scheduling).  This
+    module chains batches: each batch is scheduled by {!Dtm_core.Greedy}
+    against the object positions the previous batch left behind, with
+    batches barrier-synchronized (batch i+1's clock restarts at step 1
+    with the objects at rest).
+
+    The per-batch schedules are therefore exactly validatable: batch i is
+    feasible for the instance whose homes are the carried positions —
+    which is what the tests assert. *)
+
+type step = {
+  schedule : Dtm_core.Schedule.t;  (** batch-local times *)
+  entry_positions : int array;  (** object positions when the batch began *)
+  exit_positions : int array;  (** positions after the batch *)
+}
+
+val schedule :
+  Dtm_graph.Metric.t -> homes:int array -> Dtm_core.Instance.t list -> step list
+(** [schedule m ~homes batches] requires every batch to share node and
+    object counts, and [homes] to size-match; batch 1 starts from
+    [homes].  Raises [Invalid_argument] on mismatches. *)
+
+val total_makespan : step list -> int
+(** Sum of the batch makespans (the barrier-synchronized wall clock). *)

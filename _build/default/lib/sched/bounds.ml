@@ -1,0 +1,56 @@
+module Instance = Dtm_core.Instance
+module Cluster = Dtm_topology.Cluster
+
+let clique inst = (Instance.k_max inst * Instance.load inst) + 1
+
+let diameter metric inst =
+  let d = Dtm_graph.Metric.diameter metric in
+  (Instance.k_max inst * Instance.load inst * d) + d
+
+let line inst = 4 * Line_sched.span inst
+
+let ring ~n inst =
+  let l = Ring_sched.span ~n inst in
+  if n / l <= 1 then 2 * n else 9 * l
+
+let grid ~rows ~cols inst =
+  let side = Grid_sched.default_subgrid_side ~rows ~cols inst in
+  if side >= rows && side >= cols then
+    diameter (Dtm_topology.Grid.metric ~rows ~cols) inst
+  else begin
+    let k = max 1 (Instance.k_max inst) in
+    let order = Grid_sched.subgrid_order ~rows ~cols ~side in
+    let diam = rows + cols in
+    (* Per-subgrid greedy bound with the subgrid's measured max object
+       load, plus a diameter's worth of transition slack per subgrid. *)
+    let subgrid_of v =
+      let x, y = Dtm_topology.Grid.coords ~cols v in
+      (y / side, x / side)
+    in
+    let load_in = Hashtbl.create 32 in
+    for o = 0 to Instance.num_objects inst - 1 do
+      let per = Hashtbl.create 8 in
+      Array.iter
+        (fun v ->
+          let key = subgrid_of v in
+          Hashtbl.replace per key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per key)))
+        (Instance.requesters inst o);
+      Hashtbl.iter
+        (fun key c ->
+          if c > Option.value ~default:0 (Hashtbl.find_opt load_in key) then
+            Hashtbl.replace load_in key c)
+        per
+    done;
+    List.fold_left
+      (fun acc key ->
+        let u = Option.value ~default:0 (Hashtbl.find_opt load_in key) in
+        acc + (2 * side * u * k) + 1 + diam)
+      diam order
+  end
+
+let cluster_approach1 p inst =
+  let sigma = max 1 (Cluster_sched.sigma p inst) in
+  let k = max 1 (Instance.k_max inst) in
+  let gamma = p.Cluster.bridge_weight in
+  ((gamma + 2) * k * sigma * p.Cluster.size) + gamma + 3

@@ -1,0 +1,35 @@
+(** Closed-form makespan upper bounds from the paper's proofs,
+    instantiated per instance.
+
+    Each function evaluates the bound the corresponding theorem proves
+    for its algorithm on the given instance (using instance-measured
+    quantities such as l, k, σ, or the per-subgrid loads, with the
+    paper's constants).  Because the proofs are worst-case, the
+    implementations must never exceed them — the test suite asserts
+    [makespan <= bound] across random instances, turning each theorem
+    into an executable check. *)
+
+val clique : Dtm_core.Instance.t -> int
+(** Theorem 1: the greedy schedule ends by k·l + 1. *)
+
+val diameter : Dtm_graph.Metric.t -> Dtm_core.Instance.t -> int
+(** Section 3.1: k·l·d + d on a diameter-d metric (the extra d covers
+    initial positioning). *)
+
+val line : Dtm_core.Instance.t -> int
+(** Theorem 2: 4·l with l the largest object span (our step-1 time
+    convention). *)
+
+val ring : n:int -> Dtm_core.Instance.t -> int
+(** Ring extension: 9·l, or 2·n in the degenerate single-sweep case. *)
+
+val grid : rows:int -> cols:int -> Dtm_core.Instance.t -> int
+(** Lemma 5's chain with instance-measured per-subgrid loads: the sum
+    over subgrids of their greedy bounds (2·side·U_g·k + 1) plus
+    transition periods (3·side each) plus the 2·max(rows,cols) initial
+    positioning, evaluated at the algorithm's default subgrid side. *)
+
+val cluster_approach1 :
+  Dtm_topology.Cluster.params -> Dtm_core.Instance.t -> int
+(** Lemma 6: k·(σ·β)·(γ+2) + γ + 3 (weighted degree of the dependency
+    graph, plus one, plus initial positioning of at most γ + 2). *)

@@ -1,0 +1,7 @@
+let schedule ~n inst =
+  if Dtm_core.Instance.n inst <> n then
+    invalid_arg "Clique_sched.schedule: size mismatch";
+  Dtm_core.Greedy.schedule (Dtm_topology.Clique.metric n) inst
+
+let approximation_bound inst =
+  (Dtm_core.Instance.k_max inst * Dtm_core.Instance.load inst) + 1

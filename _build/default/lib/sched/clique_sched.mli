@@ -1,0 +1,12 @@
+(** The complete-graph schedule of Section 3 (Theorem 1).
+
+    On a clique every pairwise distance is 1, so the dependency graph has
+    h_max = 1 and weighted degree at most k·l; the basic greedy schedule
+    colors it with at most k·l + 1 colors while l is a lower bound —
+    an O(k) approximation. *)
+
+val schedule : n:int -> Dtm_core.Instance.t -> Dtm_core.Schedule.t
+(** [schedule ~n inst] for an instance on [Clique n]. *)
+
+val approximation_bound : Dtm_core.Instance.t -> int
+(** The proven makespan bound k·l + 1 for this instance. *)

@@ -1,0 +1,70 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+module Cluster = Dtm_topology.Cluster
+
+type approach = Approach1 | Approach2 of { seed : int } | Best of { seed : int }
+
+let clusters_of_object p inst o =
+  Array.to_list (Instance.requesters inst o)
+  |> List.map (Cluster.cluster_of p)
+  |> List.sort_uniq compare
+
+let sigma p inst =
+  let best = ref 0 in
+  for o = 0 to Instance.num_objects inst - 1 do
+    let c = List.length (clusters_of_object p inst o) in
+    if c > !best then best := c
+  done;
+  !best
+
+let log_m inst =
+  let m = max (Instance.n inst) (Instance.num_objects inst) in
+  log (float_of_int (max 2 m))
+
+let phase_count p inst =
+  let s = float_of_int (sigma p inst) in
+  max 1 (int_of_float (ceil (s /. (24.0 *. log_m inst))))
+
+let round_cap p inst =
+  let k = float_of_int (max 1 (Instance.k_max inst)) in
+  let lm = log_m inst in
+  let zeta = 2.0 *. (40.0 ** k) *. ceil (lm ** (k +. 1.0)) in
+  (* The theoretical count explodes for k >= 2; phases exit early when
+     their transactions are done, so a practical ceiling suffices. *)
+  let ceiling = 5_000.0 in
+  ignore p;
+  int_of_float (Float.min zeta ceiling) |> max 1
+
+let approach1 p inst = Dtm_core.Greedy.schedule (Cluster.metric p) inst
+
+let approach2 ~seed p inst =
+  let rng = Dtm_util.Prng.create ~seed in
+  let composer = Composer.create (Cluster.metric p) inst in
+  let psi = phase_count p inst in
+  let cap = round_cap p inst in
+  let group_of = Cluster.cluster_of p in
+  let eligible _ = true in
+  (* Algorithm 1 lines 3-6: assign each cluster to a uniform phase. *)
+  let phase_of = Array.init p.Cluster.clusters (fun _ -> Dtm_util.Prng.int rng psi) in
+  for x = 0 to psi - 1 do
+    let active =
+      List.filter (fun c -> phase_of.(c) = x) (List.init p.Cluster.clusters Fun.id)
+    in
+    if active <> [] then
+      ignore (Rounds.run_phase ~rng inst composer ~group_of ~eligible ~active ~cap)
+  done;
+  (* Stragglers that beat the whp guarantee finish in deterministic
+     cleanup rounds. *)
+  let all = List.init p.Cluster.clusters Fun.id in
+  ignore (Rounds.cleanup ~rng inst composer ~group_of ~eligible ~active:all);
+  Composer.schedule composer
+
+let schedule ?(approach = Best { seed = 0 }) p inst =
+  if Instance.n inst <> p.Cluster.clusters * p.Cluster.size then
+    invalid_arg "Cluster_sched.schedule: size mismatch";
+  match approach with
+  | Approach1 -> approach1 p inst
+  | Approach2 { seed } -> approach2 ~seed p inst
+  | Best { seed } ->
+    let a = approach1 p inst and b = approach2 ~seed p inst in
+    if Schedule.makespan a <= Schedule.makespan b then a else b

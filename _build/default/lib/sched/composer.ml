@@ -1,0 +1,192 @@
+module Metric = Dtm_graph.Metric
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+module Dependency = Dtm_core.Dependency
+module Coloring = Dtm_core.Coloring
+
+type t = {
+  metric : Metric.t;
+  inst : Instance.t;
+  sched : Schedule.t;
+  obj_time : int array; (* step at which the object was last released *)
+  obj_pos : int array; (* node where the object currently sits *)
+  scheduled : bool array;
+  mutable cursor : int;
+}
+
+let create metric inst =
+  let w = Instance.num_objects inst in
+  {
+    metric;
+    inst;
+    sched = Schedule.create ~n:(Instance.n inst);
+    obj_time = Array.make w 0;
+    obj_pos = Array.init w (Instance.home inst);
+    scheduled = Array.make (Instance.n inst) false;
+    cursor = 0;
+  }
+
+let cursor t = t.cursor
+let is_scheduled t v = t.scheduled.(v)
+
+let unscheduled t =
+  Array.to_list (Instance.txn_nodes t.inst)
+  |> List.filter (fun v -> not t.scheduled.(v))
+
+let pending_group t nodes =
+  List.sort_uniq compare nodes
+  |> List.filter (fun v ->
+         (not t.scheduled.(v)) && Instance.txn_at t.inst v <> None)
+
+(* Objects requested by at least one node of the group, with the group's
+   requesters of each. *)
+let group_objects t group =
+  let members = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace members v ()) group;
+  let out = ref [] in
+  for o = 0 to Instance.num_objects t.inst - 1 do
+    let users =
+      Array.to_list (Instance.requesters t.inst o)
+      |> List.filter (Hashtbl.mem members)
+    in
+    if users <> [] then out := (o, users) :: !out
+  done;
+  List.rev !out
+
+let commit t assignments =
+  (* [assignments]: (node, relative time >= 1) pairs, already feasible
+     relative to each other; place them after cursor + gap. *)
+  match assignments with
+  | [] -> ()
+  | _ ->
+    let base = t.cursor in
+    let rel = Hashtbl.create 64 in
+    List.iter (fun (v, r) -> Hashtbl.replace rel v r) assignments;
+    let group = List.map fst assignments in
+    let objs = group_objects t group in
+    let gap = ref 0 in
+    List.iter
+      (fun (o, users) ->
+        let first =
+          List.fold_left
+            (fun best v ->
+              match best with
+              | None -> Some v
+              | Some b -> if Hashtbl.find rel v < Hashtbl.find rel b then Some v else best)
+            None users
+        in
+        match first with
+        | None -> ()
+        | Some v ->
+          let need =
+            t.obj_time.(o)
+            + Metric.dist t.metric t.obj_pos.(o) v
+            - (base + Hashtbl.find rel v)
+          in
+          if need > !gap then gap := need)
+      objs;
+    let gap = max 0 !gap in
+    List.iter
+      (fun (v, r) ->
+        let time = base + gap + r in
+        Schedule.set t.sched ~node:v ~time;
+        t.scheduled.(v) <- true;
+        if time > t.cursor then t.cursor <- time)
+      assignments;
+    (* Each used object now sits at its last user in the group. *)
+    List.iter
+      (fun (_o, users) ->
+        let o = _o in
+        let last =
+          List.fold_left
+            (fun best v ->
+              match best with
+              | None -> Some v
+              | Some b -> if Hashtbl.find rel v > Hashtbl.find rel b then Some v else best)
+            None users
+        in
+        match last with
+        | None -> ()
+        | Some v ->
+          t.obj_time.(o) <- base + gap + Hashtbl.find rel v;
+          t.obj_pos.(o) <- v)
+      objs
+
+let run_greedy_group ?strategy ?order t nodes =
+  let group = pending_group t nodes in
+  if group <> [] then begin
+    (* Color the conflicts inside the group with the Section 2.3 greedy
+       scheme; colors become times relative to the group start. *)
+    let sub =
+      Instance.create ~n:(Instance.n t.inst)
+        ~num_objects:(Instance.num_objects t.inst)
+        ~txns:
+          (List.map
+             (fun v ->
+               match Instance.txn_at t.inst v with
+               | Some objs -> (v, Array.to_list objs)
+               | None -> assert false)
+             group)
+        ~home:(Array.init (Instance.num_objects t.inst) (Instance.home t.inst))
+    in
+    let dep = Dependency.build t.metric sub in
+    let coloring = Coloring.greedy ?strategy ?order dep sub in
+    commit t (List.map (fun v -> (v, coloring.Coloring.colors.(v))) group)
+  end
+
+let run_parallel_chains t chains =
+  let chains =
+    List.map
+      (List.filter (fun v ->
+           (not t.scheduled.(v)) && Instance.txn_at t.inst v <> None))
+      chains
+    |> List.filter (fun c -> c <> [])
+  in
+  if chains <> [] then begin
+    (* Chains must not repeat a node (times would be overwritten). *)
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (List.iter (fun v ->
+           if Hashtbl.mem seen v then
+             invalid_arg "Composer.run_parallel_chains: duplicate node"
+           else Hashtbl.replace seen v ()))
+      chains;
+    (* No object may span two chains. *)
+    let owner = Hashtbl.create 64 in
+    List.iteri
+      (fun ci chain ->
+        List.iter
+          (fun v ->
+            match Instance.txn_at t.inst v with
+            | None -> ()
+            | Some objs ->
+              Array.iter
+                (fun o ->
+                  match Hashtbl.find_opt owner o with
+                  | Some cj when cj <> ci ->
+                    invalid_arg
+                      "Composer.run_parallel_chains: object shared across chains"
+                  | _ -> Hashtbl.replace owner o ci)
+                objs)
+          chain)
+      chains;
+    let assignments =
+      List.concat_map
+        (fun chain ->
+          let rec offsets prev off acc = function
+            | [] -> List.rev acc
+            | v :: rest ->
+              let off =
+                match prev with
+                | None -> 1
+                | Some p -> off + Metric.dist t.metric p v
+              in
+              offsets (Some v) off ((v, off) :: acc) rest
+          in
+          offsets None 0 [] chain)
+        chains
+    in
+    commit t assignments
+  end
+
+let schedule t = Schedule.copy t.sched

@@ -1,0 +1,49 @@
+(** Incremental schedule composition.
+
+    The paper's Grid, Cluster, and Star algorithms all share one shape:
+    partition the transactions into groups (subgrids, phase/round
+    activations, ray segments), schedule each group internally with the
+    basic greedy schedule or a sequential chain, and insert transition
+    periods for objects to travel between groups.
+
+    A composer tracks, for every object, where it currently sits and when
+    it was last released, and appends group schedules one after another,
+    computing the smallest transition gap that keeps the overall schedule
+    feasible.  Every schedule it emits passes {!Dtm_core.Validator} by
+    construction. *)
+
+type t
+
+val create : Dtm_graph.Metric.t -> Dtm_core.Instance.t -> t
+
+val cursor : t -> int
+(** Last time step used so far (0 initially). *)
+
+val is_scheduled : t -> int -> bool
+
+val unscheduled : t -> int list
+(** Transaction nodes not yet scheduled, ascending. *)
+
+val run_greedy_group :
+  ?strategy:Dtm_core.Coloring.strategy ->
+  ?order:Dtm_core.Coloring.order ->
+  t ->
+  int list ->
+  unit
+(** [run_greedy_group t nodes] schedules the not-yet-scheduled
+    transactions among [nodes] as the next group, using the Section 2.3
+    greedy coloring of their mutual conflicts, shifted past the current
+    cursor by the minimal transition gap that lets every needed object
+    arrive from wherever it currently is. *)
+
+val run_parallel_chains : t -> int list list -> unit
+(** [run_parallel_chains t chains] schedules several node chains
+    concurrently as the next group: within a chain, transactions run in
+    the given order, spaced by the distances between consecutive chain
+    nodes (the Line algorithm's left-to-right sweeps).  Raises
+    [Invalid_argument] if an object is requested from two different
+    chains — callers must partition objects between chains, which is
+    exactly what the paper's phase constructions guarantee. *)
+
+val schedule : t -> Dtm_core.Schedule.t
+(** The schedule built so far (copy; safe to keep using the composer). *)

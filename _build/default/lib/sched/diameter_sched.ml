@@ -1,0 +1,6 @@
+let schedule metric inst = Dtm_core.Greedy.schedule metric inst
+
+let approximation_bound metric inst =
+  (Dtm_core.Instance.k_max inst * Dtm_core.Instance.load inst
+   * Dtm_graph.Metric.diameter metric)
+  + 1

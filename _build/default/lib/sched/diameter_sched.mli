@@ -1,0 +1,13 @@
+(** The bounded-diameter generalization of Section 3.1.
+
+    On any graph of diameter d the dependency graph has h_max <= d, so
+    the greedy schedule needs at most k·l·d + 1 steps, an O(k·d)
+    approximation (O(k log n) on hypercubes, butterflies, and log-n
+    dimensional grids).  This is simply the basic greedy schedule run
+    with the topology's metric; it also serves arbitrary graphs via an
+    APSP metric. *)
+
+val schedule : Dtm_graph.Metric.t -> Dtm_core.Instance.t -> Dtm_core.Schedule.t
+
+val approximation_bound : Dtm_graph.Metric.t -> Dtm_core.Instance.t -> int
+(** k·l·d + 1 with d the metric diameter (O(size^2) to compute). *)

@@ -1,0 +1,57 @@
+module Instance = Dtm_core.Instance
+
+let default_subgrid_side ~rows ~cols inst =
+  let w = Instance.num_objects inst in
+  let k = max 1 (Instance.k_max inst) in
+  let m = float_of_int (max (max rows cols) (max 2 w)) in
+  let xi = 27.0 *. float_of_int (max 1 w) *. log m /. float_of_int k in
+  max 1 (int_of_float (ceil (sqrt xi)))
+
+let subgrid_order ~rows ~cols ~side =
+  let ic = (rows + side - 1) / side and jc = (cols + side - 1) / side in
+  let out = ref [] in
+  for j = 0 to jc - 1 do
+    if j mod 2 = 0 then
+      for i = 0 to ic - 1 do
+        out := (i, j) :: !out
+      done
+    else
+      for i = ic - 1 downto 0 do
+        out := (i, j) :: !out
+      done
+  done;
+  List.rev !out
+
+let subgrid_nodes ~rows ~cols ~side (i, j) =
+  let y0 = i * side and x0 = j * side in
+  let y1 = min rows (y0 + side) and x1 = min cols (x0 + side) in
+  let out = ref [] in
+  for y = y0 to y1 - 1 do
+    for x = x0 to x1 - 1 do
+      out := Dtm_topology.Grid.node ~cols ~x ~y :: !out
+    done
+  done;
+  List.rev !out
+
+let schedule ?subgrid_side ~rows ~cols inst =
+  if Instance.n inst <> rows * cols then
+    invalid_arg "Grid_sched.schedule: size mismatch";
+  let side =
+    match subgrid_side with
+    | Some s when s >= 1 -> s
+    | Some _ -> invalid_arg "Grid_sched.schedule: subgrid_side < 1"
+    | None -> default_subgrid_side ~rows ~cols inst
+  in
+  let metric = Dtm_topology.Grid.metric ~rows ~cols in
+  let composer = Composer.create metric inst in
+  if side >= rows && side >= cols then
+    (* Single subgrid: the whole grid is one greedy group (Theorem 3's
+       large-ξ case). *)
+    Composer.run_greedy_group composer
+      (Array.to_list (Instance.txn_nodes inst))
+  else
+    List.iter
+      (fun ij ->
+        Composer.run_greedy_group composer (subgrid_nodes ~rows ~cols ~side ij))
+      (subgrid_order ~rows ~cols ~side);
+  Composer.schedule composer

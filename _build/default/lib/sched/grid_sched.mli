@@ -1,0 +1,29 @@
+(** The Grid schedule of Section 5 (Theorem 3).
+
+    The grid is decomposed into subgrids of side sqrt(ξ) with
+    ξ = 27·w·ln m / k (m = max of the grid side and w).  Subgrids
+    execute one at a time in boustrophedon column-major order — down the
+    first column of subgrids, up the second, and so on — with transition
+    periods in between for the objects to move to the next subgrid that
+    needs them.  Inside a subgrid the basic greedy schedule runs.  For
+    transactions holding random k-subsets of the objects this is an
+    O(k log m) approximation with high probability.
+
+    [subgrid_side] overrides the paper's sqrt(ξ) (used by the ablation
+    bench); when it is at least the whole grid, the algorithm degenerates
+    to one greedy run over the full grid, which is how the ξ > n²/9 case
+    of Theorem 3 is handled. *)
+
+val schedule :
+  ?subgrid_side:int ->
+  rows:int ->
+  cols:int ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t
+
+val default_subgrid_side : rows:int -> cols:int -> Dtm_core.Instance.t -> int
+(** ceil(sqrt(27 · w · ln m / k)), at least 1. *)
+
+val subgrid_order : rows:int -> cols:int -> side:int -> (int * int) list
+(** The boustrophedon column-major visit order as (subgrid-row,
+    subgrid-column) indices — exposed for the Figure 2 reproduction. *)

@@ -1,0 +1,34 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+
+let span inst =
+  let best = ref 1 in
+  for o = 0 to Instance.num_objects inst - 1 do
+    let reqs = Instance.requesters inst o in
+    if Array.length reqs > 0 then begin
+      let lo = ref (Instance.home inst o) and hi = ref (Instance.home inst o) in
+      Array.iter
+        (fun v ->
+          if v < !lo then lo := v;
+          if v > !hi then hi := v)
+        reqs;
+      if !hi - !lo > !best then best := !hi - !lo
+    end
+  done;
+  !best
+
+let schedule ~n inst =
+  if Instance.n inst <> n then invalid_arg "Line_sched.schedule: size mismatch";
+  let l = span inst in
+  let sched = Schedule.create ~n in
+  Array.iter
+    (fun v ->
+      let subgraph = v / l in
+      let offset = v mod l in
+      (* Phase 1 (even subgraphs): positioning takes l-1 steps, then the
+         sweep runs during steps [l, 2l-1].  Phase 2 (odd subgraphs):
+         sweep during [3l, 4l-1]. *)
+      let time = if subgraph mod 2 = 0 then l + offset else (3 * l) + offset in
+      Schedule.set sched ~node:v ~time)
+    (Instance.txn_nodes inst);
+  sched

@@ -1,0 +1,18 @@
+(** The Line-graph schedule of Section 4 (Theorem 2).
+
+    Let l be the longest span of any object: the number of edges between
+    the leftmost and rightmost nodes it must touch (requesters and home).
+    The line is cut into consecutive subgraphs of l nodes; even-indexed
+    subgraphs execute in phase 1 and odd-indexed in phase 2, each phase
+    being a positioning period of l-1 steps followed by a left-to-right
+    execution sweep of l steps.  Because no object spans more than two
+    adjacent subgraphs, subgraphs of one phase never contend, and the
+    total time is at most 4l - 2: a constant-factor (asymptotically
+    optimal) schedule. *)
+
+val schedule : n:int -> Dtm_core.Instance.t -> Dtm_core.Schedule.t
+(** [schedule ~n inst] for an instance living on [Line n].  Raises
+    [Invalid_argument] when the instance has a different node count. *)
+
+val span : Dtm_core.Instance.t -> int
+(** The l used by the algorithm: the largest object span (>= 1). *)

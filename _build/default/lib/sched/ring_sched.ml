@@ -1,0 +1,43 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+module Ring = Dtm_topology.Ring
+
+let span ~n inst =
+  let best = ref 1 in
+  for o = 0 to Instance.num_objects inst - 1 do
+    let reqs = Instance.requesters inst o in
+    if Array.length reqs > 0 then begin
+      let pts = Instance.home inst o :: Array.to_list reqs in
+      let s = Ring.arc_span ~n pts in
+      if s > !best then best := s
+    end
+  done;
+  !best
+
+let schedule ~n inst =
+  if Instance.n inst <> n then invalid_arg "Ring_sched.schedule: size mismatch";
+  let l = span ~n inst in
+  let sched = Schedule.create ~n in
+  let q = n / l in
+  if q <= 1 then
+    (* Degenerate cut: one clockwise sweep.  Consecutive sweep times
+       differ by the index gap, which dominates the ring distance, and
+       the base n dominates any initial travel. *)
+    Array.iter
+      (fun v -> Schedule.set sched ~node:v ~time:(n + v))
+      (Instance.txn_nodes inst)
+  else begin
+    (* Arc j covers [j*l, (j+1)*l), except the last which runs to n. *)
+    let arc_of v = min (v / l) (q - 1) in
+    let arc_start j = j * l in
+    let max_arc_len = n - ((q - 1) * l) in
+    let base_of_phase p = l + ((p - 1) * (max_arc_len + l)) in
+    let phase_of j = if q mod 2 = 1 && j = q - 1 then 3 else if j mod 2 = 0 then 1 else 2 in
+    Array.iter
+      (fun v ->
+        let j = arc_of v in
+        let time = base_of_phase (phase_of j) + (v - arc_start j) in
+        Schedule.set sched ~node:v ~time)
+      (Instance.txn_nodes inst)
+  end;
+  sched

@@ -1,0 +1,26 @@
+(** Ring (cycle) schedule — an extension of the Theorem 2 line technique
+    to cycles (the paper's Section 9 asks for extensions to further
+    graphs).
+
+    Let l be the largest {e arc span} of any object: the length of the
+    shortest arc containing its home and all requesters.  The ring is cut
+    into q = floor(n/l) consecutive arcs — the first q-1 of length l, the
+    last absorbing the remainder (so every arc has length in [l, 2l)).
+    Since an arc of length <= l cannot properly contain one of the cut
+    arcs, each object touches at most two {e cyclically adjacent} arcs.
+    Even-indexed arcs sweep clockwise in phase 1, odd-indexed arcs in
+    phase 2, and — when q is odd, so the last even arc would wrap around
+    next to arc 0 — the last arc runs alone in phase 3.  Phase starts are
+    spaced by (max arc length) + l, which exceeds any object's travel
+    between phases.  Total time < 9l: a constant-factor approximation,
+    mirroring the line result.
+
+    When n < 2l the cut degenerates (q <= 1) and a single clockwise sweep
+    over the whole ring is used instead, finishing within 2n <= 4l. *)
+
+val schedule : n:int -> Dtm_core.Instance.t -> Dtm_core.Schedule.t
+(** [schedule ~n inst] for an instance on [Ring n]. *)
+
+val span : n:int -> Dtm_core.Instance.t -> int
+(** The l used by the algorithm: the largest object arc span, at least
+    1. *)

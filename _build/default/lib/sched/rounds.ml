@@ -1,0 +1,64 @@
+module Instance = Dtm_core.Instance
+
+let pending_eligible inst composer ~group_of ~eligible ~active =
+  Array.to_list (Instance.txn_nodes inst)
+  |> List.filter (fun v ->
+         (not (Composer.is_scheduled composer v))
+         && eligible v
+         && List.mem (group_of v) active)
+
+(* One round.  [force] optionally names a transaction whose objects are
+   activated at its own group regardless of the random draws. *)
+let round ~rng inst composer ~group_of ~eligible ~active ~force =
+  let candidates = pending_eligible inst composer ~group_of ~eligible ~active in
+  let activation = Array.make (Instance.num_objects inst) None in
+  for o = 0 to Instance.num_objects inst - 1 do
+    let wanting =
+      List.filter (fun v -> Instance.uses inst ~node:v ~obj:o) candidates
+      |> List.map group_of
+      |> List.sort_uniq compare
+    in
+    if wanting <> [] then
+      activation.(o) <- Some (Dtm_util.Prng.choose_list rng wanting)
+  done;
+  (match force with
+  | None -> ()
+  | Some v -> (
+    match Instance.txn_at inst v with
+    | None -> ()
+    | Some objs ->
+      Array.iter (fun o -> activation.(o) <- Some (group_of v)) objs));
+  let enabled =
+    List.filter
+      (fun v ->
+        match Instance.txn_at inst v with
+        | None -> false
+        | Some objs ->
+          Array.for_all (fun o -> activation.(o) = Some (group_of v)) objs)
+      candidates
+  in
+  if enabled <> [] then Composer.run_greedy_group composer enabled
+
+let run_phase ~rng inst composer ~group_of ~eligible ~active ~cap =
+  let rounds = ref 0 in
+  while
+    !rounds < cap
+    && pending_eligible inst composer ~group_of ~eligible ~active <> []
+  do
+    round ~rng inst composer ~group_of ~eligible ~active ~force:None;
+    incr rounds
+  done;
+  !rounds
+
+let cleanup ~rng inst composer ~group_of ~eligible ~active =
+  let rounds = ref 0 in
+  let rec go () =
+    match pending_eligible inst composer ~group_of ~eligible ~active with
+    | [] -> ()
+    | v :: _ ->
+      round ~rng inst composer ~group_of ~eligible ~active ~force:(Some v);
+      incr rounds;
+      go ()
+  in
+  go ();
+  !rounds

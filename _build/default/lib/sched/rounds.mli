@@ -1,0 +1,36 @@
+(** The randomized phase/round engine behind Algorithm 1 (Section 6),
+    generalized over the grouping so Section 7 can reuse it with ray
+    segments in place of clusters.
+
+    In each round, every object still wanted by an eligible pending
+    transaction activates in a uniformly random active group that wants
+    it; transactions whose objects all activated in their own group
+    become enabled and execute as one greedy composer group. *)
+
+val run_phase :
+  rng:Dtm_util.Prng.t ->
+  Dtm_core.Instance.t ->
+  Composer.t ->
+  group_of:(int -> int) ->
+  eligible:(int -> bool) ->
+  active:int list ->
+  cap:int ->
+  int
+(** Runs rounds until every eligible pending transaction whose group is
+    in [active] has been scheduled, or [cap] rounds have passed.  Returns
+    the number of rounds used.  [group_of] maps a transaction node to its
+    group id; [eligible] restricts which transactions participate at all
+    (e.g. the current star period). *)
+
+val cleanup :
+  rng:Dtm_util.Prng.t ->
+  Dtm_core.Instance.t ->
+  Composer.t ->
+  group_of:(int -> int) ->
+  eligible:(int -> bool) ->
+  active:int list ->
+  int
+(** Deterministic-progress rounds: each round force-activates the objects
+    of one pending transaction at its own group, so at least one
+    transaction executes per round.  Runs until no eligible pending
+    transaction remains; returns the number of rounds. *)

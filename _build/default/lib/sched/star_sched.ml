@@ -1,0 +1,97 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+module Star = Dtm_topology.Star
+
+type variant =
+  | Greedy_periods
+  | Randomized_periods of { seed : int }
+  | Best_periods of { seed : int }
+
+let in_period p i v =
+  match Star.ray_of p v with
+  | None -> false
+  | Some _ ->
+    let lo, hi = Star.segment_depths p i in
+    let d = Star.depth_of p v in
+    d >= lo && d <= hi
+
+let period_nodes p inst i =
+  Array.to_list (Instance.txn_nodes inst) |> List.filter (in_period p i)
+
+let segment_chain p inst i ray =
+  let lo, hi = Star.segment_depths p i in
+  let rec go d acc =
+    if d > hi then List.rev acc
+    else begin
+      let v = Star.node p ~ray ~depth:d in
+      let acc = if Instance.txn_at inst v <> None then v :: acc else acc in
+      go (d + 1) acc
+    end
+  in
+  go lo []
+
+let sigma_of_period p inst i =
+  let best = ref 0 in
+  for o = 0 to Instance.num_objects inst - 1 do
+    let segments =
+      Array.to_list (Instance.requesters inst o)
+      |> List.filter (in_period p i)
+      |> List.filter_map (Star.ray_of p)
+      |> List.sort_uniq compare
+    in
+    let c = List.length segments in
+    if c > !best then best := c
+  done;
+  !best
+
+let run ~variant p inst =
+  let metric = Star.metric p in
+  let composer = Composer.create metric inst in
+  let rng =
+    match variant with
+    | Greedy_periods -> Dtm_util.Prng.create ~seed:0
+    | Randomized_periods { seed } -> Dtm_util.Prng.create ~seed
+    | Best_periods _ -> assert false
+  in
+  (* The center's transaction goes first. *)
+  Composer.run_greedy_group composer [ Star.center ];
+  for i = 1 to Star.num_segments p do
+    let nodes = period_nodes p inst i in
+    if nodes <> [] then begin
+      if sigma_of_period p inst i <= 1 then begin
+        (* Independent segments: parallel inner-to-outer chains. *)
+        let chains =
+          List.init p.Star.rays (fun ray -> segment_chain p inst i ray)
+          |> List.filter (fun c -> c <> [])
+        in
+        Composer.run_parallel_chains composer chains
+      end
+      else begin
+        match variant with
+        | Greedy_periods -> Composer.run_greedy_group composer nodes
+        | Randomized_periods _ ->
+          let group_of v =
+            match Star.ray_of p v with Some r -> r | None -> -1
+          in
+          let eligible = in_period p i in
+          let active = List.init p.Star.rays Fun.id in
+          (* Same practical round cap as the cluster scheduler. *)
+          let cap = 5_000 in
+          ignore
+            (Rounds.run_phase ~rng inst composer ~group_of ~eligible ~active ~cap);
+          ignore (Rounds.cleanup ~rng inst composer ~group_of ~eligible ~active)
+        | Best_periods _ -> assert false
+      end
+    end
+  done;
+  Composer.schedule composer
+
+let schedule ?(variant = Best_periods { seed = 0 }) p inst =
+  if Instance.n inst <> 1 + (p.Star.rays * p.Star.ray_len) then
+    invalid_arg "Star_sched.schedule: size mismatch";
+  match variant with
+  | Greedy_periods | Randomized_periods _ -> run ~variant p inst
+  | Best_periods { seed } ->
+    let a = run ~variant:Greedy_periods p inst in
+    let b = run ~variant:(Randomized_periods { seed }) p inst in
+    if Schedule.makespan a <= Schedule.makespan b then a else b

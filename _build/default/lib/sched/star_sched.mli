@@ -1,0 +1,32 @@
+(** The Star-graph schedule of Section 7 (Theorem 5).
+
+    The center's transaction executes first.  Each ray is divided into
+    η = ceil(log2 β) segments of exponentially growing length; period [i]
+    executes all transactions in segment ring V_i.  Within a period the
+    segments play the role of Section 6's clusters (communicating through
+    the center, bridge length 2^i):
+
+    - if no object is requested by two different segments of the ring
+      (σ_i = 1), the segments execute in parallel, each as a sequential
+      inner-to-outer chain along its line — O(2^i) time;
+    - otherwise either the greedy schedule runs over the whole ring
+      (Approach 1 analog, factor O(k·2^i)) or Algorithm 1's randomized
+      phases run with segments as groups (Approach 2 analog, factor
+      O(c^k ln^k m) whp). *)
+
+type variant =
+  | Greedy_periods  (** Approach-1 analog in every contended period *)
+  | Randomized_periods of { seed : int }  (** Approach-2 analog *)
+  | Best_periods of { seed : int }  (** run both, keep the shorter *)
+
+val schedule :
+  ?variant:variant ->
+  Dtm_topology.Star.params ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t
+(** Default variant: [Best_periods { seed = 0 }]. *)
+
+val sigma_of_period :
+  Dtm_topology.Star.params -> Dtm_core.Instance.t -> int -> int
+(** σ_i: the largest number of distinct ray segments of period [i]
+    (1-based) requesting one object. *)

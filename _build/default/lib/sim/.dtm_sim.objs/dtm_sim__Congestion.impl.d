@@ -1,0 +1,1 @@
+lib/sim/congestion.ml: Array Dtm_core Dtm_graph Hashtbl List Queue Router

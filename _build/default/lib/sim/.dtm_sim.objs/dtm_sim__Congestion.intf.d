@@ -1,0 +1,1 @@
+lib/sim/congestion.mli: Dtm_core Dtm_graph

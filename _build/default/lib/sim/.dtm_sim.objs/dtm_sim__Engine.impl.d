@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Dtm_core Dtm_graph List

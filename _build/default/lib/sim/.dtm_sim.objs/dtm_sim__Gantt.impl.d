@@ -1,0 +1,1 @@
+lib/sim/gantt.ml: Array Buffer Dtm_core Dtm_graph List Printf String

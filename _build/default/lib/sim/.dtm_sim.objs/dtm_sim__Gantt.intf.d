@@ -1,0 +1,1 @@
+lib/sim/gantt.mli: Dtm_core Dtm_graph

@@ -1,0 +1,1 @@
+lib/sim/optimal.ml: Array Dtm_core Engine List

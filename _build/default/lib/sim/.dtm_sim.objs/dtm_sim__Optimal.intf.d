@@ -1,0 +1,1 @@
+lib/sim/optimal.mli: Dtm_core Dtm_graph

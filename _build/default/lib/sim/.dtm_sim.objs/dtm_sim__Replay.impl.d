@@ -1,0 +1,1 @@
+lib/sim/replay.ml: Array Dtm_core Dtm_graph Event List Printf Router Trace

@@ -1,0 +1,1 @@
+lib/sim/replay.mli: Dtm_core Dtm_graph Trace

@@ -1,0 +1,1 @@
+lib/sim/router.ml: Array Dtm_graph Hashtbl List

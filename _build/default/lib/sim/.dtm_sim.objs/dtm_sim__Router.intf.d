@@ -1,0 +1,1 @@
+lib/sim/router.mli: Dtm_graph

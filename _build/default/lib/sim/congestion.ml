@@ -1,0 +1,170 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+
+type result = {
+  makespan : int;
+  commit_times : Schedule.t;
+  messages : int;
+  max_queue : int;
+  delayed_hops : int;
+}
+
+type loc =
+  | At of int
+  | Queued of { edge : int * int } (* directed: tail, head *)
+  | Crossing of { arrive : int; dest : int }
+
+type obj_state = {
+  mutable loc : loc;
+  mutable targets : int list; (* head = current target requester *)
+  mutable path : int list; (* remaining nodes towards the target *)
+}
+
+let undirected (u, v) = if u < v then (u, v) else (v, u)
+
+let run ?(capacity = max_int) graph inst ~priority =
+  if capacity < 1 then invalid_arg "Congestion.run: capacity < 1";
+  let router = Router.create graph in
+  let n = Instance.n inst in
+  let w = Instance.num_objects inst in
+  Array.iter
+    (fun v ->
+      if Schedule.time priority v = None then
+        invalid_arg "Congestion.run: priority leaves a transaction unscheduled")
+    (Instance.txn_nodes inst);
+  let objs =
+    Array.init w (fun o ->
+        {
+          loc = At (Instance.home inst o);
+          targets =
+            Schedule.object_order priority ~requesters:(Instance.requesters inst o);
+          path = [];
+        })
+  in
+  let commit = Schedule.create ~n in
+  let done_ = Array.make n false in
+  let remaining = ref (Instance.num_txns inst) in
+  (* FIFO queue per directed edge: (object, enqueue step).  The admission
+     bound is shared between the two directions of an edge. *)
+  let queues : (int * int, (int * int) Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  let edge_order : (int * int) list ref = ref [] in
+  let queue_of edge =
+    match Hashtbl.find_opt queues edge with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace queues edge q;
+      edge_order := edge :: !edge_order;
+      q
+  in
+  let enqueue o edge now =
+    objs.(o).loc <- Queued { edge };
+    Queue.add (o, now) (queue_of edge)
+  in
+  let messages = ref 0 and max_queue = ref 0 and delayed = ref 0 in
+  let makespan = ref 0 in
+  (* Step 0 exists only for the homes' virtual release (objects forwarded
+     at the end of step 0 reach distance-d nodes at step d), matching the
+     library's time convention; commits start at step 1. *)
+  let t = ref (-1) in
+  let step_cap = 4_000_000 in
+  while !remaining > 0 do
+    incr t;
+    if !t > step_cap then failwith "Congestion.run: step cap exceeded";
+    let now = !t in
+    (* 1. Receive: complete crossings. *)
+    Array.iter
+      (fun s ->
+        match s.loc with
+        | Crossing { arrive; dest } when arrive = now -> s.loc <- At dest
+        | At _ | Queued _ | Crossing _ -> ())
+      objs;
+    (* 2. Execute: a transaction commits when every object it needs sits
+       at its node with that node as the object's current target. *)
+    Array.iter
+      (fun v ->
+        if (not done_.(v)) && now >= 1 then begin
+          match Instance.txn_at inst v with
+          | None -> ()
+          | Some needed ->
+            let ready =
+              Array.for_all
+                (fun o ->
+                  match (objs.(o).loc, objs.(o).targets) with
+                  | At x, target :: _ -> x = v && target = v
+                  | (At _ | Queued _ | Crossing _), _ -> false)
+                needed
+            in
+            if ready then begin
+              done_.(v) <- true;
+              decr remaining;
+              Schedule.set commit ~node:v ~time:now;
+              if now > !makespan then makespan := now;
+              Array.iter
+                (fun o ->
+                  objs.(o).targets <- List.tl objs.(o).targets;
+                  objs.(o).path <- [])
+                needed
+            end
+        end)
+      (Instance.txn_nodes inst);
+    (* 3. Forward: stationary objects with a remote target enqueue their
+       next hop (committed objects forward in the same step). *)
+    Array.iteri
+      (fun o s ->
+        match (s.loc, s.targets) with
+        | At v, target :: _ when v <> target -> (
+          match s.path with
+          | hop :: _ -> enqueue o (v, hop) now
+          | [] -> (
+            match Router.route router ~src:v ~dst:target with
+            | _ :: (hop :: _ as rest) ->
+              s.path <- rest;
+              enqueue o (v, hop) now
+            | _ -> assert false))
+        | (At _ | Queued _ | Crossing _), _ -> ())
+      objs;
+    (* 4. Admit: each undirected edge lets at most [capacity] queued
+       objects start crossing this step, FIFO with a deterministic
+       direction interleave (lower endpoint first). *)
+    let admitted = Hashtbl.create 16 in
+    List.iter
+      (fun edge ->
+        let q = queue_of edge in
+        if !max_queue < Queue.length q then max_queue := Queue.length q;
+        let key = undirected edge in
+        let used () =
+          match Hashtbl.find_opt admitted key with Some c -> c | None -> 0
+        in
+        let continue = ref true in
+        while !continue && (not (Queue.is_empty q)) && used () < capacity do
+          let o, since = Queue.pop q in
+          (match objs.(o).loc with
+          | Queued { edge = e } when e = edge ->
+            let tail, head = edge in
+            let weight =
+              match Dtm_graph.Graph.edge_weight graph tail head with
+              | Some x -> x
+              | None -> assert false
+            in
+            objs.(o).loc <- Crossing { arrive = now + weight; dest = head };
+            (match objs.(o).path with
+            | h :: rest when h = head -> objs.(o).path <- rest
+            | _ -> assert false);
+            messages := !messages + weight;
+            if since < now then incr delayed;
+            Hashtbl.replace admitted key (used () + 1)
+          | At _ | Queued _ | Crossing _ ->
+            (* Stale entry (the object re-planned); drop it. *)
+            ());
+          if used () >= capacity then continue := false
+        done)
+      (List.rev !edge_order)
+  done;
+  {
+    makespan = !makespan;
+    commit_times = commit;
+    messages = !messages;
+    max_queue = !max_queue;
+    delayed_hops = !delayed;
+  }

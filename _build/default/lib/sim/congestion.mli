@@ -1,0 +1,37 @@
+(** Execution under bounded link capacity (paper, Section 9: "it would be
+    interesting to examine the impact of network congestion, where network
+    links have bounded capacity").
+
+    The base model lets any number of objects cross an edge concurrently
+    (Section 2.1).  Here each edge admits at most [capacity] objects {e
+    entering} it per time step (per direction combined); excess objects
+    queue FIFO at the edge's tail.  Because queueing delays cascade, a
+    fixed time-stamped schedule loses meaning — instead the engine keeps
+    only the schedule's {e visit orders} (which transaction gets each
+    object next) and executes event-driven: a transaction commits as soon
+    as all its objects are present, then forwards them hop-by-hop along
+    shortest paths.
+
+    With unbounded capacity this realizes exactly the list-scheduling
+    semantics of {!Engine} (tested), so the capacity knob isolates the
+    cost of congestion. *)
+
+type result = {
+  makespan : int;  (** step of the last commit *)
+  commit_times : Dtm_core.Schedule.t;  (** realized execution steps *)
+  messages : int;  (** total weighted distance travelled *)
+  max_queue : int;  (** worst backlog observed at any edge *)
+  delayed_hops : int;  (** hop entries that had to wait at least a step *)
+}
+
+val run :
+  ?capacity:int ->
+  Dtm_graph.Graph.t ->
+  Dtm_core.Instance.t ->
+  priority:Dtm_core.Schedule.t ->
+  result
+(** [run ~capacity g inst ~priority] executes [inst] on [g], visiting each
+    object's requesters in the order induced by [priority] (its scheduled
+    times; ties by node id).  [capacity] >= 1 is the per-edge admission
+    bound per step (default: unbounded).  Raises [Invalid_argument] if
+    [priority] leaves a transaction unscheduled or [capacity < 1]. *)

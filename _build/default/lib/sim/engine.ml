@@ -1,0 +1,45 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+
+type priority =
+  | Node_order
+  | By_schedule of Schedule.t
+  | Custom of (int -> int)
+
+let run ?(priority = Node_order) metric inst =
+  let rank =
+    match priority with
+    | Node_order -> fun v -> v
+    | By_schedule s -> fun v -> Schedule.time_exn s v
+    | Custom f -> f
+  in
+  let order =
+    Array.to_list (Instance.txn_nodes inst)
+    |> List.stable_sort (fun a b ->
+           match compare (rank a) (rank b) with 0 -> compare a b | c -> c)
+  in
+  let w = Instance.num_objects inst in
+  let release = Array.make w 0 in
+  let pos = Array.init w (Instance.home inst) in
+  let sched = Schedule.create ~n:(Instance.n inst) in
+  List.iter
+    (fun v ->
+      match Instance.txn_at inst v with
+      | None -> ()
+      | Some objs ->
+        let ready =
+          Array.fold_left
+            (fun acc o ->
+              max acc (release.(o) + Dtm_graph.Metric.dist metric pos.(o) v))
+            1 objs
+        in
+        Schedule.set sched ~node:v ~time:ready;
+        Array.iter
+          (fun o ->
+            release.(o) <- ready;
+            pos.(o) <- v)
+          objs)
+    order;
+  sched
+
+let compact metric inst sched = run ~priority:(By_schedule sched) metric inst

@@ -1,0 +1,33 @@
+(** Online data-flow execution (list scheduling).
+
+    The paper's model is offline, but its execution rule — a transaction
+    runs as soon as all its objects have arrived, then forwards them —
+    also defines a natural online engine once each object knows the order
+    in which to visit its requesters.  This module runs that engine with
+    a global priority order (objects visit requesters in priority order,
+    which makes the execution deadlock-free) and returns the resulting
+    schedule; it is feasible by construction.
+
+    Uses: an online baseline for the experiments (paper Section 9 lists
+    the online setting as future work), and a compaction pass — replaying
+    an offline schedule's times as priorities can only shorten it. *)
+
+type priority =
+  | Node_order  (** ascending node id *)
+  | By_schedule of Dtm_core.Schedule.t
+      (** ascending scheduled time (ties by node id) — compaction *)
+  | Custom of (int -> int)  (** smaller value = earlier *)
+
+val run :
+  ?priority:priority ->
+  Dtm_graph.Metric.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t
+
+val compact :
+  Dtm_graph.Metric.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t ->
+  Dtm_core.Schedule.t
+(** [compact m inst sched] = [run ~priority:(By_schedule sched) m inst]:
+    a feasible schedule no longer than [sched]. *)

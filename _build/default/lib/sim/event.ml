@@ -1,0 +1,24 @@
+type t =
+  | Depart of { obj : int; node : int; dest : int; time : int }
+  | Arrive of { obj : int; node : int; time : int }
+  | Execute of { node : int; time : int }
+
+let time = function
+  | Depart { time; _ } | Arrive { time; _ } | Execute { time; _ } -> time
+
+let phase = function Arrive _ -> 0 | Execute _ -> 1 | Depart _ -> 2
+
+let compare_chronological a b =
+  match compare (time a) (time b) with
+  | 0 -> (
+    match compare (phase a) (phase b) with 0 -> compare a b | c -> c)
+  | c -> c
+
+let pp fmt = function
+  | Depart { obj; node; dest; time } ->
+    Format.fprintf fmt "t=%d depart o%d %d->%d" time obj node dest
+  | Arrive { obj; node; time } ->
+    Format.fprintf fmt "t=%d arrive o%d @%d" time obj node
+  | Execute { node; time } -> Format.fprintf fmt "t=%d execute @%d" time node
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,22 @@
+(** Events of a synchronous execution (paper, Section 2.1: at each step a
+    node receives objects, executes a ready transaction, and forwards
+    objects). *)
+
+type t =
+  | Depart of { obj : int; node : int; dest : int; time : int }
+      (** the object leaves [node] for [dest] at the end of step [time] *)
+  | Arrive of { obj : int; node : int; time : int }
+      (** the object is received at [node] at the start of step [time] *)
+  | Execute of { node : int; time : int }
+      (** the transaction at [node] commits during step [time] *)
+
+val time : t -> int
+
+val compare_chronological : t -> t -> int
+(** Orders by time, with arrivals before executions before departures
+    within one step — the paper's receive/execute/forward sub-step
+    order. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

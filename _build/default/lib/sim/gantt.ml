@@ -1,0 +1,84 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+
+let chart ?(width = 64) inst sched =
+  let buf = Buffer.create 1024 in
+  let mk = max 1 (Schedule.makespan sched) in
+  let scale t = min (width - 1) ((t - 1) * width / mk) in
+  let nodes =
+    Array.to_list (Instance.txn_nodes inst)
+    |> List.filter (fun v -> Schedule.time sched v <> None)
+    |> List.sort (fun a b ->
+           compare (Schedule.time_exn sched a) (Schedule.time_exn sched b))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "schedule chart: %d transactions, makespan %d\n"
+       (List.length nodes) (Schedule.makespan sched));
+  Buffer.add_string buf
+    (Printf.sprintf "%10s 1%s%d\n" "" (String.make (max 0 (width - 2)) ' ') mk);
+  List.iter
+    (fun v ->
+      let t = Schedule.time_exn sched v in
+      let col = scale t in
+      Buffer.add_string buf
+        (Printf.sprintf "node %5d|%s#%s| t=%d\n" v (String.make col '.')
+           (String.make (width - 1 - col) '.')
+           t))
+    nodes;
+  Buffer.contents buf
+
+let parallelism_profile ?(width = 64) sched =
+  let mk = Schedule.makespan sched in
+  if mk = 0 then "empty schedule\n"
+  else begin
+    let counts = Array.make mk 0 in
+    List.iter
+      (fun v ->
+        let t = Schedule.time_exn sched v in
+        counts.(t - 1) <- counts.(t - 1) + 1)
+      (Schedule.scheduled_nodes sched);
+    (* Bucket steps onto the strip and draw density. *)
+    let buckets = Array.make (min width mk) 0 in
+    Array.iteri
+      (fun i c ->
+        let b = i * Array.length buckets / mk in
+        buckets.(b) <- buckets.(b) + c)
+      counts;
+    let peak = Array.fold_left max 1 buckets in
+    let glyphs = " .:-=+*#%@" in
+    let strip =
+      String.init (Array.length buckets) (fun b ->
+          let level = buckets.(b) * (String.length glyphs - 1) / peak in
+          glyphs.[level])
+    in
+    let total = Array.fold_left ( + ) 0 counts in
+    let busy = Array.fold_left (fun a c -> if c > 0 then a + 1 else a) 0 counts in
+    Printf.sprintf
+      "parallelism |%s| peak %d/step, %d commits over %d steps (%d busy)\n"
+      strip
+      (Array.fold_left max 0 counts)
+      total mk busy
+  end
+
+let object_journeys metric inst sched =
+  let buf = Buffer.create 1024 in
+  for o = 0 to Instance.num_objects inst - 1 do
+    let reqs = Instance.requesters inst o in
+    if Array.length reqs > 0 then begin
+      let order = Schedule.object_order sched ~requesters:reqs in
+      let home = Instance.home inst o in
+      Buffer.add_string buf (Printf.sprintf "object %3d: %d" o home);
+      let travelled = ref 0 in
+      let prev = ref home in
+      List.iter
+        (fun v ->
+          let d = Dtm_graph.Metric.dist metric !prev v in
+          travelled := !travelled + d;
+          Buffer.add_string buf
+            (Printf.sprintf " -(%d)-> %d@%d" d v (Schedule.time_exn sched v));
+          prev := v)
+        order;
+      Buffer.add_string buf (Printf.sprintf "  [travel %d]\n" !travelled)
+    end
+  done;
+  Buffer.contents buf

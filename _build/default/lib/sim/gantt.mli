@@ -1,0 +1,26 @@
+(** Plain-text schedule visualisation.
+
+    Three views of a schedule, for debugging and for the CLI's
+    [--chart] flag:
+
+    - {!chart}: one row per transaction, execution step marked on a
+      scaled time axis;
+    - {!parallelism_profile}: how many transactions commit at each step —
+      the shape that distinguishes the paper's parallel schedules from
+      serial baselines at a glance;
+    - {!object_journeys}: each object's itinerary
+      [home -> v1\@t1 -> v2\@t2 -> ...] with per-leg distances. *)
+
+val chart : ?width:int -> Dtm_core.Instance.t -> Dtm_core.Schedule.t -> string
+(** Rows sorted by execution step; [width] (default 64) is the number of
+    axis columns the makespan is scaled onto. *)
+
+val parallelism_profile : ?width:int -> Dtm_core.Schedule.t -> string
+(** A one-line density strip plus peak/mean statistics. *)
+
+val object_journeys :
+  Dtm_graph.Metric.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t ->
+  string
+(** Requires all requesters scheduled. *)

@@ -1,0 +1,33 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+
+let max_transactions = 8
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let exhaustive metric inst =
+  let nodes = Array.to_list (Instance.txn_nodes inst) in
+  if List.length nodes > max_transactions then
+    invalid_arg "Optimal.exhaustive: too many transactions";
+  let best = ref None in
+  List.iter
+    (fun perm ->
+      let rank = List.mapi (fun i v -> (v, i)) perm in
+      let priority v = List.assoc v rank in
+      let sched = Engine.run ~priority:(Engine.Custom priority) metric inst in
+      match !best with
+      | Some b when Schedule.makespan b <= Schedule.makespan sched -> ()
+      | _ -> best := Some sched)
+    (permutations nodes);
+  match !best with
+  | Some s -> s
+  | None -> Schedule.create ~n:(Instance.n inst)
+
+let makespan metric inst = Schedule.makespan (exhaustive metric inst)

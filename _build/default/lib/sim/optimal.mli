@@ -1,0 +1,23 @@
+(** Exact optimal schedules for small instances, by exhaustive search.
+
+    Any feasible schedule is dominated by the list schedule of one of its
+    linear time extensions: replaying a schedule's own time order through
+    {!Engine} never lengthens it, and the engine's output visits each
+    object's requesters in the same order.  Hence the optimum makespan
+    equals the minimum of {!Engine.run} over all priority permutations of
+    the transactions — computable exactly for up to ~8 transactions.
+
+    Used by the tests and the lower-bound-tightness experiment to measure
+    {e true} approximation ratios, not just ratios against the certified
+    lower bound. *)
+
+val max_transactions : int
+(** Permutation cap (8: 8! = 40320 engine runs). *)
+
+val exhaustive :
+  Dtm_graph.Metric.t -> Dtm_core.Instance.t -> Dtm_core.Schedule.t
+(** [exhaustive m inst] is a makespan-optimal feasible schedule.  Raises
+    [Invalid_argument] beyond {!max_transactions} transactions. *)
+
+val makespan : Dtm_graph.Metric.t -> Dtm_core.Instance.t -> int
+(** Just the optimal makespan. *)

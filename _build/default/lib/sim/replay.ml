@@ -1,0 +1,76 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+
+type result = {
+  ok : bool;
+  errors : string list;
+  makespan : int;
+  messages : int;
+  hops : int;
+  total_wait : int;
+  trace : Trace.t;
+}
+
+let run graph inst sched =
+  let router = Router.create graph in
+  let errors = ref [] in
+  let error fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let messages = ref 0 and hops = ref 0 and total_wait = ref 0 in
+  (* Transactions must all be scheduled. *)
+  Array.iter
+    (fun v ->
+      match Schedule.time sched v with
+      | Some t -> emit (Event.Execute { node = v; time = t })
+      | None -> error "transaction at node %d is unscheduled" v)
+    (Instance.txn_nodes inst);
+  (* Per-object replay along its visit order. *)
+  for o = 0 to Instance.num_objects inst - 1 do
+    let reqs = Instance.requesters inst o in
+    let all_scheduled = Array.for_all (fun v -> Schedule.time sched v <> None) reqs in
+    if Array.length reqs > 0 && all_scheduled then begin
+      let order = Schedule.object_order sched ~requesters:reqs in
+      let move src dst release =
+        (* Hop-by-hop along a shortest path, leaving at the end of step
+           [release]. *)
+        let path = Router.route router ~src ~dst in
+        let rec go t = function
+          | a :: (b :: _ as rest) ->
+            let w =
+              match Dtm_graph.Graph.edge_weight graph a b with
+              | Some w -> w
+              | None -> assert false
+            in
+            emit (Event.Depart { obj = o; node = a; dest = b; time = t });
+            emit (Event.Arrive { obj = o; node = b; time = t + w });
+            messages := !messages + w;
+            incr hops;
+            go (t + w) rest
+          | _ -> t
+        in
+        go release path
+      in
+      let visit (pos, release) v =
+        let t = Schedule.time_exn sched v in
+        let arrival = if v = pos then release else move pos v release in
+        if arrival > t then
+          error "object %d reaches node %d at step %d but it executes at %d" o v
+            arrival t
+        else if t < 1 then error "object %d used at invalid step %d" o t
+        else total_wait := !total_wait + (t - max arrival 0);
+        (v, t)
+      in
+      ignore (List.fold_left visit (Instance.home inst o, 0) order)
+    end
+  done;
+  let trace = Trace.of_events !events in
+  {
+    ok = !errors = [];
+    errors = List.rev !errors;
+    makespan = Schedule.makespan sched;
+    messages = !messages;
+    hops = !hops;
+    total_wait = !total_wait;
+    trace;
+  }

@@ -1,0 +1,25 @@
+(** Step-level execution of a schedule on the explicit graph.
+
+    Expands every object's itinerary into hop-by-hop movements along
+    shortest paths, checks at each transaction's step that all its
+    objects have physically arrived, and reports network-level statistics
+    the metric-level validator cannot see (hop counts, per-object waits,
+    a full event trace). *)
+
+type result = {
+  ok : bool;
+  errors : string list;  (** empty iff [ok] *)
+  makespan : int;  (** last execution step *)
+  messages : int;  (** total weighted distance travelled by objects *)
+  hops : int;  (** total edges traversed *)
+  total_wait : int;
+      (** summed idle time between an object's arrival and its use *)
+  trace : Trace.t;
+}
+
+val run : Dtm_graph.Graph.t -> Dtm_core.Instance.t -> Dtm_core.Schedule.t -> result
+(** [run g inst sched] replays [sched].  [ok = false] (with explanatory
+    [errors]) when an object cannot reach a transaction in time or a
+    transaction is unscheduled — i.e. exactly when
+    {!Dtm_core.Validator.check} fails against the graph's shortest-path
+    metric. *)

@@ -1,0 +1,27 @@
+type source = { dist : int array; parent : int array }
+
+type t = { graph : Dtm_graph.Graph.t; cache : (int, source) Hashtbl.t }
+
+let create graph = { graph; cache = Hashtbl.create 64 }
+
+let source t src =
+  match Hashtbl.find_opt t.cache src with
+  | Some s -> s
+  | None ->
+    let dist, parent = Dtm_graph.Dijkstra.distances_and_parents t.graph ~src in
+    let s = { dist; parent } in
+    Hashtbl.replace t.cache src s;
+    s
+
+let route t ~src ~dst =
+  let s = source t src in
+  if s.dist.(dst) = max_int then invalid_arg "Router.route: unreachable";
+  let rec build v acc = if v = src then src :: acc else build s.parent.(v) (v :: acc) in
+  build dst []
+
+let distance t ~src ~dst =
+  let s = source t src in
+  if s.dist.(dst) = max_int then invalid_arg "Router.distance: unreachable";
+  s.dist.(dst)
+
+let hops t ~src ~dst = List.length (route t ~src ~dst) - 1

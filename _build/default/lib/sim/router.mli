@@ -1,0 +1,20 @@
+(** Shortest-path routing over the explicit communication graph.
+
+    The paper's model sends objects along shortest paths (Section 2.1);
+    the simulator uses this module to expand metric-level moves into the
+    hop-by-hop node sequences the network would really carry.  Routes are
+    computed with Dijkstra and cached per source. *)
+
+type t
+
+val create : Dtm_graph.Graph.t -> t
+
+val route : t -> src:int -> dst:int -> int list
+(** Node sequence from [src] to [dst], both inclusive ([src] alone when
+    equal).  Raises [Invalid_argument] when unreachable. *)
+
+val distance : t -> src:int -> dst:int -> int
+(** Weighted length of {!route}. *)
+
+val hops : t -> src:int -> dst:int -> int
+(** Number of edges of {!route}. *)

@@ -1,0 +1,59 @@
+type t = Event.t list (* chronological *)
+
+let of_events events = List.sort Event.compare_chronological events
+
+let events t = t
+let length = List.length
+
+let executions t =
+  List.filter_map
+    (function Event.Execute { node; time } -> Some (node, time) | _ -> None)
+    t
+
+let object_history t o =
+  List.filter
+    (function
+      | Event.Depart { obj; _ } | Event.Arrive { obj; _ } -> obj = o
+      | Event.Execute _ -> false)
+    t
+
+let check_single_copy t ~initial_pos =
+  let pos = Array.copy initial_pos in
+  (* None in [in_flight] means at [pos]; Some dest means travelling. *)
+  let in_flight = Array.make (Array.length initial_pos) None in
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Depart { obj; node; dest; _ } ->
+        if in_flight.(obj) <> None then fail "object %d departed while in flight" obj
+        else if pos.(obj) <> node then
+          fail "object %d departed from %d but is at %d" obj node pos.(obj)
+        else in_flight.(obj) <- Some dest
+      | Event.Arrive { obj; node; _ } -> (
+        match in_flight.(obj) with
+        | Some dest when dest = node ->
+          in_flight.(obj) <- None;
+          pos.(obj) <- node
+        | Some dest -> fail "object %d arrived at %d but headed to %d" obj node dest
+        | None -> fail "object %d arrived without departing" obj)
+      | Event.Execute _ -> ())
+    t;
+  match !err with None -> Ok () | Some e -> Error e
+
+let check_executes_once t =
+  let seen = Hashtbl.create 64 in
+  let err = ref None in
+  List.iter
+    (function
+      | Event.Execute { node; _ } ->
+        if Hashtbl.mem seen node && !err = None then
+          err := Some (Printf.sprintf "node %d executed twice" node)
+        else Hashtbl.replace seen node ()
+      | Event.Depart _ | Event.Arrive _ -> ())
+    t;
+  match !err with None -> Ok () | Some e -> Error e
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." Event.pp e) t

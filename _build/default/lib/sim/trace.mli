@@ -1,0 +1,29 @@
+(** Chronological execution traces with invariant checking.
+
+    The replay and online engines emit traces; tests assert the
+    single-copy and exactly-once invariants on them. *)
+
+type t
+
+val of_events : Event.t list -> t
+(** Sorts the events chronologically. *)
+
+val events : t -> Event.t list
+
+val length : t -> int
+
+val executions : t -> (int * int) list
+(** [(node, time)] of every [Execute] event, chronological. *)
+
+val object_history : t -> int -> Event.t list
+(** All events touching a given object. *)
+
+val check_single_copy : t -> initial_pos:int array -> (unit, string) result
+(** Every object departs only from the node where it currently is, and
+    arrives where it was headed: the single-copy invariant of the
+    data-flow model. *)
+
+val check_executes_once : t -> (unit, string) result
+(** No node commits twice. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/topology/block_grid.ml: Blocks Dtm_graph

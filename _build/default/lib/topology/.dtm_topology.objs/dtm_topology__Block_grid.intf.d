@@ -1,0 +1,1 @@
+lib/topology/block_grid.mli: Blocks Dtm_graph

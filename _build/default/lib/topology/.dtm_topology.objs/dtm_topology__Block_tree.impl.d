@@ -1,0 +1,1 @@
+lib/topology/block_tree.ml: Blocks Dtm_graph

@@ -1,0 +1,1 @@
+lib/topology/block_tree.mli: Blocks Dtm_graph

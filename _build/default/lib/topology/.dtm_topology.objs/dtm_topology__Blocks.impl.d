@@ -1,0 +1,1 @@
+lib/topology/blocks.ml: List

@@ -1,0 +1,1 @@
+lib/topology/clique.ml: Dtm_graph

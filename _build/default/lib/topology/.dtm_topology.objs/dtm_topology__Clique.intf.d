@@ -1,0 +1,1 @@
+lib/topology/clique.mli: Dtm_graph

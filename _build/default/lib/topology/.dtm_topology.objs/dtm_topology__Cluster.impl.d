@@ -1,0 +1,1 @@
+lib/topology/cluster.ml: Dtm_graph List

@@ -1,0 +1,1 @@
+lib/topology/cluster.mli: Dtm_graph

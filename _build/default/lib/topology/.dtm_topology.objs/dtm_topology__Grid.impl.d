@@ -1,0 +1,1 @@
+lib/topology/grid.ml: Dtm_graph

@@ -1,0 +1,1 @@
+lib/topology/grid.mli: Dtm_graph

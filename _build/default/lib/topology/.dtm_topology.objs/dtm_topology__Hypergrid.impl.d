@@ -1,0 +1,1 @@
+lib/topology/hypergrid.ml: Dtm_graph List

@@ -1,0 +1,1 @@
+lib/topology/hypergrid.mli: Dtm_graph

@@ -1,0 +1,1 @@
+lib/topology/line.ml: Dtm_graph List

@@ -1,0 +1,1 @@
+lib/topology/line.mli: Dtm_graph

@@ -1,0 +1,1 @@
+lib/topology/ring.ml: Dtm_graph List

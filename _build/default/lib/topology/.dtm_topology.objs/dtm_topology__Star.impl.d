@@ -1,0 +1,1 @@
+lib/topology/star.ml: Dtm_graph

@@ -1,0 +1,1 @@
+lib/topology/star.mli: Dtm_graph

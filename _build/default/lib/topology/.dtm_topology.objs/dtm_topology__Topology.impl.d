@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Block_grid Block_tree Blocks Butterfly Clique Cluster Dtm_graph Grid Hypercube Hypergrid Line List Printf Ring Star String Torus Tree

@@ -1,0 +1,1 @@
+lib/topology/topology.mli: Cluster Dtm_graph Hypergrid Star Tree

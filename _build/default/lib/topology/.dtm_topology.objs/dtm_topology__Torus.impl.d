@@ -1,0 +1,1 @@
+lib/topology/torus.ml: Dtm_graph Hashtbl

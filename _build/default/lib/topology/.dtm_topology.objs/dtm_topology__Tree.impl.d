@@ -1,0 +1,1 @@
+lib/topology/tree.ml: Dtm_graph

@@ -1,0 +1,35 @@
+let graph (p : Blocks.params) =
+  let rt = p.Blocks.root and s = p.Blocks.s in
+  let edges = ref [] in
+  for b = 0 to s - 1 do
+    for y = 0 to s - 1 do
+      for x = 0 to rt - 1 do
+        let u = Blocks.node p ~block:b ~x ~y in
+        if x + 1 < rt then edges := (u, Blocks.node p ~block:b ~x:(x + 1) ~y, 1) :: !edges;
+        if y + 1 < s then edges := (u, Blocks.node p ~block:b ~x ~y:(y + 1), 1) :: !edges
+      done;
+      if b + 1 < s then begin
+        let right = Blocks.node p ~block:b ~x:(rt - 1) ~y in
+        let next_left = Blocks.node p ~block:(b + 1) ~x:0 ~y in
+        edges := (right, next_left, s) :: !edges
+      end
+    done
+  done;
+  Dtm_graph.Graph.of_edges ~n:(Blocks.n p) !edges
+
+let metric (p : Blocks.params) =
+  let rt = p.Blocks.root and s = p.Blocks.s in
+  Dtm_graph.Metric.make ~size:(Blocks.n p) (fun u v ->
+      let b1, x1, y1 = Blocks.coords p u and b2, x2, y2 = Blocks.coords p v in
+      let (b1, x1, y1), (b2, x2, y2) =
+        if b1 <= b2 then ((b1, x1, y1), (b2, x2, y2)) else ((b2, x2, y2), (b1, x1, y1))
+      in
+      if b1 = b2 then abs (x1 - x2) + abs (y1 - y2)
+      else begin
+        (* Exit right of the first block, cross (b2-b1) weight-s bridges,
+           traverse intermediate blocks horizontally, enter the last block
+           from the left; vertical displacement is payable anywhere since
+           bridges exist at every row. *)
+        let hops = b2 - b1 in
+        (rt - 1 - x1) + x2 + (hops * s) + ((hops - 1) * (rt - 1)) + abs (y1 - y2)
+      end)

@@ -1,0 +1,12 @@
+(** Section 8 lower-bound carrier, grid variant (paper Fig. 5).
+
+    An s × s·sqrt(s) grid split into [s] blocks of [s] rows × [sqrt s]
+    columns.  Edges inside a block have weight 1; each row of adjacent
+    blocks is joined by a horizontal edge of weight [s], so any two nodes
+    in different blocks are at distance >= [s] — the separation the
+    lower-bound proof relies on. *)
+
+val graph : Blocks.params -> Dtm_graph.Graph.t
+
+val metric : Blocks.params -> Dtm_graph.Metric.t
+(** Closed form (validated against APSP in the test suite). *)

@@ -1,0 +1,44 @@
+let graph (p : Blocks.params) =
+  let rt = p.Blocks.root and s = p.Blocks.s in
+  let edges = ref [] in
+  for b = 0 to s - 1 do
+    (* Vertical spine along column 0. *)
+    for y = 0 to s - 2 do
+      edges := (Blocks.node p ~block:b ~x:0 ~y, Blocks.node p ~block:b ~x:0 ~y:(y + 1), 1) :: !edges
+    done;
+    (* Horizontal teeth along every row. *)
+    for y = 0 to s - 1 do
+      for x = 0 to rt - 2 do
+        edges := (Blocks.node p ~block:b ~x ~y, Blocks.node p ~block:b ~x:(x + 1) ~y, 1) :: !edges
+      done
+    done;
+    if b + 1 < s then begin
+      let right = Blocks.node p ~block:b ~x:(rt - 1) ~y:0 in
+      let next_left = Blocks.node p ~block:(b + 1) ~x:0 ~y:0 in
+      edges := (right, next_left, s) :: !edges
+    end
+  done;
+  Dtm_graph.Graph.of_edges ~n:(Blocks.n p) !edges
+
+(* Distance within one comb block. *)
+let in_block x1 y1 x2 y2 =
+  if y1 = y2 then abs (x1 - x2) else x1 + x2 + abs (y1 - y2)
+
+let metric (p : Blocks.params) =
+  let rt = p.Blocks.root and s = p.Blocks.s in
+  (* Cost from (x, y) to the block's right exit (rt-1, 0). *)
+  let exit_right x y = in_block x y (rt - 1) 0 in
+  (* Cost from the block's left entry (0, 0) to (x, y). *)
+  let enter_left x y = in_block 0 0 x y in
+  Dtm_graph.Metric.make ~size:(Blocks.n p) (fun u v ->
+      let b1, x1, y1 = Blocks.coords p u and b2, x2, y2 = Blocks.coords p v in
+      let (b1, x1, y1), (b2, x2, y2) =
+        if b1 <= b2 then ((b1, x1, y1), (b2, x2, y2)) else ((b2, x2, y2), (b1, x1, y1))
+      in
+      if b1 = b2 then in_block x1 y1 x2 y2
+      else begin
+        let hops = b2 - b1 in
+        exit_right x1 y1 + (hops * s)
+        + ((hops - 1) * (rt - 1))
+        + enter_left x2 y2
+      end)

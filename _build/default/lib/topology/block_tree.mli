@@ -1,0 +1,11 @@
+(** Section 8 lower-bound carrier, tree variant (paper Fig. 6).
+
+    Same block layout as {!Block_grid}, but each block is a "comb" tree:
+    the leftmost column is a vertical path and every row is a horizontal
+    path hanging off it.  Adjacent blocks are joined through the topmost
+    row by a single weight-[s] edge, so the whole graph is a tree. *)
+
+val graph : Blocks.params -> Dtm_graph.Graph.t
+
+val metric : Blocks.params -> Dtm_graph.Metric.t
+(** Closed form tree distances (validated against APSP in tests). *)

@@ -1,0 +1,25 @@
+type params = { s : int; root : int }
+
+let make ~s =
+  if s < 1 then invalid_arg "Blocks.make: s < 1";
+  let root = int_of_float (sqrt (float_of_int s) +. 0.5) in
+  if root * root <> s then invalid_arg "Blocks.make: s must be a perfect square";
+  { s; root }
+
+let block_size p = p.s * p.root
+let n p = p.s * block_size p
+
+let node p ~block ~x ~y =
+  if block < 0 || block >= p.s || x < 0 || x >= p.root || y < 0 || y >= p.s then
+    invalid_arg "Blocks.node: out of range";
+  (block * block_size p) + (y * p.root) + x
+
+let coords p id =
+  let bs = block_size p in
+  let block = id / bs in
+  let r = id mod bs in
+  (block, r mod p.root, r / p.root)
+
+let block_of p id = id / block_size p
+
+let block_nodes p b = List.init (block_size p) (fun i -> (b * block_size p) + i)

@@ -1,0 +1,30 @@
+(** Shared coordinates for the Section 8 lower-bound constructions.
+
+    Both the grid and tree variants consist of [s] blocks H_1..H_s laid out
+    left to right, each holding [s] rows × [sqrt s] columns of nodes, with
+    weight-[s] inter-block edges.  [s] must be a perfect square so that
+    [sqrt s] is an integer (the paper assumes this for simplicity). *)
+
+type params = { s : int; root : int }
+(** [root] = integer sqrt of [s]; build with {!make}. *)
+
+val make : s:int -> params
+(** Raises [Invalid_argument] unless [s >= 1] is a perfect square. *)
+
+val n : params -> int
+(** Total nodes: [s * s * root] (s blocks of s rows × root cols). *)
+
+val block_size : params -> int
+(** Nodes per block: [s * root]. *)
+
+val node : params -> block:int -> x:int -> y:int -> int
+(** Id of the node in [block] at column [x] (0..root-1), row [y]
+    (0..s-1). *)
+
+val coords : params -> int -> int * int * int
+(** [(block, x, y)] of a node id. *)
+
+val block_of : params -> int -> int
+
+val block_nodes : params -> int -> int list
+(** All node ids of a block. *)

@@ -1,0 +1,23 @@
+let check dim = if dim < 1 || dim > 12 then invalid_arg "Butterfly: dim out of range"
+
+let node ~dim ~level ~row = (level lsl dim) + row
+let level ~dim id = id lsr dim
+let row ~dim id = id land ((1 lsl dim) - 1)
+
+let graph ~dim =
+  check dim;
+  let rows = 1 lsl dim in
+  let n = (dim + 1) * rows in
+  let edges = ref [] in
+  for l = 0 to dim - 1 do
+    for r = 0 to rows - 1 do
+      let u = node ~dim ~level:l ~row:r in
+      edges := (u, node ~dim ~level:(l + 1) ~row:r, 1) :: !edges;
+      edges := (u, node ~dim ~level:(l + 1) ~row:(r lxor (1 lsl l)), 1) :: !edges
+    done
+  done;
+  Dtm_graph.Graph.of_edges ~n !edges
+
+let metric ~dim =
+  check dim;
+  Dtm_graph.Apsp.to_metric (graph ~dim)

@@ -1,0 +1,18 @@
+(** Butterfly network of dimension [dim] (paper, Section 3.1).
+
+    Nodes are pairs [(level, row)] with [level] in [0, dim] and [row] in
+    [0, 2^dim), for [(dim + 1) * 2^dim] nodes total.  Level [l] connects to
+    level [l+1] with a "straight" edge (same row) and a "cross" edge (row
+    with bit [l] flipped).  All edges have weight 1; the diameter is
+    [2 * dim] = O(log n), which is what Section 3.1's O(k log n) bound
+    uses. *)
+
+val graph : dim:int -> Dtm_graph.Graph.t
+(** Requires [1 <= dim <= 12]. *)
+
+val metric : dim:int -> Dtm_graph.Metric.t
+(** APSP-backed (no simple closed form is used). *)
+
+val node : dim:int -> level:int -> row:int -> int
+val level : dim:int -> int -> int
+val row : dim:int -> int -> int

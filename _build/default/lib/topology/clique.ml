@@ -1,0 +1,13 @@
+let graph n =
+  if n < 1 then invalid_arg "Clique.graph: n < 1";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v, 1) :: !edges
+    done
+  done;
+  Dtm_graph.Graph.of_edges ~n !edges
+
+let metric n =
+  if n < 1 then invalid_arg "Clique.metric: n < 1";
+  Dtm_graph.Metric.make ~size:n (fun u v -> if u = v then 0 else 1)

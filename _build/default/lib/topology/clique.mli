@@ -1,0 +1,7 @@
+(** Complete graph on [n] nodes, all edge weights 1 (paper, Section 3). *)
+
+val graph : int -> Dtm_graph.Graph.t
+(** [graph n]; requires [n >= 1]. *)
+
+val metric : int -> Dtm_graph.Metric.t
+(** Closed form: 0 on the diagonal, 1 elsewhere. *)

@@ -1,0 +1,41 @@
+type params = { clusters : int; size : int; bridge_weight : int }
+
+let check p =
+  if p.clusters < 1 || p.size < 1 || p.bridge_weight < 1 then
+    invalid_arg "Cluster: parameters must be >= 1"
+
+let cluster_of p id = id / p.size
+let bridge_node p c = c * p.size
+let is_bridge p id = id mod p.size = 0
+
+let nodes_of_cluster p c = List.init p.size (fun i -> (c * p.size) + i)
+
+let graph p =
+  check p;
+  let n = p.clusters * p.size in
+  let edges = ref [] in
+  for c = 0 to p.clusters - 1 do
+    let base = c * p.size in
+    for i = 0 to p.size - 1 do
+      for j = i + 1 to p.size - 1 do
+        edges := (base + i, base + j, 1) :: !edges
+      done
+    done
+  done;
+  for c1 = 0 to p.clusters - 1 do
+    for c2 = c1 + 1 to p.clusters - 1 do
+      edges := (bridge_node p c1, bridge_node p c2, p.bridge_weight) :: !edges
+    done
+  done;
+  Dtm_graph.Graph.of_edges ~n !edges
+
+let metric p =
+  check p;
+  let gamma = p.bridge_weight in
+  Dtm_graph.Metric.make ~size:(p.clusters * p.size) (fun u v ->
+      if u = v then 0
+      else if cluster_of p u = cluster_of p v then 1
+      else begin
+        let hop id = if is_bridge p id then 0 else 1 in
+        hop u + gamma + hop v
+      end)

@@ -1,0 +1,25 @@
+(** Cluster graph (paper, Section 6): [clusters] complete graphs of
+    [size] nodes each with unit internal edges; the first node of each
+    cluster is its designated bridge node, and every pair of bridge nodes
+    is joined by an edge of weight [bridge_weight] (the paper's γ, with
+    γ >= β assumed by the analysis but not required to build the graph).
+
+    Node ids: cluster [c] holds ids [c * size, (c+1) * size); the bridge
+    node of cluster [c] is [c * size]. *)
+
+type params = { clusters : int; size : int; bridge_weight : int }
+
+val graph : params -> Dtm_graph.Graph.t
+(** Requires all three parameters >= 1. *)
+
+val metric : params -> Dtm_graph.Metric.t
+(** Closed form: 1 inside a cluster; between clusters,
+    [gamma + (0 or 1) + (0 or 1)] depending on whether each endpoint is a
+    bridge node. *)
+
+val cluster_of : params -> int -> int
+val bridge_node : params -> int -> int
+(** [bridge_node p c] is the bridge node of cluster [c]. *)
+
+val is_bridge : params -> int -> bool
+val nodes_of_cluster : params -> int -> int list

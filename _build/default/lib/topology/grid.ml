@@ -1,0 +1,23 @@
+let check ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Grid: rows/cols < 1"
+
+let node ~cols ~x ~y = (y * cols) + x
+let coords ~cols id = (id mod cols, id / cols)
+
+let graph ~rows ~cols =
+  check ~rows ~cols;
+  let edges = ref [] in
+  for y = 0 to rows - 1 do
+    for x = 0 to cols - 1 do
+      let u = node ~cols ~x ~y in
+      if x + 1 < cols then edges := (u, node ~cols ~x:(x + 1) ~y, 1) :: !edges;
+      if y + 1 < rows then edges := (u, node ~cols ~x ~y:(y + 1), 1) :: !edges
+    done
+  done;
+  Dtm_graph.Graph.of_edges ~n:(rows * cols) !edges
+
+let metric ~rows ~cols =
+  check ~rows ~cols;
+  Dtm_graph.Metric.make ~size:(rows * cols) (fun u v ->
+      let xu, yu = coords ~cols u and xv, yv = coords ~cols v in
+      abs (xu - xv) + abs (yu - yv))

@@ -1,0 +1,17 @@
+(** Rectangular grid with unit edge weights (paper, Section 5).
+
+    Node ids are row-major: node [(x, y)] (column [x], row [y], both
+    0-based) has id [y * cols + x].  The paper's n×n grid is
+    [graph ~rows:n ~cols:n]. *)
+
+val graph : rows:int -> cols:int -> Dtm_graph.Graph.t
+(** Requires [rows >= 1] and [cols >= 1]. *)
+
+val metric : rows:int -> cols:int -> Dtm_graph.Metric.t
+(** Closed form: Manhattan distance. *)
+
+val node : cols:int -> x:int -> y:int -> int
+(** Id of the node at column [x], row [y]. *)
+
+val coords : cols:int -> int -> int * int
+(** [(x, y)] of a node id. *)

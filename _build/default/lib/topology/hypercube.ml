@@ -1,0 +1,21 @@
+let check dim = if dim < 0 || dim > 20 then invalid_arg "Hypercube: dim out of range"
+
+let graph ~dim =
+  check dim;
+  let n = 1 lsl dim in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to dim - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then edges := (u, v, 1) :: !edges
+    done
+  done;
+  Dtm_graph.Graph.of_edges ~n !edges
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let metric ~dim =
+  check dim;
+  Dtm_graph.Metric.make ~size:(1 lsl dim) (fun u v -> popcount (u lxor v))

@@ -1,0 +1,8 @@
+(** Hypercube of dimension [dim]: 2^dim nodes, unit-weight edges between
+    ids at Hamming distance 1 (paper, Section 3.1). *)
+
+val graph : dim:int -> Dtm_graph.Graph.t
+(** Requires [0 <= dim <= 20]. *)
+
+val metric : dim:int -> Dtm_graph.Metric.t
+(** Closed form: Hamming distance [popcount (u lxor v)]. *)

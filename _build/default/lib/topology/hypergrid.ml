@@ -1,0 +1,59 @@
+type params = { dims : int list }
+
+let check p =
+  if p.dims = [] || List.exists (fun d -> d < 1) p.dims then
+    invalid_arg "Hypergrid: bad dimensions"
+
+let n_of p =
+  check p;
+  List.fold_left ( * ) 1 p.dims
+
+let coords p id =
+  check p;
+  let rec go id = function
+    | [] -> []
+    | d :: rest -> (id mod d) :: go (id / d) rest
+  in
+  go id p.dims
+
+let node p cs =
+  check p;
+  if List.length cs <> List.length p.dims then
+    invalid_arg "Hypergrid.node: arity mismatch";
+  List.fold_right2
+    (fun c d acc ->
+      if c < 0 || c >= d then invalid_arg "Hypergrid.node: out of range";
+      (acc * d) + c)
+    cs p.dims 0
+
+let diameter p =
+  check p;
+  List.fold_left (fun acc d -> acc + d - 1) 0 p.dims
+
+let graph p =
+  check p;
+  let n = n_of p in
+  let edges = ref [] in
+  (* Stride of each dimension in the mixed-radix id. *)
+  let strides =
+    let rec go acc = function
+      | [] -> []
+      | d :: rest -> acc :: go (acc * d) rest
+    in
+    go 1 p.dims
+  in
+  for id = 0 to n - 1 do
+    List.iter2
+      (fun d stride ->
+        let coord = id / stride mod d in
+        if coord + 1 < d then edges := (id, id + stride, 1) :: !edges)
+      p.dims strides
+  done;
+  Dtm_graph.Graph.of_edges ~n !edges
+
+let metric p =
+  check p;
+  Dtm_graph.Metric.make ~size:(n_of p) (fun u v ->
+      List.fold_left2
+        (fun acc a b -> acc + abs (a - b))
+        0 (coords p u) (coords p v))

@@ -1,0 +1,22 @@
+(** d-dimensional grid (hypergrid) with unit edge weights.
+
+    Generalizes {!Line} (one dimension) and {!Grid} (two); Section 3.1
+    invokes log n-dimensional grids as another diameter-O(log n) family
+    for the O(k log n) bound.  Node ids are mixed-radix over the
+    dimension sizes, least-significant dimension first. *)
+
+type params = { dims : int list }
+(** Each entry >= 1; at least one dimension. *)
+
+val n_of : params -> int
+
+val graph : params -> Dtm_graph.Graph.t
+
+val metric : params -> Dtm_graph.Metric.t
+(** Closed form: sum of per-dimension coordinate gaps. *)
+
+val coords : params -> int -> int list
+val node : params -> int list -> int
+
+val diameter : params -> int
+(** Sum of (size - 1) over dimensions. *)

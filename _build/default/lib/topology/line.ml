@@ -1,0 +1,8 @@
+let graph n =
+  if n < 1 then invalid_arg "Line.graph: n < 1";
+  let edges = List.init (n - 1) (fun i -> (i, i + 1, 1)) in
+  Dtm_graph.Graph.of_edges ~n edges
+
+let metric n =
+  if n < 1 then invalid_arg "Line.metric: n < 1";
+  Dtm_graph.Metric.make ~size:n (fun u v -> abs (u - v))

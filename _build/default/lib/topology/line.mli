@@ -1,0 +1,8 @@
+(** Line graph: nodes [0, n) in a path with unit edge weights (paper,
+    Section 4).  Node 0 is the leftmost node. *)
+
+val graph : int -> Dtm_graph.Graph.t
+(** [graph n]; requires [n >= 1]. *)
+
+val metric : int -> Dtm_graph.Metric.t
+(** Closed form: [|u - v|]. *)

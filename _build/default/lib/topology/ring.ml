@@ -1,0 +1,31 @@
+let graph n =
+  if n < 1 then invalid_arg "Ring.graph: n < 1";
+  if n = 1 then Dtm_graph.Graph.of_edges ~n []
+  else if n = 2 then Dtm_graph.Graph.of_edges ~n [ (0, 1, 1) ]
+  else begin
+    let edges = List.init n (fun i -> (i, (i + 1) mod n, 1)) in
+    Dtm_graph.Graph.of_edges ~n edges
+  end
+
+let metric n =
+  if n < 1 then invalid_arg "Ring.metric: n < 1";
+  Dtm_graph.Metric.make ~size:n (fun u v ->
+      let d = abs (u - v) in
+      min d (n - d))
+
+(* Shortest covering arc = n minus the largest circular gap between
+   consecutive points. *)
+let arc_span ~n points =
+  let pts = List.sort_uniq compare points in
+  match pts with
+  | [] | [ _ ] -> 0
+  | first :: _ ->
+    List.iter
+      (fun p -> if p < 0 || p >= n then invalid_arg "Ring.arc_span: out of range")
+      pts;
+    let rec max_gap prev best = function
+      | [] -> max best (first + n - prev)
+      | p :: rest -> max_gap p (max best (p - prev)) rest
+    in
+    let gap = max_gap first 0 (List.tl pts) in
+    n - gap

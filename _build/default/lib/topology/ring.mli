@@ -1,0 +1,16 @@
+(** Ring (cycle) graph with unit edge weights.
+
+    Not treated explicitly in the paper; included because the Theorem 2
+    line technique extends to cycles (see {!Dtm_sched.Ring_sched}), and
+    rings model token-ring style bus interconnects. *)
+
+val graph : int -> Dtm_graph.Graph.t
+(** [graph n]; requires [n >= 1]. *)
+
+val metric : int -> Dtm_graph.Metric.t
+(** Closed form: [min (|u-v|) (n - |u-v|)]. *)
+
+val arc_span : n:int -> int list -> int
+(** [arc_span ~n points] is the number of edges of the shortest arc of
+    the [n]-ring containing all [points]: the ring analogue of an
+    object's line span.  0 for fewer than 2 distinct points. *)

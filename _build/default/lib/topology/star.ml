@@ -1,0 +1,54 @@
+type params = { rays : int; ray_len : int }
+
+let check p =
+  if p.rays < 1 || p.ray_len < 1 then invalid_arg "Star: parameters must be >= 1"
+
+let center = 0
+
+let node p ~ray ~depth =
+  if ray < 0 || ray >= p.rays || depth < 1 || depth > p.ray_len then
+    invalid_arg "Star.node: out of range";
+  1 + (ray * p.ray_len) + (depth - 1)
+
+let ray_of p id = if id = center then None else Some ((id - 1) / p.ray_len)
+
+let depth_of p id = if id = center then 0 else ((id - 1) mod p.ray_len) + 1
+
+let graph p =
+  check p;
+  let n = 1 + (p.rays * p.ray_len) in
+  let edges = ref [] in
+  for r = 0 to p.rays - 1 do
+    edges := (center, node p ~ray:r ~depth:1, 1) :: !edges;
+    for d = 1 to p.ray_len - 1 do
+      edges := (node p ~ray:r ~depth:d, node p ~ray:r ~depth:(d + 1), 1) :: !edges
+    done
+  done;
+  Dtm_graph.Graph.of_edges ~n !edges
+
+let metric p =
+  check p;
+  Dtm_graph.Metric.make ~size:(1 + (p.rays * p.ray_len)) (fun u v ->
+      if u = v then 0
+      else begin
+        match (ray_of p u, ray_of p v) with
+        | None, _ -> depth_of p v
+        | _, None -> depth_of p u
+        | Some ru, Some rv ->
+          if ru = rv then abs (depth_of p u - depth_of p v)
+          else depth_of p u + depth_of p v
+      end)
+
+let rec log2_floor x = if x <= 1 then 0 else 1 + log2_floor (x / 2)
+
+let segment_of_depth depth =
+  if depth < 1 then invalid_arg "Star.segment_of_depth: depth < 1";
+  log2_floor depth + 1
+
+let num_segments p = segment_of_depth p.ray_len
+
+let segment_depths p i =
+  if i < 1 || i > num_segments p then invalid_arg "Star.segment_depths: bad segment";
+  let lo = 1 lsl (i - 1) in
+  let hi = min p.ray_len ((1 lsl i) - 1) in
+  (lo, hi)

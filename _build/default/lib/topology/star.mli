@@ -1,0 +1,42 @@
+(** Star graph (paper, Section 7): a center node plus [rays] line graphs
+    of [ray_len] nodes each; every edge has weight 1.
+
+    Node ids: the center is 0; node [j] of ray [r] (0-based, [j = 0]
+    adjacent to the center) is [1 + r * ray_len + j].  The paper's depth
+    of a ray node — its distance to the center — is [j + 1].
+
+    Rays are divided into η = ceil(log2 β) segments of exponentially
+    growing length: segment [i] (1-based) holds the nodes at depths
+    [2^(i-1), 2^i - 1]; this is the decomposition Theorem 5's schedule
+    works period by period. *)
+
+type params = { rays : int; ray_len : int }
+
+val graph : params -> Dtm_graph.Graph.t
+(** Requires [rays >= 1] and [ray_len >= 1]. *)
+
+val metric : params -> Dtm_graph.Metric.t
+(** Closed form: within a ray, [|j1 - j2|]; across rays (or to the
+    center), via the center. *)
+
+val center : int
+(** The center node id (0). *)
+
+val node : params -> ray:int -> depth:int -> int
+(** Node of [ray] at [depth] >= 1 from the center. *)
+
+val ray_of : params -> int -> int option
+(** [None] for the center. *)
+
+val depth_of : params -> int -> int
+(** Distance to the center; 0 for the center itself. *)
+
+val num_segments : params -> int
+(** η = ceil(log2 ray_len), at least 1. *)
+
+val segment_of_depth : int -> int
+(** 1-based segment index of a depth >= 1: [floor(log2 depth) + 1]. *)
+
+val segment_depths : params -> int -> int * int
+(** [segment_depths p i] is the inclusive depth range of segment [i],
+    clipped to [ray_len]. *)

@@ -1,0 +1,195 @@
+type t =
+  | Clique of int
+  | Line of int
+  | Ring of int
+  | Grid of { rows : int; cols : int }
+  | Torus of { rows : int; cols : int }
+  | Hypercube of { dim : int }
+  | Butterfly of { dim : int }
+  | Cluster of Cluster.params
+  | Star of Star.params
+  | Tree of Tree.params
+  | Hypergrid of Hypergrid.params
+  | Block_grid of { s : int }
+  | Block_tree of { s : int }
+  | Custom of { name : string; graph : Dtm_graph.Graph.t }
+
+let n = function
+  | Clique n | Line n | Ring n -> n
+  | Grid { rows; cols } | Torus { rows; cols } -> rows * cols
+  | Hypercube { dim } -> 1 lsl dim
+  | Butterfly { dim } -> (dim + 1) * (1 lsl dim)
+  | Cluster p -> p.Cluster.clusters * p.Cluster.size
+  | Star p -> 1 + (p.Star.rays * p.Star.ray_len)
+  | Tree p -> Tree.n_of p
+  | Hypergrid p -> Hypergrid.n_of p
+  | Block_grid { s } | Block_tree { s } -> Blocks.n (Blocks.make ~s)
+  | Custom { graph; _ } -> Dtm_graph.Graph.n graph
+
+let graph = function
+  | Clique n -> Clique.graph n
+  | Line n -> Line.graph n
+  | Ring n -> Ring.graph n
+  | Grid { rows; cols } -> Grid.graph ~rows ~cols
+  | Torus { rows; cols } -> Torus.graph ~rows ~cols
+  | Hypercube { dim } -> Hypercube.graph ~dim
+  | Butterfly { dim } -> Butterfly.graph ~dim
+  | Cluster p -> Cluster.graph p
+  | Star p -> Star.graph p
+  | Tree p -> Tree.graph p
+  | Hypergrid p -> Hypergrid.graph p
+  | Block_grid { s } -> Block_grid.graph (Blocks.make ~s)
+  | Block_tree { s } -> Block_tree.graph (Blocks.make ~s)
+  | Custom { graph; _ } -> graph
+
+let metric = function
+  | Clique n -> Clique.metric n
+  | Line n -> Line.metric n
+  | Ring n -> Ring.metric n
+  | Grid { rows; cols } -> Grid.metric ~rows ~cols
+  | Torus { rows; cols } -> Torus.metric ~rows ~cols
+  | Hypercube { dim } -> Hypercube.metric ~dim
+  | Butterfly { dim } -> Butterfly.metric ~dim
+  | Cluster p -> Cluster.metric p
+  | Star p -> Star.metric p
+  | Tree p -> Tree.metric p
+  | Hypergrid p -> Hypergrid.metric p
+  | Block_grid { s } -> Block_grid.metric (Blocks.make ~s)
+  | Block_tree { s } -> Block_tree.metric (Blocks.make ~s)
+  | Custom { graph; _ } -> Dtm_graph.Apsp.to_metric graph
+
+let to_string = function
+  | Clique n -> Printf.sprintf "clique:%d" n
+  | Line n -> Printf.sprintf "line:%d" n
+  | Ring n -> Printf.sprintf "ring:%d" n
+  | Grid { rows; cols } -> Printf.sprintf "grid:%dx%d" rows cols
+  | Torus { rows; cols } -> Printf.sprintf "torus:%dx%d" rows cols
+  | Hypercube { dim } -> Printf.sprintf "hypercube:%d" dim
+  | Butterfly { dim } -> Printf.sprintf "butterfly:%d" dim
+  | Cluster p ->
+    Printf.sprintf "cluster:%dx%d:g%d" p.Cluster.clusters p.Cluster.size
+      p.Cluster.bridge_weight
+  | Star p -> Printf.sprintf "star:%dx%d" p.Star.rays p.Star.ray_len
+  | Tree p -> Printf.sprintf "tree:%dx%d" p.Tree.branching p.Tree.depth
+  | Hypergrid p ->
+    Printf.sprintf "hypergrid:%s"
+      (String.concat "x" (List.map string_of_int p.Hypergrid.dims))
+  | Block_grid { s } -> Printf.sprintf "blockgrid:%d" s
+  | Block_tree { s } -> Printf.sprintf "blocktree:%d" s
+  | Custom { name; _ } -> Printf.sprintf "custom:%s" name
+
+let parse_int s = int_of_string_opt (String.trim s)
+
+let parse_pair s =
+  match String.split_on_char 'x' s with
+  | [ a; b ] -> (
+    match (parse_int a, parse_int b) with
+    | Some a, Some b -> Some (a, b)
+    | _ -> None)
+  | _ -> None
+
+let of_string str =
+  let fail () = Error (Printf.sprintf "cannot parse topology %S" str) in
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim str)) with
+  | [ "clique"; n ] -> (
+    match parse_int n with Some n when n >= 1 -> Ok (Clique n) | _ -> fail ())
+  | [ "line"; n ] -> (
+    match parse_int n with Some n when n >= 1 -> Ok (Line n) | _ -> fail ())
+  | [ "ring"; n ] -> (
+    match parse_int n with Some n when n >= 1 -> Ok (Ring n) | _ -> fail ())
+  | [ "grid"; p ] -> (
+    match parse_pair p with
+    | Some (rows, cols) when rows >= 1 && cols >= 1 -> Ok (Grid { rows; cols })
+    | _ -> fail ())
+  | [ "torus"; p ] -> (
+    match parse_pair p with
+    | Some (rows, cols) when rows >= 1 && cols >= 1 -> Ok (Torus { rows; cols })
+    | _ -> fail ())
+  | [ "hypercube"; d ] -> (
+    match parse_int d with
+    | Some dim when dim >= 0 && dim <= 20 -> Ok (Hypercube { dim })
+    | _ -> fail ())
+  | [ "butterfly"; d ] -> (
+    match parse_int d with
+    | Some dim when dim >= 1 && dim <= 12 -> Ok (Butterfly { dim })
+    | _ -> fail ())
+  | [ "cluster"; p; g ] -> (
+    match (parse_pair p, g) with
+    | Some (clusters, size), g
+      when String.length g > 1 && g.[0] = 'g' && clusters >= 1 && size >= 1 -> (
+      match parse_int (String.sub g 1 (String.length g - 1)) with
+      | Some bridge_weight when bridge_weight >= 1 ->
+        Ok (Cluster { Cluster.clusters; size; bridge_weight })
+      | _ -> fail ())
+    | _ -> fail ())
+  | [ "tree"; p ] -> (
+    match parse_pair p with
+    | Some (branching, depth) when branching >= 1 && depth >= 0 ->
+      Ok (Tree { Tree.branching; depth })
+    | _ -> fail ())
+  | [ "hypergrid"; p ] -> (
+    let parts = String.split_on_char 'x' p in
+    let dims = List.filter_map parse_int parts in
+    if List.length dims = List.length parts && dims <> []
+       && List.for_all (fun d -> d >= 1) dims
+    then Ok (Hypergrid { Hypergrid.dims })
+    else fail ())
+  | [ "star"; p ] -> (
+    match parse_pair p with
+    | Some (rays, ray_len) when rays >= 1 && ray_len >= 1 ->
+      Ok (Star { Star.rays; ray_len })
+    | _ -> fail ())
+  | [ "blockgrid"; s ] -> (
+    match parse_int s with
+    | Some s when s >= 1 -> (
+      try
+        ignore (Blocks.make ~s);
+        Ok (Block_grid { s })
+      with Invalid_argument _ -> fail ())
+    | _ -> fail ())
+  | [ "blocktree"; s ] -> (
+    match parse_int s with
+    | Some s when s >= 1 -> (
+      try
+        ignore (Blocks.make ~s);
+        Ok (Block_tree { s })
+      with Invalid_argument _ -> fail ())
+    | _ -> fail ())
+  | _ -> fail ()
+
+let describe t =
+  let kind =
+    match t with
+    | Clique _ -> "complete graph"
+    | Line _ -> "line graph"
+    | Ring _ -> "ring graph"
+    | Grid _ -> "grid"
+    | Torus _ -> "torus"
+    | Hypercube _ -> "hypercube"
+    | Butterfly _ -> "butterfly"
+    | Cluster _ -> "cluster graph"
+    | Star _ -> "star graph"
+    | Tree _ -> "complete b-ary tree"
+    | Hypergrid _ -> "d-dimensional grid"
+    | Block_grid _ -> "Section-8 block grid"
+    | Block_tree _ -> "Section-8 block tree"
+    | Custom _ -> "custom graph"
+  in
+  Printf.sprintf "%s (%s, %d nodes)" (to_string t) kind (n t)
+
+let all_examples =
+  [
+    Clique 8;
+    Line 12;
+    Ring 12;
+    Grid { rows = 4; cols = 5 };
+    Torus { rows = 4; cols = 4 };
+    Hypercube { dim = 3 };
+    Butterfly { dim = 2 };
+    Cluster { Cluster.clusters = 3; size = 4; bridge_weight = 5 };
+    Star { Star.rays = 4; ray_len = 5 };
+    Tree { Tree.branching = 2; depth = 3 };
+    Hypergrid { Hypergrid.dims = [ 3; 3; 3 ] };
+    Block_grid { s = 4 };
+    Block_tree { s = 4 };
+  ]

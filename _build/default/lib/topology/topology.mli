@@ -1,0 +1,46 @@
+(** Sum type over every topology in the library, with uniform access to
+    the explicit graph, a distance oracle, and CLI parsing.
+
+    This is the type the scheduling dispatcher ({!Dtm_sched.Auto}) matches
+    on to pick the paper's algorithm for each topology. *)
+
+type t =
+  | Clique of int  (** complete graph on n nodes (Section 3) *)
+  | Line of int  (** path on n nodes (Section 4) *)
+  | Ring of int  (** cycle on n nodes (extension; Theorem 2 technique) *)
+  | Grid of { rows : int; cols : int }  (** unit grid (Section 5) *)
+  | Torus of { rows : int; cols : int }  (** extension topology *)
+  | Hypercube of { dim : int }  (** 2^dim nodes (Section 3.1) *)
+  | Butterfly of { dim : int }  (** (dim+1)·2^dim nodes (Section 3.1) *)
+  | Cluster of Cluster.params  (** cliques + bridge edges (Section 6) *)
+  | Star of Star.params  (** center + rays (Section 7) *)
+  | Tree of Tree.params  (** complete b-ary tree (Section 8 carrier family) *)
+  | Hypergrid of Hypergrid.params
+      (** d-dimensional grid (Section 3.1 mentions log-n dimensions) *)
+  | Block_grid of { s : int }  (** Section 8 grid construction *)
+  | Block_tree of { s : int }  (** Section 8 tree construction *)
+  | Custom of { name : string; graph : Dtm_graph.Graph.t }
+      (** arbitrary user graph (APSP metric; scheduled by the Section 3.1
+          greedy).  Not produced by {!of_string} — build it directly,
+          e.g. from {!Dtm_graph.Graph_io}. *)
+
+val n : t -> int
+(** Number of nodes, without building the graph. *)
+
+val graph : t -> Dtm_graph.Graph.t
+
+val metric : t -> Dtm_graph.Metric.t
+(** Closed-form oracle where one exists (everything but Butterfly), else
+    APSP-backed. *)
+
+val to_string : t -> string
+(** Round-trips with {!of_string}, e.g. ["clique:64"], ["ring:32"], ["grid:8x8"],
+    ["cluster:5x6:g12"], ["star:8x7"], ["hypercube:6"]. *)
+
+val of_string : string -> (t, string) result
+
+val describe : t -> string
+(** One-line human description with node count. *)
+
+val all_examples : t list
+(** One small instance of each topology, for tests and demos. *)

@@ -1,0 +1,30 @@
+let check ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Torus: rows/cols < 1"
+
+let graph ~rows ~cols =
+  check ~rows ~cols;
+  let node x y = (y * cols) + x in
+  let seen = Hashtbl.create 64 in
+  let edges = ref [] in
+  let add u v =
+    let u, v = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.replace seen (u, v) ();
+      edges := (u, v, 1) :: !edges
+    end
+  in
+  for y = 0 to rows - 1 do
+    for x = 0 to cols - 1 do
+      add (node x y) (node ((x + 1) mod cols) y);
+      add (node x y) (node x ((y + 1) mod rows))
+    done
+  done;
+  Dtm_graph.Graph.of_edges ~n:(rows * cols) !edges
+
+let metric ~rows ~cols =
+  check ~rows ~cols;
+  Dtm_graph.Metric.make ~size:(rows * cols) (fun u v ->
+      let xu = u mod cols and yu = u / cols in
+      let xv = v mod cols and yv = v / cols in
+      let dx = abs (xu - xv) and dy = abs (yu - yv) in
+      min dx (cols - dx) + min dy (rows - dy))

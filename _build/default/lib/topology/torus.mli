@@ -1,0 +1,11 @@
+(** 2D torus (wraparound grid) with unit edge weights.
+
+    Not analysed in the paper; included as an extension topology for the
+    generic diameter-based scheduler of Section 3.1 (a torus has diameter
+    (rows + cols) / 2, so the O(k l d) bound applies). *)
+
+val graph : rows:int -> cols:int -> Dtm_graph.Graph.t
+(** Requires [rows >= 1] and [cols >= 1]. *)
+
+val metric : rows:int -> cols:int -> Dtm_graph.Metric.t
+(** Closed form: wraparound Manhattan distance. *)

@@ -1,0 +1,48 @@
+type params = { branching : int; depth : int }
+
+let check p =
+  if p.branching < 1 || p.depth < 0 then invalid_arg "Tree: bad parameters"
+
+let n_of p =
+  check p;
+  if p.branching = 1 then p.depth + 1
+  else begin
+    let rec pow acc i = if i = 0 then acc else pow (acc * p.branching) (i - 1) in
+    (pow 1 (p.depth + 1) - 1) / (p.branching - 1)
+  end
+
+let parent i p =
+  check p;
+  if i = 0 then None else Some ((i - 1) / p.branching)
+
+let node_depth i p =
+  let rec go i acc =
+    match parent i p with None -> acc | Some j -> go j (acc + 1)
+  in
+  go i 0
+
+let graph p =
+  check p;
+  let n = n_of p in
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    match parent i p with
+    | Some j -> edges := (j, i, 1) :: !edges
+    | None -> assert false
+  done;
+  Dtm_graph.Graph.of_edges ~n !edges
+
+let metric p =
+  check p;
+  let n = n_of p in
+  Dtm_graph.Metric.make ~size:n (fun u v ->
+      (* Walk the deeper node up until the ancestors meet. *)
+      let rec lift x dx y dy acc =
+        if x = y then acc
+        else if dx > dy then lift ((x - 1) / p.branching) (dx - 1) y dy (acc + 1)
+        else if dy > dx then lift x dx ((y - 1) / p.branching) (dy - 1) (acc + 1)
+        else
+          lift ((x - 1) / p.branching) (dx - 1) ((y - 1) / p.branching) (dy - 1)
+            (acc + 2)
+      in
+      lift u (node_depth u p) v (node_depth v p) 0)

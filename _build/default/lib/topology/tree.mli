@@ -1,0 +1,26 @@
+(** Complete b-ary tree with unit edge weights.
+
+    Trees carry the Section 8 lower bound (via {!Block_tree}) and are a
+    natural hierarchical-interconnect model (fat-tree data centers reduce
+    to trees at this abstraction).  The Section 3.1 bounded-diameter
+    greedy applies with diameter 2·depth.
+
+    Node ids are level-order: the root is 0 and the children of [i] are
+    [b*i + 1 .. b*i + b]. *)
+
+type params = { branching : int; depth : int }
+(** [depth] 0 is a single root; [branching] >= 1. *)
+
+val n_of : params -> int
+(** (b^(d+1) - 1)/(b - 1), or d+1 when b = 1. *)
+
+val graph : params -> Dtm_graph.Graph.t
+
+val metric : params -> Dtm_graph.Metric.t
+(** Closed form via lowest common ancestor:
+    depth(u) + depth(v) - 2 depth(lca). *)
+
+val parent : int -> params -> int option
+(** [None] for the root. *)
+
+val node_depth : int -> params -> int

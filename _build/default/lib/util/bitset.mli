@@ -1,0 +1,45 @@
+(** Fixed-capacity mutable bitsets over [0, n).
+
+    Used for object-set membership tests on the hot paths of the validator
+    and the Held-Karp TSP dynamic program. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set with capacity [n] (members in [0, n)). *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+
+val copy : t -> t
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f t] applies [f] to each member in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list n members] builds a capacity-[n] set. *)
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds every member of [src] to [dst].  The two sets
+    must have equal capacity. *)
+
+val inter_cardinal : t -> t -> int
+(** Number of common members; capacities must match. *)
+
+val equal : t -> t -> bool

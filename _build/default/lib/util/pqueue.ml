@@ -1,0 +1,71 @@
+type 'a entry = { prio : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length q = q.size
+let is_empty q = q.size = 0
+
+let grow q x =
+  let cap = Array.length q.data in
+  if q.size = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let nd = Array.make ncap x in
+    Array.blit q.data 0 nd 0 q.size;
+    q.data <- nd
+  end
+
+let swap q i j =
+  let tmp = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.data.(i).prio < q.data.(parent).prio then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && q.data.(l).prio < q.data.(!smallest).prio then smallest := l;
+  if r < q.size && q.data.(r).prio < q.data.(!smallest).prio then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q ~prio value =
+  let e = { prio; value } in
+  grow q e;
+  q.data.(q.size) <- e;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek q = if q.size = 0 then None else Some (q.data.(0).prio, q.data.(0).value)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let pop_exn q =
+  match pop q with
+  | Some x -> x
+  | None -> invalid_arg "Pqueue.pop_exn: empty queue"
+
+let clear q =
+  q.data <- [||];
+  q.size <- 0

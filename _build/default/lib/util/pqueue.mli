@@ -1,0 +1,27 @@
+(** Mutable binary min-heap priority queue with integer priorities.
+
+    Used by Dijkstra and by the simulator's event loop.  Ties are broken
+    arbitrarily.  Not thread-safe. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> prio:int -> 'a -> unit
+(** [push q ~prio x] inserts [x] with priority [prio]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** [pop q] removes and returns a minimum-priority element, or [None] if
+    the queue is empty. *)
+
+val pop_exn : 'a t -> int * 'a
+(** As {!pop} but raises [Invalid_argument] when empty. *)
+
+val peek : 'a t -> (int * 'a) option
+(** [peek q] returns a minimum-priority element without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,67 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x6d2b79f5; seed lxor 0x9e3779b9 |]
+
+let split t =
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b; Random.State.bits t |]
+
+let copy = Random.State.copy
+
+let int t bound =
+  assert (bound > 0);
+  Random.State.int t bound
+
+let int_in_range t ~lo ~hi =
+  assert (lo <= hi);
+  lo + Random.State.int t (hi - lo + 1)
+
+let float t bound = Random.State.float t bound
+let bool t = Random.State.bool t
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let choose_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.choose_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffled_copy t a =
+  let b = Array.copy a in
+  shuffle t b;
+  b
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+(* Floyd's algorithm: uniform k-subset in O(k) expected draws. *)
+let sample_subset t ~k ~n =
+  assert (0 <= k && k <= n);
+  let chosen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem chosen r then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen r ()
+  done;
+  let out = Array.make k 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun x () ->
+      out.(!i) <- x;
+      incr i)
+    chosen;
+  Array.sort compare out;
+  out

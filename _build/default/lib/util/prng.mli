@@ -1,0 +1,50 @@
+(** Seeded pseudo-random number generator.
+
+    A thin wrapper around [Random.State] that adds the operations the
+    schedulers and workload generators need: splitting (so that independent
+    subsystems draw from independent streams), subset sampling, and
+    shuffling.  All randomness in the library flows through this module so
+    that every experiment is reproducible from a single integer seed. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] makes a generator deterministically from [seed]. *)
+
+val split : t -> t
+(** [split t] returns a fresh generator whose future draws are independent
+    of [t]'s.  Advances [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy replays [t]'s stream. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound] must be > 0. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** [int_in_range t ~lo ~hi] draws uniformly from the inclusive range
+    [lo, hi].  Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+
+val choose : t -> 'a array -> 'a
+(** [choose t a] picks a uniform element of [a].  [a] must be non-empty. *)
+
+val choose_list : t -> 'a list -> 'a
+(** [choose_list t l] picks a uniform element of [l].  [l] must be
+    non-empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place uniformly (Fisher-Yates). *)
+
+val shuffled_copy : t -> 'a array -> 'a array
+
+val sample_subset : t -> k:int -> n:int -> int array
+(** [sample_subset t ~k ~n] draws a uniform [k]-subset of [0, n), returned
+    sorted increasing.  Requires [0 <= k <= n]. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform permutation of [0, n). *)

@@ -1,0 +1,32 @@
+(** Small descriptive-statistics helpers for the experiment harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; raises [Invalid_argument] on an empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 for arrays of length
+    <= 1. *)
+
+val min_max : float array -> float * float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0, 100], by linear interpolation on the
+    sorted data. *)
+
+val median : float array -> float
+
+val geometric_mean : float array -> float
+(** Requires strictly positive entries. *)
+
+val linear_regression : (float * float) array -> float * float
+(** [linear_regression pts] returns [(slope, intercept)] of the
+    least-squares line through [pts].  Requires >= 2 points with distinct
+    abscissae. *)
+
+val log2_slope : (float * float) array -> float
+(** Slope of [log2 y] against [log2 x]: the empirical growth exponent.
+    Requires positive coordinates. *)
+
+val histogram : float array -> bins:int -> (float * int) array
+(** [histogram xs ~bins] buckets [xs] into [bins] equal-width bins over
+    [min, max]; returns (bin lower edge, count). *)

@@ -1,0 +1,32 @@
+(** Aligned plain-text tables for the experiment harness.
+
+    Renders the rows that EXPERIMENTS.md records, in a stable format that
+    diffs cleanly between runs. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] starts a table with the given header cells. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.  The number of cells must equal the
+    number of columns. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between data rows. *)
+
+val render : t -> string
+(** Renders the table with a header rule, columns padded to the widest
+    cell. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header + data rows; separators dropped).
+    Cells containing commas or quotes are quoted per RFC 4180. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string

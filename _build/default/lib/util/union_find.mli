@@ -1,0 +1,21 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by Kruskal's MST and by connectivity checks in the topology
+    generators. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0, n). *)
+
+val find : t -> int -> int
+(** [find t x] is the canonical representative of [x]'s set. *)
+
+val union : t -> int -> int -> bool
+(** [union t x y] merges the sets of [x] and [y]; returns [true] iff they
+    were previously distinct. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** [count t] is the current number of disjoint sets. *)

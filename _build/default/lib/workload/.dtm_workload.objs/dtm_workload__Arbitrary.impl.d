@@ -1,0 +1,1 @@
+lib/workload/arbitrary.ml: Array Dtm_core Dtm_topology Dtm_util List Uniform

@@ -1,0 +1,1 @@
+lib/workload/arbitrary.mli: Dtm_core Dtm_topology Dtm_util

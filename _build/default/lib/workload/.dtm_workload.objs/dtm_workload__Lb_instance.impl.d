@@ -1,0 +1,1 @@
+lib/workload/lb_instance.ml: Array Dtm_core Dtm_topology Dtm_util Fun List

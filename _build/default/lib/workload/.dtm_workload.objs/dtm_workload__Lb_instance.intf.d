@@ -1,0 +1,1 @@
+lib/workload/lb_instance.mli: Dtm_core Dtm_topology Dtm_util

@@ -1,0 +1,1 @@
+lib/workload/rw_uniform.mli: Dtm_core Dtm_util

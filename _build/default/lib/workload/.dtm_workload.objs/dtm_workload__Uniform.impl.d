@@ -1,0 +1,1 @@
+lib/workload/uniform.ml: Array Dtm_core Dtm_util List

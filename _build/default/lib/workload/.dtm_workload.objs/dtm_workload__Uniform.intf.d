@@ -1,0 +1,1 @@
+lib/workload/uniform.mli: Dtm_core Dtm_util

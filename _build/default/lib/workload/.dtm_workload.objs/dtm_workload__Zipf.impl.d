@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: Array Dtm_core Dtm_util Hashtbl List Uniform

@@ -1,0 +1,108 @@
+module Instance = Dtm_core.Instance
+module Cluster = Dtm_topology.Cluster
+module Prng = Dtm_util.Prng
+
+let build ~rng ~n ~num_objects txns =
+  let home = Uniform.homes_of_txns ~rng ~n ~num_objects txns in
+  Instance.create ~n ~num_objects ~txns ~home
+
+let hot_object ~rng ~n ~num_objects ~k =
+  if k < 1 || k > num_objects then invalid_arg "Arbitrary.hot_object: bad k";
+  let txns =
+    List.init n (fun v ->
+        let others =
+          Array.to_list (Prng.sample_subset rng ~k:(k - 1) ~n:(num_objects - 1))
+          |> List.map (fun o -> o + 1)
+        in
+        (v, 0 :: others))
+  in
+  build ~rng ~n ~num_objects txns
+
+let windowed ~rng ~n ~num_objects ~k ~span =
+  if k < 1 || k > num_objects then invalid_arg "Arbitrary.windowed: bad k";
+  if span < 1 then invalid_arg "Arbitrary.windowed: span < 1";
+  let txns =
+    List.init n (fun v ->
+        let center = v * num_objects / n in
+        let lo = max 0 (center - (span / 2)) in
+        let hi = min (num_objects - 1) (lo + span - 1) in
+        let width = hi - lo + 1 in
+        let kk = min k width in
+        let objs =
+          Array.to_list (Prng.sample_subset rng ~k:kk ~n:width)
+          |> List.map (fun o -> o + lo)
+        in
+        (v, objs))
+  in
+  build ~rng ~n ~num_objects txns
+
+let partitioned ~rng ~n ~num_objects ~k ~parts =
+  if parts < 1 || parts > n || parts > num_objects then
+    invalid_arg "Arbitrary.partitioned: bad parts";
+  if k < 1 then invalid_arg "Arbitrary.partitioned: bad k";
+  let txns =
+    List.init n (fun v ->
+        let part = v * parts / n in
+        let olo = part * num_objects / parts in
+        let ohi = ((part + 1) * num_objects / parts) - 1 in
+        let width = ohi - olo + 1 in
+        let kk = min k width in
+        let objs =
+          Array.to_list (Prng.sample_subset rng ~k:kk ~n:width)
+          |> List.map (fun o -> o + olo)
+        in
+        (v, objs))
+  in
+  build ~rng ~n ~num_objects txns
+
+let cluster_local ~rng p ~num_objects_per_cluster ~k =
+  if k < 1 || k > num_objects_per_cluster then
+    invalid_arg "Arbitrary.cluster_local: bad k";
+  let n = p.Cluster.clusters * p.Cluster.size in
+  let num_objects = p.Cluster.clusters * num_objects_per_cluster in
+  let txns =
+    List.init n (fun v ->
+        let c = Cluster.cluster_of p v in
+        let olo = c * num_objects_per_cluster in
+        let objs =
+          Array.to_list (Prng.sample_subset rng ~k ~n:num_objects_per_cluster)
+          |> List.map (fun o -> o + olo)
+        in
+        (v, objs))
+  in
+  build ~rng ~n ~num_objects txns
+
+let cluster_spread ~rng p ~num_objects ~k ~sigma =
+  if k < 1 || k > num_objects then invalid_arg "Arbitrary.cluster_spread: bad k";
+  let sigma = max 1 (min sigma p.Cluster.clusters) in
+  let n = p.Cluster.clusters * p.Cluster.size in
+  (* Spread each object over [sigma] clusters, then have each node draw
+     from the objects available to its cluster, topping up at random when
+     too few are available (sigma is a target, not an exact invariant; the
+     experiments measure the realized sigma). *)
+  let available = Array.make p.Cluster.clusters [] in
+  for o = num_objects - 1 downto 0 do
+    let homes = Prng.sample_subset rng ~k:sigma ~n:p.Cluster.clusters in
+    Array.iter (fun c -> available.(c) <- o :: available.(c)) homes
+  done;
+  let avail_arr = Array.map Array.of_list available in
+  let txns =
+    List.init n (fun v ->
+        let c = Cluster.cluster_of p v in
+        let pool = avail_arr.(c) in
+        let from_pool = min k (Array.length pool) in
+        let chosen =
+          Array.to_list (Prng.sample_subset rng ~k:from_pool ~n:(Array.length pool))
+          |> List.map (fun i -> pool.(i))
+        in
+        let rec top_up acc missing =
+          if missing = 0 then acc
+          else begin
+            let o = Prng.int rng num_objects in
+            if List.mem o acc then top_up acc missing
+            else top_up (o :: acc) (missing - 1)
+          end
+        in
+        (v, top_up chosen (k - from_pool)))
+  in
+  build ~rng ~n ~num_objects txns

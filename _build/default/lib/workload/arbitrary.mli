@@ -1,0 +1,51 @@
+(** Adversarial ("arbitrary input") workload families.
+
+    The Clique, Line, Cluster, and Star theorems hold for every input, so
+    the experiments exercise them on structured worst-case-ish families
+    as well as uniform ones. *)
+
+val hot_object :
+  rng:Dtm_util.Prng.t -> n:int -> num_objects:int -> k:int -> Dtm_core.Instance.t
+(** Every transaction requests object 0 plus [k-1] random others: load
+    l = n, maximal contention (requires num_objects >= k >= 1). *)
+
+val windowed :
+  rng:Dtm_util.Prng.t ->
+  n:int ->
+  num_objects:int ->
+  k:int ->
+  span:int ->
+  Dtm_core.Instance.t
+(** Node [v] requests objects from a window of [span] object ids centred
+    on [v]'s position, giving bounded object spans — the natural input
+    family for the Line algorithm. *)
+
+val partitioned :
+  rng:Dtm_util.Prng.t ->
+  n:int ->
+  num_objects:int ->
+  k:int ->
+  parts:int ->
+  Dtm_core.Instance.t
+(** Nodes and objects are cut into [parts] aligned groups; transactions
+    request only objects of their own group (zero cross-group traffic,
+    e.g. one object community per cluster). *)
+
+val cluster_local :
+  rng:Dtm_util.Prng.t ->
+  Dtm_topology.Cluster.params ->
+  num_objects_per_cluster:int ->
+  k:int ->
+  Dtm_core.Instance.t
+(** Each cluster has a private object pool: the σ = 1 case of Theorem 4
+    where Approach 1 runs clusters in parallel. *)
+
+val cluster_spread :
+  rng:Dtm_util.Prng.t ->
+  Dtm_topology.Cluster.params ->
+  num_objects:int ->
+  k:int ->
+  sigma:int ->
+  Dtm_core.Instance.t
+(** Each object is requested from [sigma] distinct clusters (clamped to
+    the cluster count): the contended case driving Approach 2. *)

@@ -1,0 +1,31 @@
+module Blocks = Dtm_topology.Blocks
+module Prng = Dtm_util.Prng
+
+let a_object i = i
+let b_object (p : Blocks.params) j = p.Blocks.s + j
+let is_b_object (p : Blocks.params) o = o >= p.Blocks.s
+
+let instance ~rng (p : Blocks.params) =
+  let s = p.Blocks.s in
+  let n = Blocks.n p in
+  let num_objects = 2 * s in
+  let b_pick = Array.init n (fun _ -> Prng.int rng s) in
+  let txns =
+    List.init n (fun v ->
+        let block, _, _ = Blocks.coords p v in
+        (v, [ a_object block; b_object p b_pick.(v) ]))
+  in
+  let top_left_h1 = Blocks.node p ~block:0 ~x:0 ~y:0 in
+  let home = Array.make num_objects top_left_h1 in
+  (* Each b_j starts at a node of H_1 that uses it, when one exists. *)
+  let h1_users = Array.make s [] in
+  List.iter
+    (fun v ->
+      if Blocks.block_of p v = 0 then h1_users.(b_pick.(v)) <- v :: h1_users.(b_pick.(v)))
+    (List.init (Blocks.block_size p) Fun.id);
+  for j = 0 to s - 1 do
+    match h1_users.(j) with
+    | [] -> ()
+    | users -> home.(b_object p j) <- Prng.choose_list rng users
+  done;
+  Dtm_core.Instance.create ~n ~num_objects ~txns ~home

@@ -1,0 +1,25 @@
+(** The Section 8 lower-bound problem instances.
+
+    On the block carriers ({!Dtm_topology.Block_grid} /
+    {!Dtm_topology.Block_tree}) with [s] blocks:
+
+    - objects A = a_1..a_s: a_i is requested by {e every} transaction of
+      block H_i (serializing each block), and all a_i start at the
+      top-left node of H_1;
+    - objects B = b_1..b_s: every node also requests one uniformly random
+      b object; each b starts at a node of H_1 that uses it (or the
+      top-left node of H_1 if none does).
+
+    Every transaction therefore has k = 2.  The same node layout backs
+    both carriers, so one instance serves the grid and tree variants —
+    only the metric differs. *)
+
+val instance : rng:Dtm_util.Prng.t -> Dtm_topology.Blocks.params -> Dtm_core.Instance.t
+
+val a_object : int -> int
+(** Object id of a_i for block [i] (0-based): simply [i]. *)
+
+val b_object : Dtm_topology.Blocks.params -> int -> int
+(** Object id of b_j, [j] 0-based: [s + j]. *)
+
+val is_b_object : Dtm_topology.Blocks.params -> int -> bool

@@ -1,0 +1,20 @@
+module Instance = Dtm_core.Instance
+
+let instance ~rng ~n ~num_objects ~k ~write_fraction =
+  if write_fraction < 0.0 || write_fraction > 1.0 then
+    invalid_arg "Rw_uniform.instance: write_fraction out of range";
+  let base = Uniform.instance ~rng ~n ~num_objects ~k () in
+  let writes =
+    Array.to_list (Instance.txn_nodes base)
+    |> List.filter_map (fun v ->
+           match Instance.txn_at base v with
+           | None -> None
+           | Some objs ->
+             let written =
+               Array.to_list objs
+               |> List.filter (fun _ ->
+                      Dtm_util.Prng.float rng 1.0 < write_fraction)
+             in
+             if written = [] then None else Some (v, written))
+  in
+  Dtm_core.Rw_instance.create base ~writes

@@ -1,0 +1,15 @@
+(** Read/write workloads for the replication extension: a uniform
+    instance where each access is a write with probability
+    [write_fraction]. *)
+
+val instance :
+  rng:Dtm_util.Prng.t ->
+  n:int ->
+  num_objects:int ->
+  k:int ->
+  write_fraction:float ->
+  Dtm_core.Rw_instance.t
+(** Each of a transaction's [k] accesses independently writes with
+    probability [write_fraction] (a transaction may end up fully
+    read-only).  [write_fraction] must be in [0, 1]; 1.0 reproduces the
+    base model exactly. *)

@@ -1,0 +1,44 @@
+module Instance = Dtm_core.Instance
+
+let homes_of_txns ~rng ~n ~num_objects txns =
+  (* Place each object at a uniform requester; fall back to a uniform
+     node for unrequested objects. *)
+  let reqs = Array.make num_objects [] in
+  List.iter
+    (fun (v, objs) -> List.iter (fun o -> reqs.(o) <- v :: reqs.(o)) objs)
+    txns;
+  Array.map
+    (fun l ->
+      match l with
+      | [] -> Dtm_util.Prng.int rng n
+      | _ -> Dtm_util.Prng.choose_list rng l)
+    reqs
+
+let instance ~rng ~n ~num_objects ~k ?(density = 1.0) () =
+  if k < 1 || k > num_objects then invalid_arg "Uniform.instance: bad k";
+  if n < 1 then invalid_arg "Uniform.instance: n < 1";
+  let txns = ref [] in
+  for v = n - 1 downto 0 do
+    if density >= 1.0 || Dtm_util.Prng.float rng 1.0 < density then begin
+      let objs =
+        Array.to_list (Dtm_util.Prng.sample_subset rng ~k ~n:num_objects)
+      in
+      txns := (v, objs) :: !txns
+    end
+  done;
+  if !txns = [] then begin
+    let objs = Array.to_list (Dtm_util.Prng.sample_subset rng ~k ~n:num_objects) in
+    txns := [ (Dtm_util.Prng.int rng n, objs) ]
+  end;
+  let home = homes_of_txns ~rng ~n ~num_objects !txns in
+  Instance.create ~n ~num_objects ~txns:!txns ~home
+
+let homes_at_random_requester ~rng ~n inst =
+  let txns =
+    Array.to_list (Instance.txn_nodes inst)
+    |> List.map (fun v ->
+           match Instance.txn_at inst v with
+           | Some objs -> (v, Array.to_list objs)
+           | None -> assert false)
+  in
+  homes_of_txns ~rng ~n ~num_objects:(Instance.num_objects inst) txns

@@ -1,0 +1,34 @@
+(** Random workloads: every node holds a transaction over a uniform
+    k-subset of the objects — the input model of Theorem 3 (Grid) and
+    the random inputs used throughout the experiments.
+
+    Homes follow the paper's convention: each object starts at a
+    uniformly chosen requester (or a uniform node if nothing requests
+    it). *)
+
+val instance :
+  rng:Dtm_util.Prng.t ->
+  n:int ->
+  num_objects:int ->
+  k:int ->
+  ?density:float ->
+  unit ->
+  Dtm_core.Instance.t
+(** [instance ~rng ~n ~num_objects ~k ()] gives every node a transaction
+    requesting a fresh uniform [k]-subset.  [density] (default 1.0) is
+    the probability that a node holds a transaction at all; at least one
+    node always does.  Requires [1 <= k <= num_objects]. *)
+
+val homes_at_random_requester :
+  rng:Dtm_util.Prng.t -> n:int -> Dtm_core.Instance.t -> int array
+(** Recompute the home array for an existing transaction layout (used by
+    the other generators). *)
+
+val homes_of_txns :
+  rng:Dtm_util.Prng.t ->
+  n:int ->
+  num_objects:int ->
+  (int * int list) list ->
+  int array
+(** Home array for a raw transaction list: each object at a uniform
+    requester, unrequested objects at a uniform node. *)

@@ -1,0 +1,40 @@
+module Prng = Dtm_util.Prng
+
+let instance ~rng ~n ~num_objects ~k ~exponent =
+  if k < 1 || k > num_objects then invalid_arg "Zipf.instance: bad k";
+  if exponent < 0.0 then invalid_arg "Zipf.instance: negative exponent";
+  (* Cumulative weights for inverse-transform sampling. *)
+  let cum = Array.make num_objects 0.0 in
+  let total = ref 0.0 in
+  for o = 0 to num_objects - 1 do
+    total := !total +. (1.0 /. (float_of_int (o + 1) ** exponent));
+    cum.(o) <- !total
+  done;
+  let draw () =
+    let x = Prng.float rng !total in
+    (* First index with cum >= x. *)
+    let lo = ref 0 and hi = ref (num_objects - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) >= x then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  let draw_k () =
+    let seen = Hashtbl.create (2 * k) in
+    let rec go acc need =
+      if need = 0 then acc
+      else begin
+        let o = draw () in
+        if Hashtbl.mem seen o then go acc need
+        else begin
+          Hashtbl.replace seen o ();
+          go (o :: acc) (need - 1)
+        end
+      end
+    in
+    go [] k
+  in
+  let txns = List.init n (fun v -> (v, draw_k ())) in
+  let home = Uniform.homes_of_txns ~rng ~n ~num_objects txns in
+  Dtm_core.Instance.create ~n ~num_objects ~txns ~home

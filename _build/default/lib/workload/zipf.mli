@@ -1,0 +1,18 @@
+(** Zipf-skewed object popularity (extension workload).
+
+    Real TM traces concentrate accesses on a few hot objects; a Zipf
+    exponent of ~1 is the usual model.  Not analysed in the paper, but a
+    natural stress input for the schedulers: it interpolates between
+    {!Uniform} (exponent 0) and {!Arbitrary.hot_object} (large
+    exponent). *)
+
+val instance :
+  rng:Dtm_util.Prng.t ->
+  n:int ->
+  num_objects:int ->
+  k:int ->
+  exponent:float ->
+  Dtm_core.Instance.t
+(** Every node requests [k] distinct objects drawn from a Zipf
+    distribution with the given exponent over object ids (id 0 hottest).
+    Requires [1 <= k <= num_objects] and [exponent >= 0]. *)

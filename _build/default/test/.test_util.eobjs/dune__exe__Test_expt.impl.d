@@ -1,0 +1,1 @@
+test/test_expt.ml: Alcotest Dtm_core Dtm_expt Dtm_topology List String

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Dtm_core Dtm_online Dtm_sched Dtm_sim Dtm_topology Dtm_util Dtm_workload Printf Sys

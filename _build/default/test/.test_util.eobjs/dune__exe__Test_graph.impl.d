@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Apsp Array Bfs Dijkstra Dtm_graph Dtm_util Format Fun Graph Graph_io Hashtbl List Metric Mst QCheck QCheck_alcotest Result Tsp Walk

@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Array Dtm_online Dtm_topology Dtm_util List Policy QCheck QCheck_alcotest Runner Stream

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Block_grid Block_tree Blocks Butterfly Clique Cluster Dtm_graph Dtm_topology Fun Grid Hypercube Hypergrid Line List Ring Star String Topology Torus Tree

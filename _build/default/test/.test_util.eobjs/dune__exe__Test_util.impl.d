@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Dtm_util Fun List Pqueue Prng QCheck QCheck_alcotest Stats String Table Union_find

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Arbitrary Array Dtm_core Dtm_sched Dtm_topology Dtm_util Dtm_workload Fun Lb_instance List QCheck QCheck_alcotest Uniform Zipf

@@ -1,0 +1,182 @@
+(* Integration tests: drive the built binaries end-to-end and check exit
+   codes and key output.  The dune rule declares the executables as deps,
+   so they are available at ../bin relative to the test's cwd. *)
+
+let cli = "../bin/dtm_cli.exe"
+let experiments = "../bin/experiments.exe"
+
+let run cmd =
+  let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED c -> c | _ -> -1 in
+  (code, Buffer.contents buf)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains out needles =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "output mentions %S" n) true
+        (contains out n))
+    needles
+
+let test_topologies () =
+  let code, out = run (cli ^ " topologies") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out [ "clique:8"; "ring:12"; "star:4x5"; "blocktree:4"; "hypergrid:3x3x3" ]
+
+let test_schedule_clique () =
+  let code, out = run (cli ^ " schedule -t clique:16 -w 4 -k 2 --seed 3") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out [ "feasible:  yes"; "greedy (Thm 1)"; "makespan=" ]
+
+let test_schedule_replay_chart () =
+  let code, out = run (cli ^ " schedule -t grid:4x4 -w 6 -k 2 --replay --chart") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out
+    [ "subgrid decomposition (Thm 3)"; "replay:    ok=true"; "parallelism |"; "object" ]
+
+let test_schedule_each_scheduler () =
+  List.iter
+    (fun s ->
+      let code, out =
+        run (Printf.sprintf "%s schedule -t ring:12 -w 4 -k 2 --scheduler %s" cli s)
+      in
+      Alcotest.(check int) (s ^ " exit 0") 0 code;
+      check_contains out [ "feasible:  yes" ])
+    [ "auto"; "greedy"; "sequential"; "online" ]
+
+let test_schedule_workloads () =
+  List.iter
+    (fun w ->
+      let code, out =
+        run (Printf.sprintf "%s schedule -t clique:12 -w 6 -k 2 --workload %s" cli w)
+      in
+      Alcotest.(check int) (w ^ " exit 0") 0 code;
+      check_contains out [ "feasible:  yes" ])
+    [ "uniform"; "hot"; "zipf" ]
+
+let test_lower_bound () =
+  let code, out = run (cli ^ " lower-bound -t star:4x5 -w 6 -k 2") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out [ "load l:"; "max walk:"; "certified:"; "requesters, walk in" ]
+
+let test_bad_topology () =
+  let code, _ = run (cli ^ " schedule -t widget:9 -w 4 -k 2") in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
+let test_save_and_validate_roundtrip () =
+  let dir = Filename.temp_file "dtm" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let inst_file = Filename.concat dir "inst.txt" in
+  let sched_file = Filename.concat dir "sched.txt" in
+  let code, _ =
+    run
+      (Printf.sprintf
+         "%s schedule -t ring:10 -w 4 -k 2 --save-instance %s --save-schedule %s"
+         cli inst_file sched_file)
+  in
+  Alcotest.(check int) "save exit 0" 0 code;
+  let code, out =
+    run
+      (Printf.sprintf "%s validate -t ring:10 --instance %s --schedule %s" cli
+         inst_file sched_file)
+  in
+  Alcotest.(check int) "validate exit 0" 0 code;
+  check_contains out [ "feasible: yes" ];
+  (* Corrupt the schedule: every transaction at step 1 cannot be valid. *)
+  let oc = open_out sched_file in
+  output_string oc "dtm-schedule v1\nn 10\nat 0 1\n";
+  close_out oc;
+  let code, _ =
+    run
+      (Printf.sprintf "%s validate -t ring:10 --instance %s --schedule %s" cli
+         inst_file sched_file)
+  in
+  Alcotest.(check bool) "invalid rejected" true (code <> 0)
+
+let test_custom_graph_file () =
+  let path = Filename.temp_file "dtm" ".graph" in
+  let oc = open_out path in
+  (* A 5-cycle with one chord. *)
+  output_string oc
+    "dtm-graph v1\nn 5\nedge 0 1 1\nedge 1 2 1\nedge 2 3 1\nedge 3 4 1\nedge 4 0 1\nedge 0 2 2\n";
+  close_out oc;
+  let code, out =
+    run (Printf.sprintf "%s schedule -t file:%s -w 3 -k 2" cli path)
+  in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out [ "custom graph"; "bounded-diameter greedy"; "feasible:  yes" ]
+
+let test_custom_graph_missing_file () =
+  let code, _ = run (cli ^ " schedule -t file:/nonexistent.graph -w 3 -k 2") in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
+let test_online_subcommand () =
+  List.iter
+    (fun policy ->
+      let code, out =
+        run
+          (Printf.sprintf "%s online -t grid:4x4 -w 6 -k 2 --txns-per-node 2 --policy %s"
+             cli policy)
+      in
+      Alcotest.(check int) (policy ^ " exit 0") 0 code;
+      check_contains out [ "makespan:"; "mean response:" ])
+    [ "timestamp"; "greedy-cm"; "nearest"; "random" ]
+
+let test_capacity_flag () =
+  let code, out = run (cli ^ " schedule -t star:4x4 -w 6 -k 2 --capacity 1") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out [ "congestion (cap 1):"; "max_queue=" ]
+
+let test_experiments_list () =
+  let code, out = run (experiments ^ " --list") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out [ "e1 "; "e13"; "f6" ]
+
+let test_experiments_single () =
+  let code, out = run (experiments ^ " f3") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out [ "Figure 3"; "[ok]" ];
+  Alcotest.(check bool) "no failed checks" false (contains out "[FAIL]")
+
+let test_experiments_unknown () =
+  let code, _ = run (experiments ^ " e99") in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
+let () =
+  Alcotest.run "dtm_cli"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "topologies" `Quick test_topologies;
+          Alcotest.test_case "schedule clique" `Quick test_schedule_clique;
+          Alcotest.test_case "replay + chart" `Quick test_schedule_replay_chart;
+          Alcotest.test_case "every scheduler" `Quick test_schedule_each_scheduler;
+          Alcotest.test_case "every workload" `Quick test_schedule_workloads;
+          Alcotest.test_case "lower-bound" `Quick test_lower_bound;
+          Alcotest.test_case "bad topology" `Quick test_bad_topology;
+          Alcotest.test_case "save + validate" `Quick test_save_and_validate_roundtrip;
+          Alcotest.test_case "custom graph file" `Quick test_custom_graph_file;
+          Alcotest.test_case "missing graph file" `Quick test_custom_graph_missing_file;
+          Alcotest.test_case "online subcommand" `Quick test_online_subcommand;
+          Alcotest.test_case "capacity flag" `Quick test_capacity_flag;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "--list" `Quick test_experiments_list;
+          Alcotest.test_case "single figure" `Quick test_experiments_single;
+          Alcotest.test_case "unknown id" `Quick test_experiments_unknown;
+        ] );
+    ]

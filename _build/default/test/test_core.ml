@@ -1,0 +1,743 @@
+(* Tests for the core DTM model: instances, schedules, dependency graphs,
+   greedy coloring, the basic greedy schedule, the validator, and the
+   certified lower bounds. *)
+
+open Dtm_core
+module Metric = Dtm_graph.Metric
+module Walk = Dtm_graph.Walk
+module Topology = Dtm_topology.Topology
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* Fixed 5-node line metric. *)
+let line5 = Dtm_topology.Line.metric 5
+
+(* A small fixed instance on the line: three transactions, two objects.
+   t0 at node 0 uses {0}; t2 at node 2 uses {0,1}; t4 at node 4 uses {1}.
+   Homes: object 0 at node 0, object 1 at node 4. *)
+let small_inst =
+  Instance.create ~n:5 ~num_objects:2
+    ~txns:[ (0, [ 0 ]); (2, [ 0; 1 ]); (4, [ 1 ]) ]
+    ~home:[| 0; 4 |]
+
+(* Random instance over an arbitrary topology. *)
+let random_instance rng topo =
+  let n = Topology.n topo in
+  let w = 1 + Dtm_util.Prng.int rng (max 1 (n / 2)) in
+  let txns = ref [] in
+  for v = 0 to n - 1 do
+    if Dtm_util.Prng.float rng 1.0 < 0.7 then begin
+      let k = 1 + Dtm_util.Prng.int rng (min 4 w) in
+      let objs = Array.to_list (Dtm_util.Prng.sample_subset rng ~k ~n:w) in
+      txns := (v, objs) :: !txns
+    end
+  done;
+  (* Guarantee at least one transaction. *)
+  let txns = if !txns = [] then [ (0, [ 0 ]) ] else !txns in
+  let inst0 =
+    Instance.create ~n ~num_objects:w ~txns ~home:(Array.make w 0)
+  in
+  (* Homes: a random requester when one exists, else a random node. *)
+  let home =
+    Array.init w (fun o ->
+        let reqs = Instance.requesters inst0 o in
+        if Array.length reqs = 0 then Dtm_util.Prng.int rng n
+        else reqs.(Dtm_util.Prng.int rng (Array.length reqs)))
+  in
+  Instance.create ~n ~num_objects:w ~txns ~home
+
+let arb_topo_instance =
+  let topos = Array.of_list Topology.all_examples in
+  QCheck.make
+    ~print:(fun (t, _) -> Topology.to_string t)
+    QCheck.Gen.(
+      let* ti = int_range 0 (Array.length topos - 1) in
+      let* seed = int_range 0 1_000_000 in
+      let rng = Dtm_util.Prng.create ~seed in
+      let topo = topos.(ti) in
+      return (topo, random_instance rng topo))
+
+(* ------------------------------------------------------------------ *)
+(* Instance                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_instance_accessors () =
+  Alcotest.(check int) "n" 5 (Instance.n small_inst);
+  Alcotest.(check int) "objects" 2 (Instance.num_objects small_inst);
+  Alcotest.(check int) "txns" 3 (Instance.num_txns small_inst);
+  Alcotest.(check (array int)) "txn nodes" [| 0; 2; 4 |] (Instance.txn_nodes small_inst);
+  Alcotest.(check bool) "txn at 2" true (Instance.txn_at small_inst 2 = Some [| 0; 1 |]);
+  Alcotest.(check bool) "no txn at 1" true (Instance.txn_at small_inst 1 = None);
+  Alcotest.(check (array int)) "requesters o0" [| 0; 2 |] (Instance.requesters small_inst 0);
+  Alcotest.(check (array int)) "requesters o1" [| 2; 4 |] (Instance.requesters small_inst 1);
+  Alcotest.(check int) "home o1" 4 (Instance.home small_inst 1);
+  Alcotest.(check int) "k_max" 2 (Instance.k_max small_inst);
+  Alcotest.(check int) "load" 2 (Instance.load small_inst);
+  Alcotest.(check bool) "uses" true (Instance.uses small_inst ~node:2 ~obj:1);
+  Alcotest.(check bool) "not uses" false (Instance.uses small_inst ~node:0 ~obj:1);
+  Alcotest.(check (list int)) "shared" [ 0 ] (Instance.shared_objects small_inst ~node1:0 ~node2:2);
+  Alcotest.(check (list int)) "no shared" [] (Instance.shared_objects small_inst ~node1:0 ~node2:4);
+  Alcotest.(check bool) "homes at requesters" true (Instance.homes_at_requesters small_inst)
+
+let test_instance_dedups_objects () =
+  let i = Instance.create ~n:2 ~num_objects:1 ~txns:[ (0, [ 0; 0; 0 ]) ] ~home:[| 0 |] in
+  Alcotest.(check bool) "deduped" true (Instance.txn_at i 0 = Some [| 0 |])
+
+let test_instance_rejects () =
+  let expect msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  expect "Instance.create: two transactions on one node" (fun () ->
+      ignore (Instance.create ~n:2 ~num_objects:1 ~txns:[ (0, [ 0 ]); (0, [ 0 ]) ] ~home:[| 0 |]));
+  expect "Instance.create: empty object list" (fun () ->
+      ignore (Instance.create ~n:2 ~num_objects:1 ~txns:[ (0, []) ] ~home:[| 0 |]));
+  expect "Instance.create: object out of range" (fun () ->
+      ignore (Instance.create ~n:2 ~num_objects:1 ~txns:[ (0, [ 1 ]) ] ~home:[| 0 |]));
+  expect "Instance.create: node out of range" (fun () ->
+      ignore (Instance.create ~n:2 ~num_objects:1 ~txns:[ (2, [ 0 ]) ] ~home:[| 0 |]));
+  expect "Instance.create: home size mismatch" (fun () ->
+      ignore (Instance.create ~n:2 ~num_objects:1 ~txns:[ (0, [ 0 ]) ] ~home:[||]));
+  expect "Instance.create: home out of range" (fun () ->
+      ignore (Instance.create ~n:2 ~num_objects:1 ~txns:[ (0, [ 0 ]) ] ~home:[| 5 |]))
+
+let test_instance_homes_not_at_requesters () =
+  let i = Instance.create ~n:3 ~num_objects:1 ~txns:[ (0, [ 0 ]) ] ~home:[| 2 |] in
+  Alcotest.(check bool) "home elsewhere" false (Instance.homes_at_requesters i)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_basic () =
+  let s = Schedule.create ~n:5 in
+  Alcotest.(check int) "empty makespan" 0 (Schedule.makespan s);
+  Schedule.set s ~node:2 ~time:3;
+  Schedule.set s ~node:0 ~time:7;
+  Alcotest.(check (option int)) "time" (Some 3) (Schedule.time s 2);
+  Alcotest.(check (option int)) "unset" None (Schedule.time s 1);
+  Alcotest.(check int) "makespan" 7 (Schedule.makespan s);
+  Alcotest.(check (list int)) "scheduled" [ 0; 2 ] (Schedule.scheduled_nodes s)
+
+let test_schedule_rejects_bad_time () =
+  let s = Schedule.create ~n:2 in
+  Alcotest.check_raises "time < 1" (Invalid_argument "Schedule.set: time < 1")
+    (fun () -> Schedule.set s ~node:0 ~time:0)
+
+let test_schedule_of_times_and_order () =
+  let s = Schedule.of_times [ (0, 5); (2, 1); (4, 3) ] ~n:5 in
+  let order = Schedule.object_order s ~requesters:[| 0; 2; 4 |] in
+  Alcotest.(check (list int)) "by time" [ 2; 4; 0 ] order
+
+let test_schedule_shift () =
+  let s = Schedule.of_times [ (0, 2); (1, 5) ] ~n:2 in
+  Schedule.shift s 3;
+  Alcotest.(check (option int)) "shifted" (Some 5) (Schedule.time s 0);
+  Schedule.shift s (-4);
+  Alcotest.(check (option int)) "shifted down" (Some 1) (Schedule.time s 0);
+  Alcotest.check_raises "below 1" (Invalid_argument "Schedule.shift: time would drop below 1")
+    (fun () -> Schedule.shift s (-1))
+
+let test_schedule_copy_independent () =
+  let s = Schedule.of_times [ (0, 2) ] ~n:2 in
+  let c = Schedule.copy s in
+  Schedule.set c ~node:0 ~time:9;
+  Alcotest.(check (option int)) "original" (Some 2) (Schedule.time s 0)
+
+(* ------------------------------------------------------------------ *)
+(* Dependency                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_dependency_small () =
+  let dep = Dependency.build line5 small_inst in
+  (* Conflicts: (0,2) via object 0 at distance 2; (2,4) via object 1. *)
+  Alcotest.(check int) "num conflicts" 2 (Dependency.num_conflicts dep);
+  Alcotest.(check int) "hmax" 2 (Dependency.hmax dep);
+  Alcotest.(check int) "max degree" 2 (Dependency.max_degree dep);
+  Alcotest.(check int) "weighted degree" 4 (Dependency.weighted_degree dep);
+  Alcotest.(check int) "deg of 2" 2 (Array.length (Dependency.conflicts dep 2));
+  Alcotest.(check int) "deg of 0" 1 (Array.length (Dependency.conflicts dep 0))
+
+let test_dependency_no_double_edges () =
+  (* Two transactions sharing two objects get one conflict edge. *)
+  let i =
+    Instance.create ~n:3 ~num_objects:2
+      ~txns:[ (0, [ 0; 1 ]); (2, [ 0; 1 ]) ]
+      ~home:[| 0; 2 |]
+  in
+  let dep = Dependency.build line5 i in
+  Alcotest.(check int) "one edge" 1 (Dependency.num_conflicts dep)
+
+let test_dependency_empty () =
+  let i = Instance.create ~n:3 ~num_objects:1 ~txns:[ (0, [ 0 ]) ] ~home:[| 0 |] in
+  let dep = Dependency.build line5 i in
+  Alcotest.(check int) "no conflicts" 0 (Dependency.num_conflicts dep);
+  Alcotest.(check int) "hmax 0" 0 (Dependency.hmax dep)
+
+(* ------------------------------------------------------------------ *)
+(* Coloring                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let all_strategies = [ ("slotted", Coloring.Slotted); ("compact", Coloring.Compact) ]
+
+let all_orders =
+  [
+    ("natural", Coloring.Natural);
+    ("desc", Coloring.Desc_degree);
+    ("random", Coloring.Random_order 42);
+  ]
+
+let test_coloring_valid_small () =
+  let dep = Dependency.build line5 small_inst in
+  List.iter
+    (fun (sname, strategy) ->
+      List.iter
+        (fun (oname, order) ->
+          let c = Coloring.greedy ~strategy ~order dep small_inst in
+          if not (Coloring.is_valid dep small_inst c.Coloring.colors) then
+            Alcotest.failf "invalid coloring for %s/%s" sname oname)
+        all_orders)
+    all_strategies
+
+let test_coloring_slotted_bound () =
+  let dep = Dependency.build line5 small_inst in
+  let c = Coloring.greedy ~strategy:Coloring.Slotted dep small_inst in
+  Alcotest.(check bool) "within Gamma + 1" true
+    (c.Coloring.num_colors <= Dependency.weighted_degree dep + 1)
+
+let test_coloring_compact_not_worse () =
+  let dep = Dependency.build line5 small_inst in
+  let slotted = Coloring.greedy ~strategy:Coloring.Slotted dep small_inst in
+  let compact = Coloring.greedy ~strategy:Coloring.Compact dep small_inst in
+  Alcotest.(check bool) "compact <= slotted" true
+    (compact.Coloring.num_colors <= slotted.Coloring.num_colors)
+
+let prop_coloring_valid =
+  qtest "greedy coloring is valid on random instances" arb_topo_instance
+    (fun (topo, inst) ->
+      let metric = Topology.metric topo in
+      let dep = Dependency.build metric inst in
+      List.for_all
+        (fun (_, strategy) ->
+          List.for_all
+            (fun (_, order) ->
+              let c = Coloring.greedy ~strategy ~order dep inst in
+              Coloring.is_valid dep inst c.Coloring.colors)
+            all_orders)
+        all_strategies)
+
+let prop_coloring_slotted_gamma =
+  qtest "slotted coloring uses <= Gamma + 1 colors" arb_topo_instance
+    (fun (topo, inst) ->
+      let metric = Topology.metric topo in
+      let dep = Dependency.build metric inst in
+      let c = Coloring.greedy ~strategy:Coloring.Slotted dep inst in
+      c.Coloring.num_colors <= Dependency.weighted_degree dep + 1)
+
+let test_is_valid_rejects_bad () =
+  let dep = Dependency.build line5 small_inst in
+  (* Nodes 0 and 2 conflict at distance 2; give them colors 1 and 2. *)
+  let bad = [| 1; 0; 2; 0; 5 |] in
+  Alcotest.(check bool) "rejected" false (Coloring.is_valid dep small_inst bad)
+
+(* ------------------------------------------------------------------ *)
+(* Validator                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_validator_accepts_feasible () =
+  (* Object 0 (home 0): t0@1 then t2@3 (distance 2 -> >= 2 apart: 3-1=2 ok).
+     Object 1 (home 4): first user by time is t2@3, distance 2 <= 3 ok;
+     then t4@5: 5-3=2 >= dist(2,4)=2 ok. *)
+  let s = Schedule.of_times [ (0, 1); (2, 3); (4, 5) ] ~n:5 in
+  (match Validator.check line5 small_inst s with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "unexpected violation: %s" (Validator.explain v));
+  Alcotest.(check bool) "is_feasible" true (Validator.is_feasible line5 small_inst s)
+
+let test_validator_rejects_unscheduled () =
+  let s = Schedule.of_times [ (0, 1); (2, 3) ] ~n:5 in
+  Alcotest.(check bool) "missing txn" false (Validator.is_feasible line5 small_inst s)
+
+let test_validator_rejects_phantom () =
+  let s = Schedule.of_times [ (0, 1); (1, 1); (2, 3); (4, 5) ] ~n:5 in
+  Alcotest.(check bool) "phantom entry" false (Validator.is_feasible line5 small_inst s)
+
+let test_validator_rejects_too_early_first () =
+  (* Object 1 home is node 4; t2 first at time 1 < dist(4,2)=2. *)
+  let s = Schedule.of_times [ (0, 1); (2, 1); (4, 5) ] ~n:5 in
+  Alcotest.(check bool) "too early" false (Validator.is_feasible line5 small_inst s)
+
+let test_validator_rejects_travel_violation () =
+  (* t0@1, t2@2: object 0 needs 2 steps from node 0 to 2. *)
+  let s = Schedule.of_times [ (0, 1); (2, 2); (4, 5) ] ~n:5 in
+  Alcotest.(check bool) "travel" false (Validator.is_feasible line5 small_inst s)
+
+let test_validator_check_all_counts () =
+  let s = Schedule.of_times [ (0, 1); (2, 1); (4, 1) ] ~n:5 in
+  let vs = Validator.check_all line5 small_inst s in
+  Alcotest.(check bool) "multiple violations" true (List.length vs >= 2)
+
+let test_validator_sequential_always_feasible () =
+  (* Scheduling transactions far apart in time is always feasible when
+     gaps exceed the diameter. *)
+  let diam = Metric.diameter line5 in
+  let gap = diam + 1 in
+  let s =
+    Schedule.of_times
+      (List.mapi (fun i v -> (v, (i * gap) + gap)) [ 0; 2; 4 ])
+      ~n:5
+  in
+  Alcotest.(check bool) "sequential feasible" true
+    (Validator.is_feasible line5 small_inst s)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy schedule + lower bound                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_greedy_small_feasible () =
+  let s = Greedy.schedule line5 small_inst in
+  match Validator.check line5 small_inst s with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "greedy infeasible: %s" (Validator.explain v)
+
+let prop_greedy_feasible =
+  qtest ~count:150 "greedy schedule is feasible on all topologies" arb_topo_instance
+    (fun (topo, inst) ->
+      let metric = Topology.metric topo in
+      let s = Greedy.schedule metric inst in
+      Validator.is_feasible metric inst s)
+
+let prop_greedy_feasible_all_orders =
+  qtest ~count:60 "greedy feasible under all strategies and orders" arb_topo_instance
+    (fun (topo, inst) ->
+      let metric = Topology.metric topo in
+      List.for_all
+        (fun (_, strategy) ->
+          List.for_all
+            (fun (_, order) ->
+              Validator.is_feasible metric inst
+                (Greedy.schedule ~strategy ~order metric inst))
+            all_orders)
+        all_strategies)
+
+let prop_lower_bound_below_greedy =
+  qtest ~count:150 "certified lower bound <= greedy makespan" arb_topo_instance
+    (fun (topo, inst) ->
+      let metric = Topology.metric topo in
+      let s = Greedy.schedule metric inst in
+      Lower_bound.certified metric inst <= Schedule.makespan s)
+
+let test_lower_bound_components () =
+  let lb = Lower_bound.compute line5 small_inst in
+  Alcotest.(check int) "load" 2 lb.Lower_bound.load;
+  (* Object 0: home 0, requesters {0,2}: walk 2.  Object 1: home 4,
+     requesters {2,4}: walk 2. *)
+  Alcotest.(check int) "max walk" 2 lb.Lower_bound.max_walk;
+  Alcotest.(check int) "certified" 2 lb.Lower_bound.certified;
+  Alcotest.(check int) "per-object entries" 2 (Array.length lb.Lower_bound.per_object)
+
+let test_lower_bound_no_txn () =
+  let i = Instance.create ~n:3 ~num_objects:1 ~txns:[ (0, [ 0 ]) ] ~home:[| 0 |] in
+  let lb = Lower_bound.compute line5 i in
+  Alcotest.(check int) "single txn certified" 1 lb.Lower_bound.certified
+
+let test_ratio () =
+  Alcotest.(check bool) "ratio" true
+    (abs_float (Lower_bound.ratio ~makespan:6 ~lower:2 -. 3.0) < 1e-9);
+  Alcotest.(check bool) "lower 0 guarded" true
+    (abs_float (Lower_bound.ratio ~makespan:6 ~lower:0 -. 6.0) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Cost                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cost_communication () =
+  let s = Schedule.of_times [ (0, 1); (2, 3); (4, 5) ] ~n:5 in
+  (* Object 0: 0->0 (home) then 0->2: 2.  Object 1: 4->2 then 2->4: 4. *)
+  let per = Cost.per_object_travel line5 small_inst s in
+  Alcotest.(check (array int)) "per object" [| 2; 4 |] per;
+  Alcotest.(check int) "total" 6 (Cost.communication line5 small_inst s)
+
+let test_cost_summary_mentions_fields () =
+  let s = Schedule.of_times [ (0, 1); (2, 3); (4, 5) ] ~n:5 in
+  let str = Cost.summary line5 small_inst s in
+  let contains needle =
+    let nl = String.length needle and sl = String.length str in
+    let rec go i = i + nl <= sl && (String.sub str i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains needle))
+    [ "makespan=5"; "comm=6"; "ratio=" ]
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let instances_equal a b =
+  Instance.n a = Instance.n b
+  && Instance.num_objects a = Instance.num_objects b
+  && List.for_all
+       (fun v -> Instance.txn_at a v = Instance.txn_at b v)
+       (List.init (Instance.n a) Fun.id)
+  && List.for_all
+       (fun o -> Instance.home a o = Instance.home b o)
+       (List.init (Instance.num_objects a) Fun.id)
+
+let test_serial_instance_roundtrip () =
+  match Serial.instance_of_string (Serial.instance_to_string small_inst) with
+  | Ok i -> Alcotest.(check bool) "equal" true (instances_equal small_inst i)
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let test_serial_schedule_roundtrip () =
+  let s = Schedule.of_times [ (0, 1); (2, 3); (4, 5) ] ~n:5 in
+  match Serial.schedule_of_string (Serial.schedule_to_string s) with
+  | Ok s' ->
+    Alcotest.(check int) "capacity" 5 (Schedule.capacity s');
+    List.iter
+      (fun v -> Alcotest.(check (option int)) "time" (Schedule.time s v) (Schedule.time s' v))
+      [ 0; 1; 2; 3; 4 ]
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let test_serial_rejects () =
+  Alcotest.(check bool) "empty" true (Serial.instance_of_string "" |> Result.is_error);
+  Alcotest.(check bool) "bad header" true
+    (Serial.instance_of_string "nonsense v9\nn 3" |> Result.is_error);
+  Alcotest.(check bool) "missing home" true
+    (Serial.instance_of_string "dtm-instance v1\nn 2\nobjects 1\ntxn 0 0"
+    |> Result.is_error);
+  Alcotest.(check bool) "bad line" true
+    (Serial.schedule_of_string "dtm-schedule v1\nn 2\nwhatever" |> Result.is_error);
+  Alcotest.(check bool) "bad int" true
+    (Serial.schedule_of_string "dtm-schedule v1\nn 2\nat 0 xyz" |> Result.is_error)
+
+let test_serial_comments () =
+  let text =
+    "# saved instance\ndtm-instance v1\n\nn 3\nobjects 1\nhome 0 1\n# txns\ntxn 1 0\n"
+  in
+  match Serial.instance_of_string text with
+  | Ok i ->
+    Alcotest.(check int) "n" 3 (Instance.n i);
+    Alcotest.(check int) "home" 1 (Instance.home i 0)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let prop_serial_roundtrip =
+  qtest ~count:100 "instance serialization round-trips" arb_topo_instance
+    (fun (_, inst) ->
+      match Serial.instance_of_string (Serial.instance_to_string inst) with
+      | Ok i -> instances_equal inst i
+      | Error _ -> false)
+
+let prop_serial_fuzz =
+  (* Arbitrary garbage never raises: it parses or returns Error. *)
+  qtest ~count:300 "parsers never raise on garbage"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 200) QCheck.Gen.printable)
+    (fun s ->
+      (match Serial.instance_of_string s with Ok _ | Error _ -> true)
+      && (match Serial.schedule_of_string s with Ok _ | Error _ -> true)
+      &&
+      match Dtm_graph.Graph_io.of_string s with Ok _ | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Replication extension: Rw modules                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* small_inst with node 2 only reading object 0 and writing object 1. *)
+let rw_of_small () =
+  Rw_instance.create small_inst ~writes:[ (0, [ 0 ]); (2, [ 1 ]); (4, [ 1 ]) ]
+
+let test_rw_partition () =
+  let rw = rw_of_small () in
+  Alcotest.(check (array int)) "writers of 0" [| 0 |] (Rw_instance.writers rw 0);
+  Alcotest.(check (array int)) "readers of 0" [| 2 |] (Rw_instance.readers rw 0);
+  Alcotest.(check (array int)) "writers of 1" [| 2; 4 |] (Rw_instance.writers rw 1);
+  Alcotest.(check (array int)) "readers of 1" [||] (Rw_instance.readers rw 1);
+  Alcotest.(check bool) "is_write" true (Rw_instance.is_write rw ~node:2 ~obj:1);
+  Alcotest.(check bool) "is_read" false (Rw_instance.is_write rw ~node:2 ~obj:0);
+  Alcotest.(check int) "write load" 2 (Rw_instance.write_load rw)
+
+let test_rw_create_rejects () =
+  let expect msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  expect "Rw_instance.create: node has no transaction" (fun () ->
+      ignore (Rw_instance.create small_inst ~writes:[ (1, [ 0 ]) ]));
+  expect "Rw_instance.create: written object not requested" (fun () ->
+      ignore (Rw_instance.create small_inst ~writes:[ (0, [ 1 ]) ]));
+  expect "Rw_instance.create: node listed twice" (fun () ->
+      ignore (Rw_instance.create small_inst ~writes:[ (0, [ 0 ]); (0, [ 0 ]) ]))
+
+let test_rw_all_write_matches_base_validator () =
+  let rw = Rw_instance.all_write small_inst in
+  let good = Schedule.of_times [ (0, 1); (2, 3); (4, 5) ] ~n:5 in
+  let bad = Schedule.of_times [ (0, 1); (2, 2); (4, 5) ] ~n:5 in
+  Alcotest.(check bool) "accepts like base" true (Rw_validator.is_feasible line5 rw good);
+  Alcotest.(check bool) "rejects like base" false (Rw_validator.is_feasible line5 rw bad)
+
+let test_rw_all_write_greedy_identical () =
+  let rw = Rw_instance.all_write small_inst in
+  let a = Greedy.schedule line5 small_inst in
+  let b = Rw_greedy.schedule line5 rw in
+  List.iter
+    (fun v ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "time at %d" v)
+        (Schedule.time a v) (Schedule.time b v))
+    (Schedule.scheduled_nodes a)
+
+let test_rw_readers_share_steps () =
+  (* Object 0 read by nodes 0 and 4, never written: both may run at the
+     same step (base model would forbid it). *)
+  let inst =
+    Instance.create ~n:5 ~num_objects:1 ~txns:[ (0, [ 0 ]); (4, [ 0 ]) ]
+      ~home:[| 2 |]
+  in
+  let rw = Rw_instance.create inst ~writes:[] in
+  let s = Schedule.of_times [ (0, 2); (4, 2) ] ~n:5 in
+  Alcotest.(check bool) "replicated reads concurrent" true
+    (Rw_validator.is_feasible line5 rw s);
+  Alcotest.(check bool) "base model forbids" false
+    (Dtm_core.Validator.is_feasible line5 inst s)
+
+let test_rw_reader_needs_copy_travel () =
+  let inst =
+    Instance.create ~n:5 ~num_objects:1 ~txns:[ (0, [ 0 ]); (4, [ 0 ]) ]
+      ~home:[| 2 |]
+  in
+  let rw = Rw_instance.create inst ~writes:[] in
+  (* Copies start at node 2: node 4 cannot read at step 1. *)
+  let too_early = Schedule.of_times [ (0, 2); (4, 1) ] ~n:5 in
+  Alcotest.(check bool) "copy travel enforced" false
+    (Rw_validator.is_feasible line5 rw too_early)
+
+let test_rw_reader_after_writer () =
+  (* Node 0 writes object 0 (home 0) at t=1; node 4 reads it.  The copy
+     leaves node 0 at t=1, so the read is legal at t >= 5, illegal at 4
+     ... and sharing t=1 is also illegal. *)
+  let inst =
+    Instance.create ~n:5 ~num_objects:1 ~txns:[ (0, [ 0 ]); (4, [ 0 ]) ]
+      ~home:[| 0 |]
+  in
+  let rw = Rw_instance.create inst ~writes:[ (0, [ 0 ]) ] in
+  let legal = Schedule.of_times [ (0, 1); (4, 5) ] ~n:5 in
+  let tight = Schedule.of_times [ (0, 1); (4, 4) ] ~n:5 in
+  let tied = Schedule.of_times [ (0, 1); (4, 1) ] ~n:5 in
+  Alcotest.(check bool) "legal" true (Rw_validator.is_feasible line5 rw legal);
+  Alcotest.(check bool) "too tight" false (Rw_validator.is_feasible line5 rw tight);
+  Alcotest.(check bool) "tied step" false (Rw_validator.is_feasible line5 rw tied)
+
+let test_rw_read_before_write_from_home () =
+  (* A reader scheduled before the writer reads the home version. *)
+  let inst =
+    Instance.create ~n:5 ~num_objects:1 ~txns:[ (0, [ 0 ]); (4, [ 0 ]) ]
+      ~home:[| 4 |]
+  in
+  let rw = Rw_instance.create inst ~writes:[ (0, [ 0 ]) ] in
+  (* Reader at node 4 = home: may run at step 1; writer at node 0 needs
+     the master at distance 4, so t >= 4. *)
+  let s = Schedule.of_times [ (4, 1); (0, 4) ] ~n:5 in
+  Alcotest.(check bool) "reader first" true (Rw_validator.is_feasible line5 rw s)
+
+let test_rw_greedy_feasible_small () =
+  let rw = rw_of_small () in
+  let s = Rw_greedy.schedule line5 rw in
+  match Rw_validator.check line5 rw s with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "rw greedy infeasible: %s" (Dtm_core.Validator.explain v)
+
+let test_rw_conflict_pairs () =
+  let rw = rw_of_small () in
+  (* (0,2) via object 0 (0 writes); (2,4) via object 1 (both write). *)
+  Alcotest.(check (list (pair int int))) "pairs" [ (0, 2); (2, 4) ]
+    (List.sort compare (Rw_greedy.conflict_pairs rw));
+  (* Fully read-only: no pairs at all. *)
+  let ro = Rw_instance.create small_inst ~writes:[] in
+  Alcotest.(check (list (pair int int))) "no pairs" [] (Rw_greedy.conflict_pairs ro)
+
+let prop_rw_greedy_feasible =
+  qtest ~count:100 "rw greedy feasible across topologies and write mixes"
+    arb_topo_instance
+    (fun (topo, inst) ->
+      let metric = Topology.metric topo in
+      (* Derive a write mask from the instance deterministically. *)
+      let writes =
+        Array.to_list (Instance.txn_nodes inst)
+        |> List.filter_map (fun v ->
+               match Instance.txn_at inst v with
+               | None -> None
+               | Some objs ->
+                 let written =
+                   Array.to_list objs |> List.filter (fun o -> (v + o) mod 3 <> 0)
+                 in
+                 if written = [] then None else Some (v, written))
+      in
+      let rw = Rw_instance.create inst ~writes in
+      Rw_validator.is_feasible metric rw (Rw_greedy.schedule metric rw))
+
+let test_rw_lower_bound_components () =
+  let rw = rw_of_small () in
+  let lb = Rw_lower_bound.compute line5 rw in
+  (* Object 1 has writers {2, 4}: write load 2; master walk from home 4
+     through {2, 4} visits 4 for free then travels to 2: length 2.
+     Reach: object 0 home 0 to reader 2 = 2, object 1 home 4 to node 2 =
+     2. *)
+  Alcotest.(check int) "write load" 2 lb.Rw_lower_bound.write_load;
+  Alcotest.(check int) "writer walk" 2 lb.Rw_lower_bound.writer_walk;
+  Alcotest.(check int) "reach" 2 lb.Rw_lower_bound.reach;
+  Alcotest.(check int) "certified" 2 lb.Rw_lower_bound.certified
+
+let prop_rw_lower_bound_below_rw_greedy =
+  qtest ~count:100 "rw lower bound <= rw greedy makespan" arb_topo_instance
+    (fun (topo, inst) ->
+      let metric = Topology.metric topo in
+      let writes =
+        Array.to_list (Instance.txn_nodes inst)
+        |> List.filter_map (fun v ->
+               match Instance.txn_at inst v with
+               | None -> None
+               | Some objs ->
+                 let written =
+                   Array.to_list objs |> List.filter (fun o -> (v + o) mod 2 = 0)
+                 in
+                 if written = [] then None else Some (v, written))
+      in
+      let rw = Rw_instance.create inst ~writes in
+      Rw_lower_bound.certified metric rw
+      <= Schedule.makespan (Rw_greedy.schedule metric rw))
+
+let test_rw_lb_all_write_leq_base () =
+  (* With all accesses writing, the rw bound is at least as strong as...
+     at minimum it never exceeds the base certified bound's validity:
+     both must sit below the base greedy makespan. *)
+  let rw = Rw_instance.all_write small_inst in
+  let base = Lower_bound.certified line5 small_inst in
+  let rwlb = Rw_lower_bound.certified line5 rw in
+  let greedy = Schedule.makespan (Greedy.schedule line5 small_inst) in
+  Alcotest.(check bool) "both below greedy" true (base <= greedy && rwlb <= greedy)
+
+let test_rw_cost_counts_copies () =
+  (* Object 0: writer at node 0 (home 0), readers at nodes 2 and 4.
+     Master never moves after its write; copies travel 2 and 4. *)
+  let inst =
+    Instance.create ~n:5 ~num_objects:1
+      ~txns:[ (0, [ 0 ]); (2, [ 0 ]); (4, [ 0 ]) ]
+      ~home:[| 0 |]
+  in
+  let rw = Rw_instance.create inst ~writes:[ (0, [ 0 ]) ] in
+  let s = Schedule.of_times [ (0, 1); (2, 3); (4, 5) ] ~n:5 in
+  Alcotest.(check bool) "feasible under replication" true
+    (Rw_validator.is_feasible line5 rw s);
+  Alcotest.(check (array int)) "traffic" [| 6 |]
+    (Rw_cost.per_object_traffic line5 rw s);
+  (* Base model must carry the object through all three nodes: 0->2->4. *)
+  Alcotest.(check int) "base travel smaller here" 4
+    (Cost.communication line5 inst s)
+
+let test_rw_cost_all_write_matches_base () =
+  let rw = Rw_instance.all_write small_inst in
+  let s = Schedule.of_times [ (0, 1); (2, 3); (4, 5) ] ~n:5 in
+  Alcotest.(check int) "same as base communication"
+    (Cost.communication line5 small_inst s)
+    (Rw_cost.communication line5 rw s)
+
+let test_rw_read_mostly_faster () =
+  (* A hot object read by everyone: replication collapses the makespan
+     versus the base model where it must visit every node. *)
+  let n = 24 in
+  let metric = Dtm_topology.Clique.metric n in
+  let rng = Dtm_util.Prng.create ~seed:77 in
+  let inst = Dtm_workload.Arbitrary.hot_object ~rng ~n ~num_objects:6 ~k:2 in
+  let base_mk = Schedule.makespan (Greedy.schedule metric inst) in
+  (* Only object 0's first requester writes it; everything else reads. *)
+  let rw = Rw_instance.create inst ~writes:[ (0, [ 0 ]) ] in
+  let rw_mk = Schedule.makespan (Rw_greedy.schedule metric rw) in
+  Alcotest.(check bool) "replication collapses hot object" true (rw_mk * 2 <= base_mk)
+
+let () =
+  Alcotest.run "dtm_core"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "accessors" `Quick test_instance_accessors;
+          Alcotest.test_case "dedups objects" `Quick test_instance_dedups_objects;
+          Alcotest.test_case "rejects malformed" `Quick test_instance_rejects;
+          Alcotest.test_case "homes elsewhere" `Quick test_instance_homes_not_at_requesters;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "basic" `Quick test_schedule_basic;
+          Alcotest.test_case "rejects bad time" `Quick test_schedule_rejects_bad_time;
+          Alcotest.test_case "of_times / order" `Quick test_schedule_of_times_and_order;
+          Alcotest.test_case "shift" `Quick test_schedule_shift;
+          Alcotest.test_case "copy" `Quick test_schedule_copy_independent;
+        ] );
+      ( "dependency",
+        [
+          Alcotest.test_case "small" `Quick test_dependency_small;
+          Alcotest.test_case "no double edges" `Quick test_dependency_no_double_edges;
+          Alcotest.test_case "empty" `Quick test_dependency_empty;
+        ] );
+      ( "coloring",
+        [
+          Alcotest.test_case "valid small" `Quick test_coloring_valid_small;
+          Alcotest.test_case "slotted bound" `Quick test_coloring_slotted_bound;
+          Alcotest.test_case "compact not worse" `Quick test_coloring_compact_not_worse;
+          prop_coloring_valid;
+          prop_coloring_slotted_gamma;
+          Alcotest.test_case "is_valid rejects" `Quick test_is_valid_rejects_bad;
+        ] );
+      ( "validator",
+        [
+          Alcotest.test_case "accepts feasible" `Quick test_validator_accepts_feasible;
+          Alcotest.test_case "rejects unscheduled" `Quick test_validator_rejects_unscheduled;
+          Alcotest.test_case "rejects phantom" `Quick test_validator_rejects_phantom;
+          Alcotest.test_case "rejects early first" `Quick test_validator_rejects_too_early_first;
+          Alcotest.test_case "rejects travel violation" `Quick test_validator_rejects_travel_violation;
+          Alcotest.test_case "check_all counts" `Quick test_validator_check_all_counts;
+          Alcotest.test_case "sequential feasible" `Quick test_validator_sequential_always_feasible;
+        ] );
+      ( "greedy",
+        [
+          Alcotest.test_case "small feasible" `Quick test_greedy_small_feasible;
+          prop_greedy_feasible;
+          prop_greedy_feasible_all_orders;
+          prop_lower_bound_below_greedy;
+        ] );
+      ( "lower-bound",
+        [
+          Alcotest.test_case "components" `Quick test_lower_bound_components;
+          Alcotest.test_case "single txn" `Quick test_lower_bound_no_txn;
+          Alcotest.test_case "ratio" `Quick test_ratio;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "communication" `Quick test_cost_communication;
+          Alcotest.test_case "summary" `Quick test_cost_summary_mentions_fields;
+        ] );
+      ( "serial",
+        [
+          Alcotest.test_case "instance roundtrip" `Quick test_serial_instance_roundtrip;
+          Alcotest.test_case "schedule roundtrip" `Quick test_serial_schedule_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_serial_rejects;
+          Alcotest.test_case "comments ignored" `Quick test_serial_comments;
+          prop_serial_roundtrip;
+          prop_serial_fuzz;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "partition" `Quick test_rw_partition;
+          Alcotest.test_case "create rejects" `Quick test_rw_create_rejects;
+          Alcotest.test_case "all_write validator" `Quick test_rw_all_write_matches_base_validator;
+          Alcotest.test_case "all_write greedy identical" `Quick test_rw_all_write_greedy_identical;
+          Alcotest.test_case "readers share steps" `Quick test_rw_readers_share_steps;
+          Alcotest.test_case "copy travel" `Quick test_rw_reader_needs_copy_travel;
+          Alcotest.test_case "reader after writer" `Quick test_rw_reader_after_writer;
+          Alcotest.test_case "reader before writer" `Quick test_rw_read_before_write_from_home;
+          Alcotest.test_case "rw greedy small" `Quick test_rw_greedy_feasible_small;
+          Alcotest.test_case "conflict pairs" `Quick test_rw_conflict_pairs;
+          prop_rw_greedy_feasible;
+          Alcotest.test_case "rw lower bound" `Quick test_rw_lower_bound_components;
+          prop_rw_lower_bound_below_rw_greedy;
+          Alcotest.test_case "rw lb vs base" `Quick test_rw_lb_all_write_leq_base;
+          Alcotest.test_case "rw cost copies" `Quick test_rw_cost_counts_copies;
+          Alcotest.test_case "rw cost all-write" `Quick test_rw_cost_all_write_matches_base;
+          Alcotest.test_case "read-mostly faster" `Quick test_rw_read_mostly_faster;
+        ] );
+    ]

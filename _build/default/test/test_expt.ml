@@ -1,0 +1,68 @@
+(* Tests for the experiment registry and figure reproductions: every
+   figure's structural checks must pass, and the cheap experiments must
+   produce well-formed tables. *)
+
+let test_registry_complete () =
+  let ids = List.map (fun e -> e.Dtm_expt.Registry.id) Dtm_expt.Registry.all in
+  let expected =
+    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
+      "e12"; "e13"; "e14"; "e15"; "f1"; "f2"; "f3"; "f4"; "f5"; "f6" ]
+  in
+  Alcotest.(check (list string)) "all entries present" expected ids
+
+let test_registry_find () =
+  Alcotest.(check bool) "finds e1" true (Dtm_expt.Registry.find "e1" <> None);
+  Alcotest.(check bool) "rejects junk" true (Dtm_expt.Registry.find "e99" = None)
+
+let test_figures_all_checks_pass () =
+  List.iter
+    (fun (id, f) ->
+      let r = f () in
+      Alcotest.(check bool) (id ^ " has rendering") true
+        (String.length r.Dtm_expt.Figures.rendering > 0);
+      List.iter
+        (fun (name, ok) ->
+          if not ok then Alcotest.failf "%s: check %S failed" id name)
+        r.Dtm_expt.Figures.checks)
+    Dtm_expt.Figures.all
+
+let test_runner_measure () =
+  let metric = Dtm_topology.Line.metric 5 in
+  let inst =
+    Dtm_core.Instance.create ~n:5 ~num_objects:1 ~txns:[ (0, [ 0 ]); (4, [ 0 ]) ]
+      ~home:[| 0 |]
+  in
+  let sched = Dtm_core.Schedule.of_times [ (0, 1); (4, 5) ] ~n:5 in
+  let m = Dtm_expt.Runner.measure metric inst sched in
+  Alcotest.(check int) "makespan" 5 m.Dtm_expt.Runner.makespan;
+  Alcotest.(check bool) "feasible" true m.Dtm_expt.Runner.feasible;
+  Alcotest.(check bool) "ratio >= 1" true (m.Dtm_expt.Runner.ratio >= 1.0)
+
+(* Cheap experiments run end-to-end with 1 seed and render non-empty
+   tables mentioning feasibility. *)
+let test_cheap_experiments_run () =
+  let seeds = [ 1 ] in
+  List.iter
+    (fun id ->
+      match Dtm_expt.Registry.find id with
+      | None -> Alcotest.failf "missing %s" id
+      | Some e ->
+        let out = Dtm_expt.Registry.run_to_string ~seeds e in
+        Alcotest.(check bool) (id ^ " non-empty") true (String.length out > 100))
+    [ "e1"; "e8"; "f1"; "f2"; "f3"; "f4"; "f5"; "f6" ]
+
+let () =
+  Alcotest.run "dtm_expt"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "find" `Quick test_registry_find;
+        ] );
+      ( "figures",
+        [ Alcotest.test_case "all checks pass" `Quick test_figures_all_checks_pass ] );
+      ( "runner",
+        [ Alcotest.test_case "measure" `Quick test_runner_measure ] );
+      ( "experiments",
+        [ Alcotest.test_case "cheap entries run" `Slow test_cheap_experiments_run ] );
+    ]

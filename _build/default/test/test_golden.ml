@@ -1,0 +1,99 @@
+(* Golden regression tests: exact makespans for fixed seeds.  These pin
+   the behaviour of every scheduler so that refactorings that change
+   results (even to feasible ones) are flagged for review.  If a change
+   is intentional, update the constants and note it in the commit. *)
+
+module Schedule = Dtm_core.Schedule
+module Topology = Dtm_topology.Topology
+module Prng = Dtm_util.Prng
+
+let uniform ~seed ~n ~w ~k =
+  Dtm_workload.Uniform.instance ~rng:(Prng.create ~seed) ~n ~num_objects:w ~k ()
+
+let check name expected actual =
+  Alcotest.(check int) (name ^ " makespan") expected actual
+
+let test_clique_golden () =
+  let inst = uniform ~seed:1 ~n:32 ~w:8 ~k:2 in
+  check "clique" 10
+    (Schedule.makespan (Dtm_sched.Clique_sched.schedule ~n:32 inst))
+
+let test_line_golden () =
+  let inst = uniform ~seed:2 ~n:64 ~w:16 ~k:2 in
+  check "line" 189 (Schedule.makespan (Dtm_sched.Line_sched.schedule ~n:64 inst))
+
+let test_ring_golden () =
+  let inst = uniform ~seed:3 ~n:64 ~w:16 ~k:2 in
+  check "ring" 127 (Schedule.makespan (Dtm_sched.Ring_sched.schedule ~n:64 inst))
+
+let test_grid_golden () =
+  let inst = uniform ~seed:4 ~n:64 ~w:16 ~k:2 in
+  check "grid" 58
+    (Schedule.makespan (Dtm_sched.Grid_sched.schedule ~rows:8 ~cols:8 inst))
+
+let test_cluster_golden () =
+  let p = { Dtm_topology.Cluster.clusters = 4; size = 6; bridge_weight = 8 } in
+  let inst = uniform ~seed:5 ~n:24 ~w:8 ~k:2 in
+  check "cluster approach1" 47
+    (Schedule.makespan
+       (Dtm_sched.Cluster_sched.schedule ~approach:Dtm_sched.Cluster_sched.Approach1
+          p inst));
+  check "cluster approach2" 99
+    (Schedule.makespan
+       (Dtm_sched.Cluster_sched.schedule
+          ~approach:(Dtm_sched.Cluster_sched.Approach2 { seed = 6 })
+          p inst))
+
+let test_star_golden () =
+  let p = { Dtm_topology.Star.rays = 5; ray_len = 6 } in
+  let inst = uniform ~seed:7 ~n:31 ~w:8 ~k:2 in
+  check "star greedy" 77
+    (Schedule.makespan
+       (Dtm_sched.Star_sched.schedule ~variant:Dtm_sched.Star_sched.Greedy_periods p
+          inst))
+
+let test_engine_golden () =
+  let inst = uniform ~seed:8 ~n:32 ~w:8 ~k:2 in
+  check "engine" 18
+    (Schedule.makespan (Dtm_sim.Engine.run (Dtm_topology.Clique.metric 32) inst))
+
+let test_online_golden () =
+  let rng = Prng.create ~seed:9 in
+  let s =
+    Dtm_online.Stream.uniform ~rng ~n:16 ~num_objects:6 ~k:2 ~txns_per_node:3
+      ~mean_gap:2
+  in
+  let homes = Dtm_online.Stream.initial_homes ~rng s in
+  let r =
+    Dtm_online.Runner.run
+      ~policy:(Dtm_online.Policy.Timestamp { preemption = true })
+      (Dtm_topology.Clique.metric 16) s ~homes
+  in
+  check "online greedy-cm" 32 r.Dtm_online.Runner.makespan
+
+(* Discover-and-print helper: when a golden value changes legitimately,
+   run with GOLDEN_PRINT=1 to see the new values. *)
+let () =
+  if Sys.getenv_opt "GOLDEN_PRINT" <> None then begin
+    let p v = Printf.printf "%d\n" v in
+    p (Schedule.makespan (Dtm_sched.Clique_sched.schedule ~n:32 (uniform ~seed:1 ~n:32 ~w:8 ~k:2)));
+    p (Schedule.makespan (Dtm_sched.Line_sched.schedule ~n:64 (uniform ~seed:2 ~n:64 ~w:16 ~k:2)));
+    p (Schedule.makespan (Dtm_sched.Ring_sched.schedule ~n:64 (uniform ~seed:3 ~n:64 ~w:16 ~k:2)));
+    p (Schedule.makespan (Dtm_sched.Grid_sched.schedule ~rows:8 ~cols:8 (uniform ~seed:4 ~n:64 ~w:16 ~k:2)))
+  end
+
+let () =
+  Alcotest.run "dtm_golden"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "clique" `Quick test_clique_golden;
+          Alcotest.test_case "line" `Quick test_line_golden;
+          Alcotest.test_case "ring" `Quick test_ring_golden;
+          Alcotest.test_case "grid" `Quick test_grid_golden;
+          Alcotest.test_case "cluster" `Quick test_cluster_golden;
+          Alcotest.test_case "star" `Quick test_star_golden;
+          Alcotest.test_case "engine" `Quick test_engine_golden;
+          Alcotest.test_case "online" `Quick test_online_golden;
+        ] );
+    ]

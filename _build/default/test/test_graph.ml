@@ -1,0 +1,400 @@
+(* Unit and property tests for the dtm_graph substrate. *)
+
+open Dtm_graph
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* A fixed path graph 0-1-2-3-4 with unit weights. *)
+let path5 = Graph.of_edges ~n:5 [ (0, 1, 1); (1, 2, 1); (2, 3, 1); (3, 4, 1) ]
+
+(* A weighted diamond: 0-1 (1), 0-2 (4), 1-2 (1), 2-3 (1), 1-3 (5). *)
+let diamond =
+  Graph.of_edges ~n:4 [ (0, 1, 1); (0, 2, 4); (1, 2, 1); (2, 3, 1); (1, 3, 5) ]
+
+(* Random connected unit-weight graph generator: a random tree plus extras. *)
+let random_graph_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 24 in
+    let* extra = int_range 0 (n * 2) in
+    let* seed = int_range 0 1_000_000 in
+    let rng = Dtm_util.Prng.create ~seed in
+    let edges = ref [] in
+    let mem = Hashtbl.create 64 in
+    let add u v =
+      let u, v = if u < v then (u, v) else (v, u) in
+      if u <> v && not (Hashtbl.mem mem (u, v)) then begin
+        Hashtbl.replace mem (u, v) ();
+        edges := (u, v, 1) :: !edges
+      end
+    in
+    for v = 1 to n - 1 do
+      add (Dtm_util.Prng.int rng v) v
+    done;
+    for _ = 1 to extra do
+      add (Dtm_util.Prng.int rng n) (Dtm_util.Prng.int rng n)
+    done;
+    return (Graph.of_edges ~n !edges))
+
+let arb_graph = QCheck.make ~print:(fun g -> Format.asprintf "%a" Graph.pp g) random_graph_gen
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_basic () =
+  Alcotest.(check int) "n" 5 (Graph.n path5);
+  Alcotest.(check int) "edges" 4 (Graph.num_edges path5);
+  Alcotest.(check int) "deg 0" 1 (Graph.degree path5 0);
+  Alcotest.(check int) "deg 2" 2 (Graph.degree path5 2);
+  Alcotest.(check int) "max degree" 2 (Graph.max_degree path5);
+  Alcotest.(check bool) "mem 1-2" true (Graph.mem_edge path5 1 2);
+  Alcotest.(check bool) "mem 0-2" false (Graph.mem_edge path5 0 2);
+  Alcotest.(check bool) "weight" true (Graph.edge_weight diamond 1 3 = Some 5);
+  Alcotest.(check int) "max weight" 5 (Graph.max_weight diamond);
+  Alcotest.(check int) "total weight" 12 (Graph.total_weight diamond)
+
+let test_graph_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self-loop")
+    (fun () -> ignore (Graph.of_edges ~n:3 [ (1, 1, 1) ]))
+
+let test_graph_rejects_duplicate () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Graph.of_edges: duplicate edge")
+    (fun () -> ignore (Graph.of_edges ~n:3 [ (0, 1, 1); (1, 0, 2) ]))
+
+let test_graph_rejects_bad_weight () =
+  Alcotest.check_raises "weight" (Invalid_argument "Graph.of_edges: non-positive weight")
+    (fun () -> ignore (Graph.of_edges ~n:3 [ (0, 1, 0) ]))
+
+let test_graph_rejects_out_of_range () =
+  Alcotest.check_raises "range" (Invalid_argument "Graph.of_edges: node out of range")
+    (fun () -> ignore (Graph.of_edges ~n:3 [ (0, 3, 1) ]))
+
+let test_graph_connectivity () =
+  Alcotest.(check bool) "path connected" true (Graph.is_connected path5);
+  let disconnected = Graph.of_edges ~n:4 [ (0, 1, 1); (2, 3, 1) ] in
+  Alcotest.(check bool) "two components" false (Graph.is_connected disconnected);
+  Alcotest.(check bool) "empty graph" true (Graph.is_connected (Graph.of_edges ~n:0 []));
+  Alcotest.(check bool) "single node" true (Graph.is_connected (Graph.of_edges ~n:1 []))
+
+let test_graph_neighbors () =
+  let ns = Graph.neighbors path5 2 in
+  let sorted = Array.copy ns in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "neighbors of middle" true (sorted = [| (1, 1); (3, 1) |])
+
+(* ------------------------------------------------------------------ *)
+(* Bfs / Dijkstra                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_bfs_distances () =
+  let d = Bfs.distances path5 ~src:0 in
+  Alcotest.(check (array int)) "path distances" [| 0; 1; 2; 3; 4 |] d
+
+let test_bfs_unreachable () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 1) ] in
+  let d = Bfs.distances g ~src:0 in
+  Alcotest.(check bool) "unreachable" true (d.(2) = max_int)
+
+let test_bfs_path () =
+  match Bfs.path path5 ~src:0 ~dst:4 with
+  | Some p -> Alcotest.(check (list int)) "path nodes" [ 0; 1; 2; 3; 4 ] p
+  | None -> Alcotest.fail "expected a path"
+
+let test_bfs_path_none () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 1) ] in
+  Alcotest.(check bool) "no path" true (Bfs.path g ~src:0 ~dst:2 = None)
+
+let test_dijkstra_weighted () =
+  let d = Dijkstra.distances diamond ~src:0 in
+  (* 0->2 best via 1: 1 + 1 = 2, not the direct weight-4 edge. *)
+  Alcotest.(check (array int)) "weighted distances" [| 0; 1; 2; 3 |] d
+
+let test_dijkstra_path () =
+  match Dijkstra.path diamond ~src:0 ~dst:3 with
+  | Some p -> Alcotest.(check (list int)) "via 1 and 2" [ 0; 1; 2; 3 ] p
+  | None -> Alcotest.fail "expected a path"
+
+let prop_bfs_dijkstra_agree =
+  qtest "bfs = dijkstra on unit weights" arb_graph (fun g ->
+      let ok = ref true in
+      for src = 0 to min 4 (Graph.n g - 1) do
+        if Bfs.distances g ~src <> Dijkstra.distances g ~src then ok := false
+      done;
+      !ok)
+
+let prop_dijkstra_triangle =
+  qtest "dijkstra distances satisfy the triangle inequality" arb_graph (fun g ->
+      let d = Apsp.distances g in
+      let n = Graph.n g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          for w = 0 to n - 1 do
+            if
+              d.(u).(w) < max_int && d.(w).(v) < max_int
+              && d.(u).(v) > d.(u).(w) + d.(w).(v)
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Apsp / Metric                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_apsp_symmetric () =
+  let d = Apsp.distances diamond in
+  for u = 0 to 3 do
+    for v = 0 to 3 do
+      Alcotest.(check int) "symmetric" d.(u).(v) d.(v).(u)
+    done
+  done
+
+let test_apsp_unit_detection () =
+  Alcotest.(check bool) "path5 unit" true (Apsp.unit_weights path5);
+  Alcotest.(check bool) "diamond weighted" false (Apsp.unit_weights diamond)
+
+let test_metric_validate_ok () =
+  let m = Apsp.to_metric diamond in
+  Alcotest.(check bool) "valid metric" true (Metric.validate m = Ok ())
+
+let test_metric_validate_catches_asymmetry () =
+  let bad = Metric.make ~size:2 (fun u v -> if u < v then 1 else 2) in
+  Alcotest.(check bool) "invalid" true (Metric.validate bad <> Ok ())
+
+let test_metric_diameter () =
+  let m = Apsp.to_metric path5 in
+  Alcotest.(check int) "diameter" 4 (Metric.diameter m)
+
+let test_metric_max_dist_among () =
+  let m = Apsp.to_metric path5 in
+  Alcotest.(check int) "subset diameter" 3 (Metric.max_dist_among m [ 1; 2; 4 ]);
+  Alcotest.(check int) "singleton" 0 (Metric.max_dist_among m [ 2 ]);
+  Alcotest.(check int) "empty" 0 (Metric.max_dist_among m [])
+
+let test_metric_out_of_range () =
+  let m = Metric.make ~size:3 (fun _ _ -> 1) in
+  Alcotest.check_raises "range" (Invalid_argument "Metric.dist: node out of range")
+    (fun () -> ignore (Metric.dist m 0 3))
+
+(* ------------------------------------------------------------------ *)
+(* Mst                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_kruskal_tree_size () =
+  let tree, w = Mst.kruskal diamond in
+  Alcotest.(check int) "n-1 edges" 3 (List.length tree);
+  Alcotest.(check int) "weight" 3 w
+
+let test_kruskal_forest () =
+  let g = Graph.of_edges ~n:4 [ (0, 1, 2); (2, 3, 3) ] in
+  let tree, w = Mst.kruskal g in
+  Alcotest.(check int) "forest edges" 2 (List.length tree);
+  Alcotest.(check int) "forest weight" 5 w
+
+let test_metric_mst () =
+  let m = Apsp.to_metric path5 in
+  let tree, w = Mst.metric_mst m [ 0; 2; 4 ] in
+  Alcotest.(check int) "edges" 2 (List.length tree);
+  Alcotest.(check int) "weight" 4 w
+
+let test_metric_mst_degenerate () =
+  let m = Apsp.to_metric path5 in
+  Alcotest.(check bool) "empty" true (Mst.metric_mst m [] = ([], 0));
+  Alcotest.(check bool) "singleton" true (Mst.metric_mst m [ 3 ] = ([], 0));
+  Alcotest.(check bool) "duplicates merged" true (snd (Mst.metric_mst m [ 3; 3; 3 ]) = 0)
+
+let prop_mst_leq_any_tree =
+  qtest "kruskal weight <= total graph weight" arb_graph (fun g ->
+      snd (Mst.kruskal g) <= Graph.total_weight g)
+
+(* ------------------------------------------------------------------ *)
+(* Tsp / Walk                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_tsp_exact_line () =
+  let m = Apsp.to_metric path5 in
+  (* Optimal path through {0, 2, 4} is 0->2->4 of length 4. *)
+  Alcotest.(check int) "line tsp" 4 (Tsp.exact_path_length m [ 0; 2; 4 ]);
+  (* Starting from node 4: 4->2->0 also length 4; from 2: 2->0->4 = 6. *)
+  Alcotest.(check int) "start 4" 4 (Tsp.exact_path_length m ~start:4 [ 0; 2 ]);
+  Alcotest.(check int) "start mid" 6 (Tsp.exact_path_length m ~start:2 [ 0; 4 ])
+
+let test_tsp_exact_degenerate () =
+  let m = Apsp.to_metric path5 in
+  Alcotest.(check int) "empty" 0 (Tsp.exact_path_length m []);
+  Alcotest.(check int) "singleton free" 0 (Tsp.exact_path_length m [ 3 ]);
+  Alcotest.(check int) "singleton with start" 3 (Tsp.exact_path_length m ~start:0 [ 3 ])
+
+let test_tsp_exact_cap () =
+  let m = Metric.make ~size:20 (fun u v -> abs (u - v)) in
+  let terms = List.init 16 Fun.id in
+  Alcotest.check_raises "cap" (Invalid_argument "Tsp.exact_path_length: too many terminals")
+    (fun () -> ignore (Tsp.exact_path_length m terms))
+
+let test_tsp_nn () =
+  let m = Apsp.to_metric path5 in
+  let order, len = Tsp.nearest_neighbor m ~start:0 [ 4; 2 ] in
+  Alcotest.(check (list int)) "nn order" [ 2; 4 ] order;
+  Alcotest.(check int) "nn length" 4 len
+
+let test_tsp_mst_preorder () =
+  let m = Apsp.to_metric path5 in
+  let order, len = Tsp.mst_preorder m [ 0; 2; 4 ] in
+  Alcotest.(check int) "visits all" 3 (List.length order);
+  Alcotest.(check bool) "length sane" true (len >= 4)
+
+let arb_terminals =
+  QCheck.make
+    QCheck.Gen.(
+      let* g = random_graph_gen in
+      let n = Graph.n g in
+      let* size = int_range 1 (min n 7) in
+      let* seed = int_range 0 1_000_000 in
+      let rng = Dtm_util.Prng.create ~seed in
+      let terms = Array.to_list (Dtm_util.Prng.sample_subset rng ~k:size ~n) in
+      let start = Dtm_util.Prng.int rng n in
+      return (g, start, terms))
+
+let prop_tsp_bounds_bracket_exact =
+  qtest "lower <= exact <= upper (with start)" arb_terminals (fun (g, start, terms) ->
+      let m = Apsp.to_metric g in
+      let lo = Tsp.lower_bound m ~start terms in
+      let hi = Tsp.upper_bound m ~start terms in
+      let ex = Tsp.exact_path_length m ~start terms in
+      lo <= ex && ex <= hi)
+
+let prop_tsp_bounds_bracket_exact_free =
+  qtest "lower <= exact <= upper (free start)" arb_terminals (fun (g, _, terms) ->
+      let m = Apsp.to_metric g in
+      let lo = Tsp.lower_bound m terms in
+      let hi = Tsp.upper_bound m terms in
+      let ex = Tsp.exact_path_length m terms in
+      lo <= ex && ex <= hi)
+
+let prop_walk_bounds_consistent =
+  qtest "walk bounds ordered and exact bracketed" arb_terminals
+    (fun (g, start, terms) ->
+      let m = Apsp.to_metric g in
+      let b = Walk.bounds m ~home:start terms in
+      b.Walk.lower <= b.Walk.upper
+      && Walk.best_lower b <= Walk.best_upper b
+      &&
+      match b.Walk.exact with
+      | Some e -> b.Walk.lower <= e && e <= b.Walk.upper
+      | None -> true)
+
+let test_walk_empty () =
+  let m = Apsp.to_metric path5 in
+  let b = Walk.bounds m ~home:0 [] in
+  Alcotest.(check int) "empty lower" 0 b.Walk.lower;
+  Alcotest.(check int) "empty upper" 0 b.Walk.upper
+
+let test_walk_line_exact () =
+  let m = Apsp.to_metric path5 in
+  let b = Walk.bounds m ~home:2 [ 0; 4 ] in
+  Alcotest.(check bool) "exact known" true (b.Walk.exact = Some 6)
+
+(* ------------------------------------------------------------------ *)
+(* Graph_io                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_io_roundtrip () =
+  match Graph_io.of_string (Graph_io.to_string diamond) with
+  | Ok g ->
+    Alcotest.(check int) "n" (Graph.n diamond) (Graph.n g);
+    Alcotest.(check bool) "same edges" true (Graph.edges g = Graph.edges diamond)
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let test_graph_io_rejects () =
+  List.iter
+    (fun (name, text) ->
+      Alcotest.(check bool) name true (Result.is_error (Graph_io.of_string text)))
+    [
+      ("empty", "");
+      ("bad header", "graph v2\nn 3");
+      ("missing n", "dtm-graph v1\nedge 0 1 1");
+      ("bad record", "dtm-graph v1\nn 3\nvertex 1");
+      ("self loop", "dtm-graph v1\nn 3\nedge 1 1 1");
+      ("duplicate", "dtm-graph v1\nn 3\nedge 0 1 1\nedge 1 0 2");
+      ("bad weight", "dtm-graph v1\nn 3\nedge 0 1 0");
+      ("bad int", "dtm-graph v1\nn 3\nedge 0 x 1");
+    ]
+
+let test_graph_io_comments () =
+  let text = "# a graph\ndtm-graph v1\n\nn 2\n# the only edge\nedge 0 1 3\n" in
+  match Graph_io.of_string text with
+  | Ok g -> Alcotest.(check (option int)) "weight" (Some 3) (Graph.edge_weight g 0 1)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let prop_graph_io_roundtrip =
+  qtest "graph serialization round-trips" arb_graph (fun g ->
+      match Graph_io.of_string (Graph_io.to_string g) with
+      | Ok g' -> Graph.edges g' = Graph.edges g && Graph.n g' = Graph.n g
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "dtm_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basic accessors" `Quick test_graph_basic;
+          Alcotest.test_case "rejects self loop" `Quick test_graph_rejects_self_loop;
+          Alcotest.test_case "rejects duplicate" `Quick test_graph_rejects_duplicate;
+          Alcotest.test_case "rejects bad weight" `Quick test_graph_rejects_bad_weight;
+          Alcotest.test_case "rejects out of range" `Quick test_graph_rejects_out_of_range;
+          Alcotest.test_case "connectivity" `Quick test_graph_connectivity;
+          Alcotest.test_case "neighbors" `Quick test_graph_neighbors;
+        ] );
+      ( "shortest-paths",
+        [
+          Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+          Alcotest.test_case "bfs unreachable" `Quick test_bfs_unreachable;
+          Alcotest.test_case "bfs path" `Quick test_bfs_path;
+          Alcotest.test_case "bfs no path" `Quick test_bfs_path_none;
+          Alcotest.test_case "dijkstra weighted" `Quick test_dijkstra_weighted;
+          Alcotest.test_case "dijkstra path" `Quick test_dijkstra_path;
+          prop_bfs_dijkstra_agree;
+          prop_dijkstra_triangle;
+        ] );
+      ( "apsp-metric",
+        [
+          Alcotest.test_case "apsp symmetric" `Quick test_apsp_symmetric;
+          Alcotest.test_case "unit detection" `Quick test_apsp_unit_detection;
+          Alcotest.test_case "metric validates" `Quick test_metric_validate_ok;
+          Alcotest.test_case "catches asymmetry" `Quick test_metric_validate_catches_asymmetry;
+          Alcotest.test_case "diameter" `Quick test_metric_diameter;
+          Alcotest.test_case "max_dist_among" `Quick test_metric_max_dist_among;
+          Alcotest.test_case "out of range" `Quick test_metric_out_of_range;
+        ] );
+      ( "mst",
+        [
+          Alcotest.test_case "kruskal tree" `Quick test_kruskal_tree_size;
+          Alcotest.test_case "kruskal forest" `Quick test_kruskal_forest;
+          Alcotest.test_case "metric mst" `Quick test_metric_mst;
+          Alcotest.test_case "degenerate" `Quick test_metric_mst_degenerate;
+          prop_mst_leq_any_tree;
+        ] );
+      ( "graph-io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_graph_io_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_graph_io_rejects;
+          Alcotest.test_case "comments" `Quick test_graph_io_comments;
+          prop_graph_io_roundtrip;
+        ] );
+      ( "tsp-walk",
+        [
+          Alcotest.test_case "exact on line" `Quick test_tsp_exact_line;
+          Alcotest.test_case "exact degenerate" `Quick test_tsp_exact_degenerate;
+          Alcotest.test_case "exact cap" `Quick test_tsp_exact_cap;
+          Alcotest.test_case "nearest neighbor" `Quick test_tsp_nn;
+          Alcotest.test_case "mst preorder" `Quick test_tsp_mst_preorder;
+          prop_tsp_bounds_bracket_exact;
+          prop_tsp_bounds_bracket_exact_free;
+          prop_walk_bounds_consistent;
+          Alcotest.test_case "walk empty" `Quick test_walk_empty;
+          Alcotest.test_case "walk exact on line" `Quick test_walk_line_exact;
+        ] );
+    ]

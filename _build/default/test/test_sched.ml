@@ -1,0 +1,786 @@
+(* Tests for the per-topology schedulers of Sections 3-7: every schedule
+   must pass the validator on its topology's metric, and the makespans
+   must respect the theorems' structural bounds. *)
+
+open Dtm_sched
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+module Validator = Dtm_core.Validator
+module Lower_bound = Dtm_core.Lower_bound
+module Topology = Dtm_topology.Topology
+module Cluster = Dtm_topology.Cluster
+module Star = Dtm_topology.Star
+module Prng = Dtm_util.Prng
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let check_feasible name metric inst sched =
+  match Validator.check metric inst sched with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "%s: infeasible: %s" name (Validator.explain v)
+
+let uniform rng ~n ~w ~k = Dtm_workload.Uniform.instance ~rng ~n ~num_objects:w ~k ()
+
+(* ------------------------------------------------------------------ *)
+(* Composer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let line9 = Dtm_topology.Line.metric 9
+
+let composer_inst =
+  Instance.create ~n:9 ~num_objects:3
+    ~txns:[ (0, [ 0 ]); (3, [ 0; 1 ]); (6, [ 1; 2 ]); (8, [ 2 ]) ]
+    ~home:[| 0; 3; 8 |]
+
+let test_composer_single_group () =
+  let c = Composer.create line9 composer_inst in
+  Composer.run_greedy_group c [ 0; 3; 6; 8 ];
+  Alcotest.(check (list int)) "all scheduled" [] (Composer.unscheduled c);
+  check_feasible "composer single group" line9 composer_inst (Composer.schedule c)
+
+let test_composer_sequential_groups () =
+  let c = Composer.create line9 composer_inst in
+  List.iter (fun v -> Composer.run_greedy_group c [ v ]) [ 8; 6; 3; 0 ];
+  check_feasible "composer sequential" line9 composer_inst (Composer.schedule c);
+  Alcotest.(check bool) "cursor advanced" true (Composer.cursor c >= 4)
+
+let test_composer_skips_scheduled () =
+  let c = Composer.create line9 composer_inst in
+  Composer.run_greedy_group c [ 0 ];
+  let t0 = Schedule.time (Composer.schedule c) 0 in
+  Composer.run_greedy_group c [ 0; 3 ];
+  Alcotest.(check bool) "time unchanged" true (Schedule.time (Composer.schedule c) 0 = t0)
+
+let test_composer_chains () =
+  (* Two chains with disjoint objects: {0,3} use objects 0/1, {6,8} use 2. *)
+  let inst =
+    Instance.create ~n:9 ~num_objects:3
+      ~txns:[ (0, [ 0 ]); (3, [ 0 ]); (6, [ 2 ]); (8, [ 2 ]) ]
+      ~home:[| 0; 3; 8 |]
+  in
+  let c = Composer.create line9 inst in
+  Composer.run_parallel_chains c [ [ 0; 3 ]; [ 8; 6 ] ];
+  Alcotest.(check (list int)) "all done" [] (Composer.unscheduled c);
+  check_feasible "composer chains" line9 inst (Composer.schedule c);
+  (* Chains are concurrent: makespan is bounded by one chain's span. *)
+  Alcotest.(check bool) "parallel" true (Schedule.makespan (Composer.schedule c) <= 4)
+
+let test_composer_chains_reject_duplicate () =
+  let inst =
+    Instance.create ~n:9 ~num_objects:1 ~txns:[ (0, [ 0 ]); (3, [ 0 ]) ]
+      ~home:[| 0 |]
+  in
+  let c = Composer.create line9 inst in
+  Alcotest.check_raises "duplicate node"
+    (Invalid_argument "Composer.run_parallel_chains: duplicate node")
+    (fun () -> Composer.run_parallel_chains c [ [ 0; 3; 0 ] ])
+
+let test_composer_chains_reject_shared () =
+  let c = Composer.create line9 composer_inst in
+  Alcotest.check_raises "shared object"
+    (Invalid_argument "Composer.run_parallel_chains: object shared across chains")
+    (fun () -> Composer.run_parallel_chains c [ [ 0 ]; [ 3 ] ])
+
+let test_composer_gap_accounts_travel () =
+  (* Object 2 homes at node 8; schedule its only user (node 6) first:
+     time must be >= dist(8,6) = 2. *)
+  let c = Composer.create line9 composer_inst in
+  Composer.run_greedy_group c [ 6 ];
+  let t = Schedule.time_exn (Composer.schedule c) 6 in
+  Alcotest.(check bool) "travel respected" true (t >= 3)
+(* node 6 needs object 1 from node 3 (dist 3) and object 2 from 8 (dist 2). *)
+
+(* ------------------------------------------------------------------ *)
+(* Clique (Theorem 1)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_clique_feasible_and_bounded () =
+  let rng = Prng.create ~seed:1 in
+  List.iter
+    (fun (n, w, k) ->
+      let inst = uniform rng ~n ~w ~k in
+      let sched = Clique_sched.schedule ~n inst in
+      check_feasible "clique" (Dtm_topology.Clique.metric n) inst sched;
+      (* Theorem 1: greedy needs at most k*l + 1 colors; homes at
+         requesters add at most 1 step of positioning slack. *)
+      Alcotest.(check bool) "within k*l+1 bound" true
+        (Schedule.makespan sched <= Clique_sched.approximation_bound inst + 1))
+    [ (8, 4, 1); (16, 8, 2); (32, 8, 3); (64, 16, 4) ]
+
+let test_clique_hot_object () =
+  let rng = Prng.create ~seed:2 in
+  let n = 24 in
+  let inst = Dtm_workload.Arbitrary.hot_object ~rng ~n ~num_objects:8 ~k:2 in
+  let sched = Clique_sched.schedule ~n inst in
+  check_feasible "clique hot" (Dtm_topology.Clique.metric n) inst sched;
+  (* All n transactions share object 0, so the makespan is at least n. *)
+  Alcotest.(check bool) "serialized on hot object" true (Schedule.makespan sched >= n)
+
+let prop_clique_random =
+  qtest "clique schedules random workloads feasibly"
+    QCheck.(pair (int_range 2 40) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Prng.create ~seed in
+      let w = 1 + Prng.int rng 16 in
+      let k = 1 + Prng.int rng (min 5 w) in
+      let inst = uniform rng ~n ~w ~k in
+      let sched = Clique_sched.schedule ~n inst in
+      Validator.is_feasible (Dtm_topology.Clique.metric n) inst sched)
+
+(* ------------------------------------------------------------------ *)
+(* Diameter (Section 3.1): hypercube, butterfly, torus                *)
+(* ------------------------------------------------------------------ *)
+
+let test_diameter_topologies () =
+  let rng = Prng.create ~seed:3 in
+  List.iter
+    (fun topo ->
+      let n = Topology.n topo in
+      let metric = Topology.metric topo in
+      let inst = uniform rng ~n ~w:(max 2 (n / 3)) ~k:2 in
+      let sched = Diameter_sched.schedule metric inst in
+      check_feasible (Topology.to_string topo) metric inst sched;
+      Alcotest.(check bool) "within kl d bound" true
+        (Schedule.makespan sched
+        <= Diameter_sched.approximation_bound metric inst
+           + Dtm_graph.Metric.diameter metric))
+    [
+      Topology.Hypercube { dim = 4 };
+      Topology.Butterfly { dim = 3 };
+      Topology.Torus { rows = 5; cols = 5 };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Line (Theorem 2)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_line_feasible () =
+  let rng = Prng.create ~seed:4 in
+  List.iter
+    (fun (n, w, k) ->
+      let inst = uniform rng ~n ~w ~k in
+      let sched = Line_sched.schedule ~n inst in
+      check_feasible "line uniform" (Dtm_topology.Line.metric n) inst sched)
+    [ (8, 4, 2); (32, 8, 2); (64, 16, 3); (128, 32, 4) ]
+
+let test_line_makespan_bound () =
+  let rng = Prng.create ~seed:5 in
+  for _ = 1 to 20 do
+    let n = 16 + Prng.int rng 100 in
+    let w = 4 + Prng.int rng 20 in
+    let inst = uniform rng ~n ~w ~k:(1 + Prng.int rng 3) in
+    let sched = Line_sched.schedule ~n inst in
+    let l = Line_sched.span inst in
+    (* Theorem 2: total duration at most 4l (our step-1 convention). *)
+    Alcotest.(check bool) "<= 4l" true (Schedule.makespan sched <= 4 * l)
+  done
+
+let test_line_windowed_constant_ratio () =
+  (* Windowed workloads have bounded span, so the ratio to the certified
+     lower bound stays constant as n grows. *)
+  let rng = Prng.create ~seed:6 in
+  let ratios =
+    List.map
+      (fun n ->
+        let inst =
+          Dtm_workload.Arbitrary.windowed ~rng ~n ~num_objects:n ~k:2 ~span:8
+        in
+        let metric = Dtm_topology.Line.metric n in
+        let sched = Line_sched.schedule ~n inst in
+        check_feasible "line windowed" metric inst sched;
+        Lower_bound.ratio
+          ~makespan:(Schedule.makespan sched)
+          ~lower:(Lower_bound.certified metric inst))
+      [ 64; 128; 256; 512 ]
+  in
+  List.iter
+    (fun r -> Alcotest.(check bool) "bounded ratio" true (r <= 16.0))
+    ratios
+
+let prop_line_random =
+  qtest "line schedules random workloads feasibly"
+    QCheck.(pair (int_range 2 120) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Prng.create ~seed in
+      let w = 1 + Prng.int rng (max 1 (n / 2)) in
+      let k = 1 + Prng.int rng (min 4 w) in
+      let inst = uniform rng ~n ~w ~k in
+      let sched = Line_sched.schedule ~n inst in
+      Validator.is_feasible (Dtm_topology.Line.metric n) inst sched)
+
+let test_line_span () =
+  let inst =
+    Instance.create ~n:10 ~num_objects:2
+      ~txns:[ (1, [ 0 ]); (7, [ 0 ]); (4, [ 1 ]) ]
+      ~home:[| 1; 4 |]
+  in
+  Alcotest.(check int) "span" 6 (Line_sched.span inst)
+
+(* ------------------------------------------------------------------ *)
+(* Ring (Theorem 2 extension)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_feasible () =
+  let rng = Prng.create ~seed:40 in
+  List.iter
+    (fun (n, w, k) ->
+      let inst = uniform rng ~n ~w ~k in
+      let sched = Ring_sched.schedule ~n inst in
+      check_feasible "ring uniform" (Dtm_topology.Ring.metric n) inst sched)
+    [ (4, 2, 1); (16, 6, 2); (64, 16, 3); (128, 32, 2) ]
+
+let test_ring_wraparound_objects () =
+  (* An object whose requesters straddle the 0 cut. *)
+  let n = 24 in
+  let inst =
+    Instance.create ~n ~num_objects:2
+      ~txns:[ (22, [ 0 ]); (1, [ 0 ]); (10, [ 1 ]); (12, [ 1 ]) ]
+      ~home:[| 22; 10 |]
+  in
+  let sched = Ring_sched.schedule ~n inst in
+  check_feasible "ring wrap" (Dtm_topology.Ring.metric n) inst sched;
+  Alcotest.(check int) "wrap span counted" 3
+    (Dtm_sched.Ring_sched.span ~n inst)
+
+let test_ring_makespan_bound () =
+  let rng = Prng.create ~seed:41 in
+  for _ = 1 to 25 do
+    let n = 12 + Prng.int rng 150 in
+    let w = 4 + Prng.int rng 16 in
+    let inst = uniform rng ~n ~w ~k:(1 + Prng.int rng 3) in
+    let sched = Ring_sched.schedule ~n inst in
+    let l = Ring_sched.span ~n inst in
+    (* The construction guarantees < 9l when the cut applies and <= 2n
+       (<= 4l) in the degenerate single-sweep case. *)
+    let bound = if n / l <= 1 then 2 * n else 9 * l in
+    Alcotest.(check bool) "O(l) bound" true (Schedule.makespan sched <= bound)
+  done
+
+let prop_ring_random =
+  qtest "ring schedules random workloads feasibly"
+    QCheck.(pair (int_range 2 100) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Prng.create ~seed in
+      let w = 1 + Prng.int rng (max 1 (n / 2)) in
+      let k = 1 + Prng.int rng (min 4 w) in
+      let inst = uniform rng ~n ~w ~k in
+      Validator.is_feasible (Dtm_topology.Ring.metric n) inst
+        (Ring_sched.schedule ~n inst))
+
+(* ------------------------------------------------------------------ *)
+(* Grid (Theorem 3)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_grid_feasible () =
+  let rng = Prng.create ~seed:7 in
+  List.iter
+    (fun (rows, cols, w, k) ->
+      let inst = uniform rng ~n:(rows * cols) ~w ~k in
+      let sched = Grid_sched.schedule ~rows ~cols inst in
+      check_feasible "grid" (Dtm_topology.Grid.metric ~rows ~cols) inst sched)
+    [ (4, 4, 8, 2); (8, 8, 16, 2); (10, 10, 30, 3); (6, 9, 12, 2) ]
+
+let test_grid_subgrid_order () =
+  (* 16x16 grid with side-4 subgrids: Figure 2's boustrophedon order. *)
+  let order = Grid_sched.subgrid_order ~rows:16 ~cols:16 ~side:4 in
+  Alcotest.(check int) "16 subgrids" 16 (List.length order);
+  Alcotest.(check (list (pair int int))) "first column top-down then up"
+    [ (0, 0); (1, 0); (2, 0); (3, 0); (3, 1); (2, 1); (1, 1); (0, 1) ]
+    (List.filteri (fun i _ -> i < 8) order)
+
+let test_grid_subgrid_override () =
+  let rng = Prng.create ~seed:8 in
+  let rows = 8 and cols = 8 in
+  let inst = uniform rng ~n:(rows * cols) ~w:16 ~k:2 in
+  let metric = Dtm_topology.Grid.metric ~rows ~cols in
+  List.iter
+    (fun side ->
+      let sched = Grid_sched.schedule ~subgrid_side:side ~rows ~cols inst in
+      check_feasible (Printf.sprintf "grid side=%d" side) metric inst sched)
+    [ 1; 2; 3; 4; 8; 100 ]
+
+let prop_grid_random =
+  qtest ~count:40 "grid schedules random workloads feasibly"
+    QCheck.(pair (pair (int_range 2 9) (int_range 2 9)) (int_range 0 10_000))
+    (fun ((rows, cols), seed) ->
+      let rng = Prng.create ~seed in
+      let w = 1 + Prng.int rng 20 in
+      let k = 1 + Prng.int rng (min 4 w) in
+      let inst = uniform rng ~n:(rows * cols) ~w ~k in
+      let sched = Grid_sched.schedule ~rows ~cols inst in
+      Validator.is_feasible (Dtm_topology.Grid.metric ~rows ~cols) inst sched)
+
+let test_grid_default_side_formula () =
+  let rng = Prng.create ~seed:9 in
+  let inst = uniform rng ~n:64 ~w:16 ~k:2 in
+  let side = Grid_sched.default_subgrid_side ~rows:8 ~cols:8 inst in
+  (* xi = 27*16*ln 16 / 2 = 598.8..., sqrt = 24.47 -> 25. *)
+  Alcotest.(check int) "formula" 25 side
+
+(* ------------------------------------------------------------------ *)
+(* Cluster (Theorem 4)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_p = { Cluster.clusters = 4; size = 5; bridge_weight = 6 }
+
+let test_cluster_approaches_feasible () =
+  let rng = Prng.create ~seed:10 in
+  let n = cluster_p.Cluster.clusters * cluster_p.Cluster.size in
+  let metric = Cluster.metric cluster_p in
+  let inst = uniform rng ~n ~w:10 ~k:2 in
+  List.iter
+    (fun (name, approach) ->
+      let sched = Cluster_sched.schedule ~approach cluster_p inst in
+      check_feasible name metric inst sched)
+    [
+      ("approach 1", Cluster_sched.Approach1);
+      ("approach 2", Cluster_sched.Approach2 { seed = 11 });
+      ("best", Cluster_sched.Best { seed = 12 });
+    ]
+
+let test_cluster_local_sigma1 () =
+  let rng = Prng.create ~seed:13 in
+  let inst =
+    Dtm_workload.Arbitrary.cluster_local ~rng cluster_p ~num_objects_per_cluster:4
+      ~k:2
+  in
+  Alcotest.(check int) "sigma 1" 1 (Cluster_sched.sigma cluster_p inst);
+  let metric = Cluster.metric cluster_p in
+  let sched = Cluster_sched.schedule ~approach:Cluster_sched.Approach1 cluster_p inst in
+  check_feasible "cluster local" metric inst sched;
+  (* sigma = 1: clusters proceed in parallel, so no bridge crossing is
+     needed and the makespan stays below one cluster's serial length. *)
+  Alcotest.(check bool) "parallel clusters" true
+    (Schedule.makespan sched <= (2 * cluster_p.Cluster.size * 2) + 2)
+
+let test_cluster_spread_sigma () =
+  let rng = Prng.create ~seed:14 in
+  let inst =
+    Dtm_workload.Arbitrary.cluster_spread ~rng cluster_p ~num_objects:8 ~k:2
+      ~sigma:3
+  in
+  Alcotest.(check bool) "sigma >= 2" true (Cluster_sched.sigma cluster_p inst >= 2);
+  let metric = Cluster.metric cluster_p in
+  List.iter
+    (fun approach ->
+      check_feasible "cluster spread" metric inst
+        (Cluster_sched.schedule ~approach cluster_p inst))
+    [ Cluster_sched.Approach1; Cluster_sched.Approach2 { seed = 15 } ]
+
+let prop_cluster_random =
+  qtest ~count:30 "cluster schedules random workloads feasibly"
+    QCheck.(pair (pair (int_range 2 5) (int_range 2 6)) (int_range 0 10_000))
+    (fun ((clusters, size), seed) ->
+      let rng = Prng.create ~seed in
+      let p = { Cluster.clusters; size; bridge_weight = size + Prng.int rng 5 } in
+      let n = clusters * size in
+      let w = 1 + Prng.int rng 12 in
+      let k = 1 + Prng.int rng (min 3 w) in
+      let inst = uniform rng ~n ~w ~k in
+      let metric = Cluster.metric p in
+      Validator.is_feasible metric inst
+        (Cluster_sched.schedule ~approach:Cluster_sched.Approach1 p inst)
+      && Validator.is_feasible metric inst
+           (Cluster_sched.schedule ~approach:(Cluster_sched.Approach2 { seed }) p inst))
+
+let test_cluster_phase_count () =
+  let rng = Prng.create ~seed:16 in
+  let inst =
+    Dtm_workload.Arbitrary.cluster_spread ~rng cluster_p ~num_objects:8 ~k:2 ~sigma:4
+  in
+  (* sigma <= 4 and 24 ln m > 4, so one phase. *)
+  Alcotest.(check int) "single phase" 1 (Cluster_sched.phase_count cluster_p inst);
+  Alcotest.(check bool) "round cap positive" true (Cluster_sched.round_cap cluster_p inst >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Star (Theorem 5)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let star_p = { Star.rays = 4; ray_len = 7 }
+
+let test_star_variants_feasible () =
+  let rng = Prng.create ~seed:17 in
+  let n = 1 + (star_p.Star.rays * star_p.Star.ray_len) in
+  let metric = Star.metric star_p in
+  let inst = uniform rng ~n ~w:8 ~k:2 in
+  List.iter
+    (fun (name, variant) ->
+      let sched = Star_sched.schedule ~variant star_p inst in
+      check_feasible name metric inst sched)
+    [
+      ("greedy periods", Star_sched.Greedy_periods);
+      ("randomized periods", Star_sched.Randomized_periods { seed = 18 });
+      ("best", Star_sched.Best_periods { seed = 19 });
+    ]
+
+let test_star_sigma_of_period () =
+  (* Build an instance where object 0 is used on two rays in period 3
+     (depths 4..7) and object 1 on one ray only. *)
+  let p = star_p in
+  let v1 = Star.node p ~ray:0 ~depth:5 in
+  let v2 = Star.node p ~ray:2 ~depth:6 in
+  let v3 = Star.node p ~ray:1 ~depth:2 in
+  let inst =
+    Instance.create
+      ~n:(1 + (p.Star.rays * p.Star.ray_len))
+      ~num_objects:2
+      ~txns:[ (v1, [ 0 ]); (v2, [ 0 ]); (v3, [ 1 ]) ]
+      ~home:[| v1; v3 |]
+  in
+  Alcotest.(check int) "period 3 sigma" 2 (Star_sched.sigma_of_period p inst 3);
+  Alcotest.(check int) "period 2 sigma" 1 (Star_sched.sigma_of_period p inst 2);
+  let sched = Star_sched.schedule p inst in
+  check_feasible "star mixed" (Star.metric p) inst sched
+
+let prop_star_random =
+  qtest ~count:30 "star schedules random workloads feasibly"
+    QCheck.(pair (pair (int_range 1 5) (int_range 1 9)) (int_range 0 10_000))
+    (fun ((rays, ray_len), seed) ->
+      let rng = Prng.create ~seed in
+      let p = { Star.rays; ray_len } in
+      let n = 1 + (rays * ray_len) in
+      let w = 1 + Prng.int rng 10 in
+      let k = 1 + Prng.int rng (min 3 w) in
+      let inst = uniform rng ~n ~w ~k in
+      let metric = Star.metric p in
+      Validator.is_feasible metric inst
+        (Star_sched.schedule ~variant:Star_sched.Greedy_periods p inst)
+      && Validator.is_feasible metric inst
+           (Star_sched.schedule ~variant:(Star_sched.Randomized_periods { seed }) p inst))
+
+(* ------------------------------------------------------------------ *)
+(* Baselines and Auto                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_baselines_feasible () =
+  let rng = Prng.create ~seed:20 in
+  let n = 16 in
+  let metric = Dtm_topology.Clique.metric n in
+  let inst = uniform rng ~n ~w:8 ~k:2 in
+  check_feasible "sequential" metric inst (Baseline.sequential metric inst);
+  check_feasible "random order" metric inst (Baseline.random_order ~seed:21 metric inst);
+  check_feasible "nearest first" metric inst (Baseline.nearest_first metric inst)
+
+let test_nearest_first_reduces_travel () =
+  (* On a line with one widely shared object, the nearest-neighbour tour
+     travels at most as far as a random serial order. *)
+  let n = 32 in
+  let metric = Dtm_topology.Line.metric n in
+  let rng = Prng.create ~seed:25 in
+  let inst = Dtm_workload.Uniform.instance ~rng ~n ~num_objects:2 ~k:1 () in
+  let comm s = Dtm_core.Cost.communication metric inst s in
+  let nn = comm (Baseline.nearest_first metric inst) in
+  let rand = comm (Baseline.random_order ~seed:26 metric inst) in
+  check_feasible "nn feasible" metric inst (Baseline.nearest_first metric inst);
+  Alcotest.(check bool) "nn travel <= random travel" true (nn <= rand)
+
+let test_baseline_sequential_is_serial () =
+  let rng = Prng.create ~seed:22 in
+  let n = 12 in
+  let metric = Dtm_topology.Clique.metric n in
+  let inst = uniform rng ~n ~w:6 ~k:2 in
+  (* Sequential runs one transaction at a time: makespan >= #txns. *)
+  Alcotest.(check bool) "serial" true
+    (Schedule.makespan (Baseline.sequential metric inst) >= Instance.num_txns inst)
+
+let test_auto_all_topologies () =
+  let rng = Prng.create ~seed:23 in
+  List.iter
+    (fun topo ->
+      let n = Topology.n topo in
+      let w = max 1 (n / 3) in
+      let k = min 2 w in
+      let inst = uniform rng ~n ~w ~k in
+      let sched = Auto.schedule topo inst in
+      check_feasible (Topology.to_string topo) (Topology.metric topo) inst sched;
+      Alcotest.(check bool) "has a name" true (String.length (Auto.name topo) > 0))
+    Topology.all_examples
+
+let test_auto_beats_sequential_on_parallel_workload () =
+  (* A partitioned clique workload is embarrassingly parallel: the
+     Theorem 1 greedy must beat serial execution comfortably. *)
+  let rng = Prng.create ~seed:24 in
+  let n = 64 in
+  let inst = Dtm_workload.Arbitrary.partitioned ~rng ~n ~num_objects:64 ~k:2 ~parts:16 in
+  let topo = Topology.Clique n in
+  let fast = Schedule.makespan (Auto.schedule topo inst) in
+  let slow =
+    Schedule.makespan (Baseline.sequential (Topology.metric topo) inst)
+  in
+  Alcotest.(check bool) "greedy wins" true (fast * 4 <= slow)
+
+(* ------------------------------------------------------------------ *)
+(* Structural checks                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_star_center_executes_first () =
+  (* Section 7: the center's transaction is scheduled before any period. *)
+  let p = { Star.rays = 4; ray_len = 6 } in
+  let n = 1 + (p.Star.rays * p.Star.ray_len) in
+  let rng = Prng.create ~seed:60 in
+  let inst = uniform rng ~n ~w:6 ~k:2 in
+  let sched = Star_sched.schedule ~variant:Star_sched.Greedy_periods p inst in
+  let t_center = Schedule.time_exn sched Dtm_topology.Star.center in
+  List.iter
+    (fun v ->
+      if v <> Dtm_topology.Star.center then
+        Alcotest.(check bool) "center first" true
+          (Schedule.time_exn sched v >= t_center))
+    (Schedule.scheduled_nodes sched)
+
+let test_grid_single_subgrid_equals_greedy () =
+  (* When the subgrid covers the whole grid, Theorem 3's algorithm is the
+     plain Section 2.3 greedy. *)
+  let rows = 6 and cols = 6 in
+  let rng = Prng.create ~seed:61 in
+  let inst = uniform rng ~n:(rows * cols) ~w:8 ~k:2 in
+  let metric = Dtm_topology.Grid.metric ~rows ~cols in
+  let a = Grid_sched.schedule ~subgrid_side:100 ~rows ~cols inst in
+  let b = Dtm_core.Greedy.schedule metric inst in
+  List.iter
+    (fun v ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "time at %d" v)
+        (Schedule.time b v) (Schedule.time a v))
+    (Schedule.scheduled_nodes b)
+
+let test_cluster_best_is_min () =
+  let rng = Prng.create ~seed:62 in
+  let inst =
+    Dtm_workload.Arbitrary.cluster_spread ~rng cluster_p ~num_objects:8 ~k:2
+      ~sigma:3
+  in
+  let mk approach =
+    Schedule.makespan (Cluster_sched.schedule ~approach cluster_p inst)
+  in
+  let best = mk (Cluster_sched.Best { seed = 63 }) in
+  Alcotest.(check int) "best = min of both" (min (mk Cluster_sched.Approach1) (mk (Cluster_sched.Approach2 { seed = 63 }))) best
+
+(* ------------------------------------------------------------------ *)
+(* Batched (repeated batches)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_batched_feasible_per_batch () =
+  let n = 16 in
+  let metric = Dtm_topology.Clique.metric n in
+  let rng = Prng.create ~seed:50 in
+  let batches = List.init 4 (fun _ -> uniform rng ~n ~w:6 ~k:2) in
+  let homes = Array.init 6 (fun o -> Instance.home (List.hd batches) o) in
+  let steps = Batched.schedule metric ~homes batches in
+  Alcotest.(check int) "one step per batch" 4 (List.length steps);
+  List.iter2
+    (fun batch step ->
+      (* Each batch must be feasible for the instance rehomed at its
+         entry positions. *)
+      let inst =
+        Instance.create ~n ~num_objects:6
+          ~txns:
+            (Array.to_list (Instance.txn_nodes batch)
+            |> List.map (fun v ->
+                   match Instance.txn_at batch v with
+                   | Some objs -> (v, Array.to_list objs)
+                   | None -> assert false))
+          ~home:step.Batched.entry_positions
+      in
+      match Validator.check metric inst step.Batched.schedule with
+      | Ok () -> ()
+      | Error v -> Alcotest.failf "batch infeasible: %s" (Validator.explain v))
+    batches steps;
+  Alcotest.(check bool) "total makespan positive" true
+    (Batched.total_makespan steps > 0)
+
+let test_batched_positions_chain () =
+  let n = 8 in
+  let metric = Dtm_topology.Line.metric n in
+  let rng = Prng.create ~seed:51 in
+  let batches = List.init 3 (fun _ -> uniform rng ~n ~w:3 ~k:1) in
+  let homes = Array.init 3 (fun o -> Instance.home (List.hd batches) o) in
+  let steps = Batched.schedule metric ~homes batches in
+  let rec chained = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check (array int)) "exit feeds entry" a.Batched.exit_positions
+        b.Batched.entry_positions;
+      chained rest
+    | _ -> ()
+  in
+  chained steps;
+  (match steps with
+  | first :: _ ->
+    Alcotest.(check (array int)) "first entry = homes" homes
+      first.Batched.entry_positions
+  | [] -> Alcotest.fail "no steps")
+
+let test_batched_rejects_mismatch () =
+  let metric = Dtm_topology.Clique.metric 4 in
+  let a = uniform (Prng.create ~seed:52) ~n:4 ~w:2 ~k:1 in
+  let b = uniform (Prng.create ~seed:53) ~n:5 ~w:2 ~k:1 in
+  Alcotest.check_raises "shape"
+    (Invalid_argument "Batched.schedule: batch shape mismatch") (fun () ->
+      ignore (Batched.schedule metric ~homes:[| 0; 1 |] [ a; b ]))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem-bound checks (Bounds)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_thm1_bound =
+  qtest "Theorem 1 bound holds: clique makespan <= k*l + 1"
+    QCheck.(pair (int_range 2 60) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let rng = Prng.create ~seed in
+      let w = 1 + Prng.int rng 12 in
+      let k = 1 + Prng.int rng (min 4 w) in
+      let inst = uniform rng ~n ~w ~k in
+      Schedule.makespan (Clique_sched.schedule ~n inst) <= Bounds.clique inst)
+
+let prop_sec31_bound =
+  qtest ~count:40 "Section 3.1 bound holds on hypercube/torus/butterfly"
+    QCheck.(pair (int_range 0 2) (int_range 0 100_000))
+    (fun (ti, seed) ->
+      let topo =
+        match ti with
+        | 0 -> Dtm_topology.Topology.Hypercube { dim = 4 }
+        | 1 -> Dtm_topology.Topology.Torus { rows = 4; cols = 5 }
+        | _ -> Dtm_topology.Topology.Butterfly { dim = 3 }
+      in
+      let rng = Prng.create ~seed in
+      let n = Dtm_topology.Topology.n topo in
+      let w = 1 + Prng.int rng 10 in
+      let k = 1 + Prng.int rng (min 3 w) in
+      let inst = uniform rng ~n ~w ~k in
+      let metric = Dtm_topology.Topology.metric topo in
+      Schedule.makespan (Diameter_sched.schedule metric inst)
+      <= Bounds.diameter metric inst)
+
+let prop_thm2_bound =
+  qtest "Theorem 2 bound holds: line makespan <= 4l"
+    QCheck.(pair (int_range 2 150) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let rng = Prng.create ~seed in
+      let w = 1 + Prng.int rng (max 1 (n / 2)) in
+      let k = 1 + Prng.int rng (min 3 w) in
+      let inst = uniform rng ~n ~w ~k in
+      Schedule.makespan (Line_sched.schedule ~n inst) <= Bounds.line inst)
+
+let prop_ring_bound =
+  qtest "Ring bound holds: makespan <= 9l (or 2n degenerate)"
+    QCheck.(pair (int_range 2 150) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let rng = Prng.create ~seed in
+      let w = 1 + Prng.int rng (max 1 (n / 2)) in
+      let k = 1 + Prng.int rng (min 3 w) in
+      let inst = uniform rng ~n ~w ~k in
+      Schedule.makespan (Ring_sched.schedule ~n inst) <= Bounds.ring ~n inst)
+
+let prop_thm3_bound =
+  qtest ~count:40 "Lemma 5 style bound holds on grids"
+    QCheck.(pair (pair (int_range 2 10) (int_range 2 10)) (int_range 0 100_000))
+    (fun ((rows, cols), seed) ->
+      let rng = Prng.create ~seed in
+      let w = 1 + Prng.int rng 16 in
+      let k = 1 + Prng.int rng (min 3 w) in
+      let inst = uniform rng ~n:(rows * cols) ~w ~k in
+      Schedule.makespan (Grid_sched.schedule ~rows ~cols inst)
+      <= Bounds.grid ~rows ~cols inst)
+
+let prop_thm4_bound =
+  qtest ~count:40 "Lemma 6 bound holds for cluster Approach 1"
+    QCheck.(pair (pair (int_range 2 5) (int_range 2 6)) (int_range 0 100_000))
+    (fun ((clusters, size), seed) ->
+      let rng = Prng.create ~seed in
+      let p = { Cluster.clusters; size; bridge_weight = size + Prng.int rng 6 } in
+      let n = clusters * size in
+      let w = 1 + Prng.int rng 10 in
+      let k = 1 + Prng.int rng (min 3 w) in
+      let inst = uniform rng ~n ~w ~k in
+      Schedule.makespan
+        (Cluster_sched.schedule ~approach:Cluster_sched.Approach1 p inst)
+      <= Bounds.cluster_approach1 p inst)
+
+let () =
+  Alcotest.run "dtm_sched"
+    [
+      ( "composer",
+        [
+          Alcotest.test_case "single group" `Quick test_composer_single_group;
+          Alcotest.test_case "sequential groups" `Quick test_composer_sequential_groups;
+          Alcotest.test_case "skips scheduled" `Quick test_composer_skips_scheduled;
+          Alcotest.test_case "parallel chains" `Quick test_composer_chains;
+          Alcotest.test_case "chains reject shared" `Quick test_composer_chains_reject_shared;
+          Alcotest.test_case "chains reject duplicate" `Quick test_composer_chains_reject_duplicate;
+          Alcotest.test_case "gap covers travel" `Quick test_composer_gap_accounts_travel;
+        ] );
+      ( "clique",
+        [
+          Alcotest.test_case "feasible + bounded" `Quick test_clique_feasible_and_bounded;
+          Alcotest.test_case "hot object" `Quick test_clique_hot_object;
+          prop_clique_random;
+        ] );
+      ("diameter", [ Alcotest.test_case "hypercube/butterfly/torus" `Quick test_diameter_topologies ]);
+      ( "line",
+        [
+          Alcotest.test_case "feasible" `Quick test_line_feasible;
+          Alcotest.test_case "4l bound" `Quick test_line_makespan_bound;
+          Alcotest.test_case "windowed constant ratio" `Quick test_line_windowed_constant_ratio;
+          prop_line_random;
+          Alcotest.test_case "span" `Quick test_line_span;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "feasible" `Quick test_ring_feasible;
+          Alcotest.test_case "wraparound objects" `Quick test_ring_wraparound_objects;
+          Alcotest.test_case "O(l) bound" `Quick test_ring_makespan_bound;
+          prop_ring_random;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "feasible" `Quick test_grid_feasible;
+          Alcotest.test_case "subgrid order (Fig 2)" `Quick test_grid_subgrid_order;
+          Alcotest.test_case "subgrid override" `Quick test_grid_subgrid_override;
+          prop_grid_random;
+          Alcotest.test_case "default side formula" `Quick test_grid_default_side_formula;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "approaches feasible" `Quick test_cluster_approaches_feasible;
+          Alcotest.test_case "local sigma=1" `Quick test_cluster_local_sigma1;
+          Alcotest.test_case "spread sigma" `Quick test_cluster_spread_sigma;
+          prop_cluster_random;
+          Alcotest.test_case "phase count" `Quick test_cluster_phase_count;
+        ] );
+      ( "star",
+        [
+          Alcotest.test_case "variants feasible" `Quick test_star_variants_feasible;
+          Alcotest.test_case "sigma of period" `Quick test_star_sigma_of_period;
+          prop_star_random;
+        ] );
+      ( "structural",
+        [
+          Alcotest.test_case "star center first" `Quick test_star_center_executes_first;
+          Alcotest.test_case "grid single subgrid = greedy" `Quick test_grid_single_subgrid_equals_greedy;
+          Alcotest.test_case "cluster best is min" `Quick test_cluster_best_is_min;
+        ] );
+      ( "batched",
+        [
+          Alcotest.test_case "feasible per batch" `Quick test_batched_feasible_per_batch;
+          Alcotest.test_case "positions chain" `Quick test_batched_positions_chain;
+          Alcotest.test_case "rejects mismatch" `Quick test_batched_rejects_mismatch;
+        ] );
+      ( "theorem-bounds",
+        [
+          prop_thm1_bound;
+          prop_sec31_bound;
+          prop_thm2_bound;
+          prop_ring_bound;
+          prop_thm3_bound;
+          prop_thm4_bound;
+        ] );
+      ( "baseline-auto",
+        [
+          Alcotest.test_case "baselines feasible" `Quick test_baselines_feasible;
+          Alcotest.test_case "nearest-first travel" `Quick test_nearest_first_reduces_travel;
+          Alcotest.test_case "sequential is serial" `Quick test_baseline_sequential_is_serial;
+          Alcotest.test_case "auto on all topologies" `Quick test_auto_all_topologies;
+          Alcotest.test_case "auto beats sequential" `Quick test_auto_beats_sequential_on_parallel_workload;
+        ] );
+    ]

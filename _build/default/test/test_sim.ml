@@ -1,0 +1,472 @@
+(* Tests for the execution substrate: router, trace invariants, schedule
+   replay on explicit graphs, and the online engine. *)
+
+open Dtm_sim
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+module Validator = Dtm_core.Validator
+module Cost = Dtm_core.Cost
+module Topology = Dtm_topology.Topology
+module Prng = Dtm_util.Prng
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let line5_g = Dtm_topology.Line.graph 5
+let line5_m = Dtm_topology.Line.metric 5
+
+let small_inst =
+  Instance.create ~n:5 ~num_objects:2
+    ~txns:[ (0, [ 0 ]); (2, [ 0; 1 ]); (4, [ 1 ]) ]
+    ~home:[| 0; 4 |]
+
+let feasible_sched = Schedule.of_times [ (0, 1); (2, 3); (4, 5) ] ~n:5
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_router_route () =
+  let r = Router.create line5_g in
+  Alcotest.(check (list int)) "path" [ 1; 2; 3 ] (Router.route r ~src:1 ~dst:3);
+  Alcotest.(check (list int)) "self" [ 2 ] (Router.route r ~src:2 ~dst:2);
+  Alcotest.(check int) "distance" 2 (Router.distance r ~src:1 ~dst:3);
+  Alcotest.(check int) "hops" 2 (Router.hops r ~src:1 ~dst:3)
+
+let test_router_weighted () =
+  (* Diamond where the weighted shortest path avoids the heavy edge. *)
+  let g = Dtm_graph.Graph.of_edges ~n:4 [ (0, 1, 1); (1, 3, 1); (0, 3, 5) ] in
+  let r = Router.create g in
+  Alcotest.(check (list int)) "avoids heavy edge" [ 0; 1; 3 ] (Router.route r ~src:0 ~dst:3);
+  Alcotest.(check int) "weighted distance" 2 (Router.distance r ~src:0 ~dst:3)
+
+let test_router_unreachable () =
+  let g = Dtm_graph.Graph.of_edges ~n:3 [ (0, 1, 1) ] in
+  let r = Router.create g in
+  Alcotest.check_raises "unreachable" (Invalid_argument "Router.route: unreachable")
+    (fun () -> ignore (Router.route r ~src:0 ~dst:2))
+
+(* ------------------------------------------------------------------ *)
+(* Events and traces                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_ordering () =
+  let e1 = Event.Arrive { obj = 0; node = 1; time = 3 } in
+  let e2 = Event.Execute { node = 1; time = 3 } in
+  let e3 = Event.Depart { obj = 0; node = 1; dest = 2; time = 3 } in
+  let sorted = Trace.of_events [ e3; e2; e1 ] in
+  Alcotest.(check (list string)) "receive/execute/forward order"
+    [ Event.to_string e1; Event.to_string e2; Event.to_string e3 ]
+    (List.map Event.to_string (Trace.events sorted))
+
+let test_trace_single_copy_ok () =
+  let t =
+    Trace.of_events
+      [
+        Event.Depart { obj = 0; node = 0; dest = 1; time = 1 };
+        Event.Arrive { obj = 0; node = 1; time = 2 };
+        Event.Depart { obj = 0; node = 1; dest = 2; time = 3 };
+        Event.Arrive { obj = 0; node = 2; time = 4 };
+      ]
+  in
+  Alcotest.(check bool) "ok" true (Trace.check_single_copy t ~initial_pos:[| 0 |] = Ok ())
+
+let test_trace_single_copy_bad () =
+  let t =
+    Trace.of_events [ Event.Depart { obj = 0; node = 3; dest = 1; time = 1 } ]
+  in
+  Alcotest.(check bool) "teleport caught" true
+    (Trace.check_single_copy t ~initial_pos:[| 0 |] <> Ok ())
+
+let test_trace_executes_once () =
+  let ok = Trace.of_events [ Event.Execute { node = 1; time = 1 } ] in
+  Alcotest.(check bool) "once" true (Trace.check_executes_once ok = Ok ());
+  let bad =
+    Trace.of_events
+      [ Event.Execute { node = 1; time = 1 }; Event.Execute { node = 1; time = 2 } ]
+  in
+  Alcotest.(check bool) "twice caught" true (Trace.check_executes_once bad <> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_replay_feasible () =
+  let r = Replay.run line5_g small_inst feasible_sched in
+  Alcotest.(check bool) "ok" true r.Replay.ok;
+  Alcotest.(check (list string)) "no errors" [] r.Replay.errors;
+  Alcotest.(check int) "makespan" 5 r.Replay.makespan;
+  (* Object 0 travels 0->2 (2 steps); object 1 travels 4->2->4 (4). *)
+  Alcotest.(check int) "messages" 6 r.Replay.messages;
+  Alcotest.(check int) "hops" 6 r.Replay.hops;
+  Alcotest.(check bool) "trace single copy" true
+    (Trace.check_single_copy r.Replay.trace ~initial_pos:[| 0; 4 |] = Ok ());
+  Alcotest.(check bool) "trace executes once" true
+    (Trace.check_executes_once r.Replay.trace = Ok ())
+
+let test_replay_catches_infeasible () =
+  let bad = Schedule.of_times [ (0, 1); (2, 2); (4, 5) ] ~n:5 in
+  let r = Replay.run line5_g small_inst bad in
+  Alcotest.(check bool) "not ok" false r.Replay.ok;
+  Alcotest.(check bool) "has errors" true (r.Replay.errors <> [])
+
+let test_replay_catches_unscheduled () =
+  let missing = Schedule.of_times [ (0, 1); (2, 3) ] ~n:5 in
+  let r = Replay.run line5_g small_inst missing in
+  Alcotest.(check bool) "not ok" false r.Replay.ok
+
+let test_replay_messages_match_cost () =
+  let r = Replay.run line5_g small_inst feasible_sched in
+  Alcotest.(check int) "messages = communication cost"
+    (Cost.communication line5_m small_inst feasible_sched)
+    r.Replay.messages
+
+(* Replay agrees with the metric-level validator on every topology, for
+   schedules produced by the matching paper algorithm. *)
+let arb_topo_seed =
+  let topos = Array.of_list Topology.all_examples in
+  QCheck.make
+    ~print:(fun (t, seed) -> Topology.to_string t ^ "/" ^ string_of_int seed)
+    QCheck.Gen.(
+      let* ti = int_range 0 (Array.length topos - 1) in
+      let* seed = int_range 0 100_000 in
+      return (topos.(ti), seed))
+
+let prop_replay_validates_auto_schedules =
+  qtest "replay accepts every Auto schedule" arb_topo_seed (fun (topo, seed) ->
+      let rng = Prng.create ~seed in
+      let n = Topology.n topo in
+      let w = max 1 (n / 3) in
+      let k = min 2 w in
+      let inst = Dtm_workload.Uniform.instance ~rng ~n ~num_objects:w ~k () in
+      let sched = Dtm_sched.Auto.schedule topo inst in
+      let r = Replay.run (Topology.graph topo) inst sched in
+      r.Replay.ok
+      && Trace.check_single_copy r.Replay.trace
+           ~initial_pos:(Array.init w (Instance.home inst))
+         = Ok ()
+      && Trace.check_executes_once r.Replay.trace = Ok ())
+
+let prop_replay_agrees_with_validator =
+  (* Random (often infeasible) schedules: replay and validator must
+     agree on feasibility. *)
+  qtest "replay ok iff validator ok" QCheck.(int_range 0 100_000) (fun seed ->
+      let rng = Prng.create ~seed in
+      let n = 6 in
+      let inst =
+        Dtm_workload.Uniform.instance ~rng ~n ~num_objects:3 ~k:2 ()
+      in
+      let sched = Schedule.create ~n in
+      Array.iter
+        (fun v -> Schedule.set sched ~node:v ~time:(1 + Prng.int rng 8))
+        (Instance.txn_nodes inst);
+      let g = Dtm_topology.Line.graph n and m = Dtm_topology.Line.metric n in
+      let r = Replay.run g inst sched in
+      r.Replay.ok = Validator.is_feasible m inst sched)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_feasible () =
+  let s = Engine.run line5_m small_inst in
+  match Validator.check line5_m small_inst s with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "engine infeasible: %s" (Validator.explain v)
+
+let prop_engine_feasible =
+  qtest "online engine always emits feasible schedules" arb_topo_seed
+    (fun (topo, seed) ->
+      let rng = Prng.create ~seed in
+      let n = Topology.n topo in
+      let w = max 1 (n / 2) in
+      let k = min 3 w in
+      let inst = Dtm_workload.Uniform.instance ~rng ~n ~num_objects:w ~k () in
+      let m = Topology.metric topo in
+      Validator.is_feasible m inst (Engine.run m inst))
+
+let prop_compact_never_longer =
+  qtest "compaction never lengthens a schedule" arb_topo_seed (fun (topo, seed) ->
+      let rng = Prng.create ~seed in
+      let n = Topology.n topo in
+      let w = max 1 (n / 3) in
+      let k = min 2 w in
+      let inst = Dtm_workload.Uniform.instance ~rng ~n ~num_objects:w ~k () in
+      let m = Topology.metric topo in
+      let sched = Dtm_sched.Auto.schedule topo inst in
+      let compacted = Engine.compact m inst sched in
+      Validator.is_feasible m inst compacted
+      && Schedule.makespan compacted <= Schedule.makespan sched)
+
+let test_engine_custom_priority () =
+  let s =
+    Engine.run ~priority:(Engine.Custom (fun v -> -v)) line5_m small_inst
+  in
+  Alcotest.(check bool) "feasible reversed" true
+    (Validator.is_feasible line5_m small_inst s);
+  (* Node 4 has the highest priority so it runs at step 1. *)
+  Alcotest.(check (option int)) "node 4 first" (Some 1) (Schedule.time s 4)
+
+(* ------------------------------------------------------------------ *)
+(* Gantt                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_gantt_chart () =
+  let s = Gantt.chart small_inst feasible_sched in
+  Alcotest.(check bool) "mentions makespan" true
+    (String.length s > 0
+    &&
+    let lines = String.split_on_char '\n' s in
+    List.length lines >= 5);
+  (* One row per transaction. *)
+  let rows =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.length l > 4 && String.sub l 0 4 = "node")
+  in
+  Alcotest.(check int) "3 rows" 3 (List.length rows)
+
+let test_gantt_profile () =
+  let s = Gantt.parallelism_profile feasible_sched in
+  Alcotest.(check bool) "has strip" true (String.contains s '|');
+  let empty = Gantt.parallelism_profile (Schedule.create ~n:3) in
+  Alcotest.(check string) "empty" "empty schedule\n" empty
+
+let test_gantt_journeys () =
+  let s = Gantt.object_journeys line5_m small_inst feasible_sched in
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.length l > 0)
+  in
+  Alcotest.(check int) "one line per used object" 2 (List.length lines);
+  (* Object 1's travel 4 -> 2 -> 4 = 4 must be reported. *)
+  Alcotest.(check bool) "travel reported" true
+    (List.exists
+       (fun l ->
+         String.length l > 10
+         && List.exists (fun needle ->
+                let nl = String.length needle and sl = String.length l in
+                let rec go i = i + nl <= sl && (String.sub l i nl = needle || go (i + 1)) in
+                go 0)
+              [ "[travel 4]" ])
+       lines)
+
+(* ------------------------------------------------------------------ *)
+(* Optimal                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_optimal_between_lb_and_greedy () =
+  let metric = Dtm_topology.Line.metric 5 in
+  let opt = Optimal.exhaustive metric small_inst in
+  Alcotest.(check bool) "feasible" true
+    (Validator.is_feasible metric small_inst opt);
+  let lb = Dtm_core.Lower_bound.certified metric small_inst in
+  let greedy = Schedule.makespan (Dtm_core.Greedy.schedule metric small_inst) in
+  let o = Schedule.makespan opt in
+  Alcotest.(check bool) "lb <= opt" true (lb <= o);
+  Alcotest.(check bool) "opt <= greedy" true (o <= greedy)
+
+let test_optimal_cap () =
+  let n = Optimal.max_transactions + 1 in
+  let inst =
+    Instance.create ~n ~num_objects:1
+      ~txns:(List.init n (fun v -> (v, [ 0 ])))
+      ~home:[| 0 |]
+  in
+  Alcotest.check_raises "cap"
+    (Invalid_argument "Optimal.exhaustive: too many transactions") (fun () ->
+      ignore (Optimal.exhaustive (Dtm_topology.Clique.metric n) inst))
+
+let test_optimal_beats_bad_order () =
+  (* One object homed at node 0 on a line, requested at 0, 2, 4: visiting
+     0 -> 2 -> 4 (makespan 5) beats e.g. 4 -> 2 -> 0 (makespan >= 9). *)
+  let metric = Dtm_topology.Line.metric 5 in
+  let inst =
+    Instance.create ~n:5 ~num_objects:1
+      ~txns:[ (0, [ 0 ]); (2, [ 0 ]); (4, [ 0 ]) ]
+      ~home:[| 0 |]
+  in
+  Alcotest.(check int) "optimal sweep" 5 (Optimal.makespan metric inst)
+
+let prop_optimal_sandwich =
+  qtest ~count:40 "lb <= opt <= greedy on tiny instances"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let n = 5 + Prng.int rng 3 in
+      let inst =
+        Dtm_workload.Uniform.instance ~rng ~n ~num_objects:3 ~k:2 ()
+      in
+      let metric = Dtm_topology.Ring.metric n in
+      let opt = Optimal.makespan metric inst in
+      let lb = Dtm_core.Lower_bound.certified metric inst in
+      let greedy = Schedule.makespan (Dtm_core.Greedy.schedule metric inst) in
+      let ring = Schedule.makespan (Dtm_sched.Ring_sched.schedule ~n inst) in
+      lb <= opt && opt <= greedy && opt <= ring)
+
+(* ------------------------------------------------------------------ *)
+(* Congestion                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A star topology funnels every cross-ray transfer through the center,
+   so small capacities must visibly queue. *)
+let congested_setup seed =
+  let p = { Dtm_topology.Star.rays = 5; ray_len = 4 } in
+  let n = 1 + (p.Dtm_topology.Star.rays * p.Dtm_topology.Star.ray_len) in
+  let rng = Prng.create ~seed in
+  let inst = Dtm_workload.Uniform.instance ~rng ~n ~num_objects:6 ~k:2 () in
+  let g = Dtm_topology.Star.graph p in
+  let m = Dtm_topology.Star.metric p in
+  let priority = Engine.run m inst in
+  (g, m, inst, priority)
+
+let test_congestion_unbounded_matches_engine () =
+  let g, m, inst, priority = congested_setup 31 in
+  let r = Congestion.run g inst ~priority in
+  let engine = Engine.compact m inst priority in
+  List.iter
+    (fun v ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "commit time of node %d" v)
+        (Schedule.time engine v)
+        (Schedule.time r.Congestion.commit_times v))
+    (Schedule.scheduled_nodes engine);
+  Alcotest.(check int) "no delayed hops" 0 r.Congestion.delayed_hops
+
+let test_congestion_monotone_in_capacity () =
+  let g, _, inst, priority = congested_setup 32 in
+  let mk c = (Congestion.run ~capacity:c g inst ~priority).Congestion.makespan in
+  let unbounded = (Congestion.run g inst ~priority).Congestion.makespan in
+  let m1 = mk 1 and m2 = mk 2 and m4 = mk 4 in
+  Alcotest.(check bool) "cap1 >= cap2" true (m1 >= m2);
+  Alcotest.(check bool) "cap2 >= cap4" true (m2 >= m4);
+  Alcotest.(check bool) "cap4 >= unbounded" true (m4 >= unbounded)
+
+let test_congestion_commits_feasible () =
+  let g, m, inst, priority = congested_setup 33 in
+  let r = Congestion.run ~capacity:1 g inst ~priority in
+  (* Queueing only delays commits, so the realized times still satisfy
+     every travel constraint of the uncongested model. *)
+  Alcotest.(check bool) "realized schedule feasible" true
+    (Validator.is_feasible m inst r.Congestion.commit_times);
+  Alcotest.(check int) "all transactions committed"
+    (Instance.num_txns inst)
+    (List.length (Schedule.scheduled_nodes r.Congestion.commit_times))
+
+let test_congestion_messages_invariant () =
+  let g, _, inst, priority = congested_setup 34 in
+  let m1 = (Congestion.run ~capacity:1 g inst ~priority).Congestion.messages in
+  let mu = (Congestion.run g inst ~priority).Congestion.messages in
+  Alcotest.(check int) "same routes, same messages" mu m1
+
+let test_congestion_queues_under_pressure () =
+  (* All transactions share a hot object: with capacity 1 on a clique the
+     run still completes and reports queue statistics. *)
+  let n = 12 in
+  let rng = Prng.create ~seed:35 in
+  let inst = Dtm_workload.Arbitrary.hot_object ~rng ~n ~num_objects:4 ~k:2 in
+  let g = Dtm_topology.Clique.graph n in
+  let m = Dtm_topology.Clique.metric n in
+  let priority = Engine.run m inst in
+  let r = Congestion.run ~capacity:1 g inst ~priority in
+  Alcotest.(check bool) "completes" true (r.Congestion.makespan >= n);
+  Alcotest.(check bool) "max_queue observed" true (r.Congestion.max_queue >= 1)
+
+let test_congestion_rejects_bad_args () =
+  let g, _, inst, priority = congested_setup 36 in
+  Alcotest.check_raises "capacity" (Invalid_argument "Congestion.run: capacity < 1")
+    (fun () -> ignore (Congestion.run ~capacity:0 g inst ~priority));
+  let missing = Schedule.create ~n:(Instance.n inst) in
+  Alcotest.check_raises "unscheduled"
+    (Invalid_argument "Congestion.run: priority leaves a transaction unscheduled")
+    (fun () -> ignore (Congestion.run g inst ~priority:missing))
+
+let prop_congestion_unbounded_equals_engine =
+  qtest ~count:40 "capacity=inf congestion == engine on all topologies"
+    arb_topo_seed (fun (topo, seed) ->
+      let rng = Prng.create ~seed in
+      let n = Topology.n topo in
+      let w = max 1 (n / 3) in
+      let k = min 2 w in
+      let inst = Dtm_workload.Uniform.instance ~rng ~n ~num_objects:w ~k () in
+      let m = Topology.metric topo in
+      let priority = Engine.run m inst in
+      let r = Congestion.run (Topology.graph topo) inst ~priority in
+      let engine = Engine.compact m inst priority in
+      List.for_all
+        (fun v -> Schedule.time engine v = Schedule.time r.Congestion.commit_times v)
+        (Schedule.scheduled_nodes engine))
+
+let prop_congestion_cap1_feasible =
+  qtest ~count:30 "capacity=1 commits stay metric-feasible" arb_topo_seed
+    (fun (topo, seed) ->
+      let rng = Prng.create ~seed in
+      let n = Topology.n topo in
+      let w = max 1 (n / 3) in
+      let k = min 2 w in
+      let inst = Dtm_workload.Uniform.instance ~rng ~n ~num_objects:w ~k () in
+      let m = Topology.metric topo in
+      let priority = Engine.run m inst in
+      let r = Congestion.run ~capacity:1 (Topology.graph topo) inst ~priority in
+      Validator.is_feasible m inst r.Congestion.commit_times)
+
+let () =
+  Alcotest.run "dtm_sim"
+    [
+      ( "router",
+        [
+          Alcotest.test_case "route" `Quick test_router_route;
+          Alcotest.test_case "weighted" `Quick test_router_weighted;
+          Alcotest.test_case "unreachable" `Quick test_router_unreachable;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "event ordering" `Quick test_event_ordering;
+          Alcotest.test_case "single copy ok" `Quick test_trace_single_copy_ok;
+          Alcotest.test_case "single copy bad" `Quick test_trace_single_copy_bad;
+          Alcotest.test_case "executes once" `Quick test_trace_executes_once;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "feasible" `Quick test_replay_feasible;
+          Alcotest.test_case "catches infeasible" `Quick test_replay_catches_infeasible;
+          Alcotest.test_case "catches unscheduled" `Quick test_replay_catches_unscheduled;
+          Alcotest.test_case "messages = cost" `Quick test_replay_messages_match_cost;
+          prop_replay_validates_auto_schedules;
+          prop_replay_agrees_with_validator;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "feasible" `Quick test_engine_feasible;
+          prop_engine_feasible;
+          prop_compact_never_longer;
+          Alcotest.test_case "custom priority" `Quick test_engine_custom_priority;
+        ] );
+      ( "gantt",
+        [
+          Alcotest.test_case "chart" `Quick test_gantt_chart;
+          Alcotest.test_case "profile" `Quick test_gantt_profile;
+          Alcotest.test_case "journeys" `Quick test_gantt_journeys;
+        ] );
+      ( "optimal",
+        [
+          Alcotest.test_case "sandwiched by bounds" `Quick
+            test_optimal_between_lb_and_greedy;
+          Alcotest.test_case "cap enforced" `Quick test_optimal_cap;
+          Alcotest.test_case "beats a bad order" `Quick test_optimal_beats_bad_order;
+          prop_optimal_sandwich;
+        ] );
+      ( "congestion",
+        [
+          Alcotest.test_case "unbounded matches engine" `Quick
+            test_congestion_unbounded_matches_engine;
+          Alcotest.test_case "monotone in capacity" `Quick
+            test_congestion_monotone_in_capacity;
+          Alcotest.test_case "commits feasible" `Quick test_congestion_commits_feasible;
+          Alcotest.test_case "messages invariant" `Quick
+            test_congestion_messages_invariant;
+          Alcotest.test_case "queues under pressure" `Quick
+            test_congestion_queues_under_pressure;
+          Alcotest.test_case "rejects bad args" `Quick test_congestion_rejects_bad_args;
+          prop_congestion_unbounded_equals_engine;
+          prop_congestion_cap1_feasible;
+        ] );
+    ]

@@ -1,0 +1,412 @@
+(* Tests for the topology generators: structural invariants and agreement
+   between the closed-form metrics and APSP on the explicit graphs. *)
+
+open Dtm_topology
+module G = Dtm_graph.Graph
+module Metric = Dtm_graph.Metric
+module Apsp = Dtm_graph.Apsp
+
+let check_metric_matches_apsp name make_graph make_metric =
+  Alcotest.test_case (name ^ " metric = APSP") `Quick (fun () ->
+      let g = make_graph () in
+      let m = make_metric () in
+      let d = Apsp.distances g in
+      let n = G.n g in
+      Alcotest.(check int) "metric size" n (Metric.size m);
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if d.(u).(v) <> Metric.dist m u v then
+            Alcotest.failf "%s: dist(%d,%d): apsp=%d metric=%d" name u v d.(u).(v)
+              (Metric.dist m u v)
+        done
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Structure                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_clique_structure () =
+  let g = Clique.graph 6 in
+  Alcotest.(check int) "n" 6 (G.n g);
+  Alcotest.(check int) "edges" 15 (G.num_edges g);
+  Alcotest.(check int) "degree" 5 (G.max_degree g);
+  Alcotest.(check bool) "connected" true (G.is_connected g)
+
+let test_clique_one_node () =
+  let g = Clique.graph 1 in
+  Alcotest.(check int) "n" 1 (G.n g);
+  Alcotest.(check int) "edges" 0 (G.num_edges g)
+
+let test_line_structure () =
+  let g = Line.graph 10 in
+  Alcotest.(check int) "edges" 9 (G.num_edges g);
+  Alcotest.(check int) "end degree" 1 (G.degree g 0);
+  Alcotest.(check int) "mid degree" 2 (G.degree g 5);
+  Alcotest.(check bool) "connected" true (G.is_connected g)
+
+let test_ring_structure () =
+  let g = Ring.graph 10 in
+  Alcotest.(check int) "edges" 10 (G.num_edges g);
+  Alcotest.(check int) "2-regular" 2 (G.max_degree g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  Alcotest.(check int) "two-node ring" 1 (G.num_edges (Ring.graph 2));
+  Alcotest.(check int) "one-node ring" 0 (G.num_edges (Ring.graph 1))
+
+let test_ring_metric () =
+  let m = Ring.metric 10 in
+  Alcotest.(check int) "short way" 3 (Metric.dist m 1 4);
+  Alcotest.(check int) "wrap way" 3 (Metric.dist m 9 2);
+  Alcotest.(check int) "antipodal" 5 (Metric.dist m 0 5)
+
+let test_ring_arc_span () =
+  Alcotest.(check int) "no wrap" 4 (Ring.arc_span ~n:10 [ 2; 4; 6 ]);
+  Alcotest.(check int) "wraps" 4 (Ring.arc_span ~n:10 [ 8; 0; 2 ]);
+  Alcotest.(check int) "singleton" 0 (Ring.arc_span ~n:10 [ 3 ]);
+  Alcotest.(check int) "empty" 0 (Ring.arc_span ~n:10 []);
+  Alcotest.(check int) "antipodal pair" 5 (Ring.arc_span ~n:10 [ 0; 5 ]);
+  Alcotest.(check int) "full ring" 9 (Ring.arc_span ~n:10 (List.init 10 Fun.id))
+
+let test_grid_structure () =
+  let g = Grid.graph ~rows:4 ~cols:5 in
+  Alcotest.(check int) "n" 20 (G.n g);
+  (* Edges: rows*(cols-1) horizontal + (rows-1)*cols vertical. *)
+  Alcotest.(check int) "edges" ((4 * 4) + (3 * 5)) (G.num_edges g);
+  Alcotest.(check int) "corner degree" 2 (G.degree g 0);
+  Alcotest.(check bool) "connected" true (G.is_connected g)
+
+let test_grid_coords_roundtrip () =
+  for id = 0 to 19 do
+    let x, y = Grid.coords ~cols:5 id in
+    Alcotest.(check int) "roundtrip" id (Grid.node ~cols:5 ~x ~y)
+  done
+
+let test_torus_structure () =
+  let g = Torus.graph ~rows:4 ~cols:4 in
+  Alcotest.(check int) "n" 16 (G.n g);
+  Alcotest.(check int) "edges" 32 (G.num_edges g);
+  Alcotest.(check int) "regular degree" 4 (G.degree g 5);
+  Alcotest.(check bool) "connected" true (G.is_connected g)
+
+let test_torus_small () =
+  (* cols = 2 would create duplicate wrap edges if not deduplicated. *)
+  let g = Torus.graph ~rows:2 ~cols:2 in
+  Alcotest.(check int) "n" 4 (G.n g);
+  Alcotest.(check int) "edges" 4 (G.num_edges g)
+
+let test_hypercube_structure () =
+  let g = Hypercube.graph ~dim:4 in
+  Alcotest.(check int) "n" 16 (G.n g);
+  Alcotest.(check int) "edges" 32 (G.num_edges g);
+  Alcotest.(check int) "regular" 4 (G.max_degree g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  Alcotest.(check int) "diameter" 4 (Metric.diameter (Hypercube.metric ~dim:4))
+
+let test_butterfly_structure () =
+  let dim = 3 in
+  let g = Butterfly.graph ~dim in
+  Alcotest.(check int) "n" ((dim + 1) * 8) (G.n g);
+  (* Each of dim levels contributes 2 * 2^dim edges. *)
+  Alcotest.(check int) "edges" (dim * 2 * 8) (G.num_edges g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  let m = Butterfly.metric ~dim in
+  Alcotest.(check bool) "diameter <= 2 dim" true (Metric.diameter m <= 2 * dim)
+
+let test_butterfly_node_roundtrip () =
+  let dim = 3 in
+  for l = 0 to dim do
+    for r = 0 to 7 do
+      let id = Butterfly.node ~dim ~level:l ~row:r in
+      Alcotest.(check int) "level" l (Butterfly.level ~dim id);
+      Alcotest.(check int) "row" r (Butterfly.row ~dim id)
+    done
+  done
+
+let cluster_params = { Cluster.clusters = 4; size = 5; bridge_weight = 7 }
+
+let test_cluster_structure () =
+  let p = cluster_params in
+  let g = Cluster.graph p in
+  Alcotest.(check int) "n" 20 (G.n g);
+  (* 4 cliques of C(5,2)=10 edges + C(4,2)=6 bridge edges. *)
+  Alcotest.(check int) "edges" ((4 * 10) + 6) (G.num_edges g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  Alcotest.(check int) "bridge weight" 7
+    (match G.edge_weight g (Cluster.bridge_node p 0) (Cluster.bridge_node p 1) with
+    | Some w -> w
+    | None -> -1)
+
+let test_cluster_helpers () =
+  let p = cluster_params in
+  Alcotest.(check int) "cluster_of" 2 (Cluster.cluster_of p 13);
+  Alcotest.(check bool) "is_bridge" true (Cluster.is_bridge p 10);
+  Alcotest.(check bool) "not bridge" false (Cluster.is_bridge p 11);
+  Alcotest.(check (list int)) "nodes" [ 5; 6; 7; 8; 9 ] (Cluster.nodes_of_cluster p 1)
+
+let star_params = { Star.rays = 5; ray_len = 6 }
+
+let test_star_structure () =
+  let p = star_params in
+  let g = Star.graph p in
+  Alcotest.(check int) "n" 31 (G.n g);
+  Alcotest.(check int) "edges" 30 (G.num_edges g);
+  Alcotest.(check int) "center degree" 5 (G.degree g Star.center);
+  Alcotest.(check bool) "connected (tree)" true (G.is_connected g)
+
+let test_star_depth_ray () =
+  let p = star_params in
+  let id = Star.node p ~ray:3 ~depth:4 in
+  Alcotest.(check (option int)) "ray" (Some 3) (Star.ray_of p id);
+  Alcotest.(check int) "depth" 4 (Star.depth_of p id);
+  Alcotest.(check (option int)) "center ray" None (Star.ray_of p Star.center);
+  Alcotest.(check int) "center depth" 0 (Star.depth_of p Star.center)
+
+let test_star_segments () =
+  let p = star_params in
+  (* ray_len = 6: segments are depths [1,1], [2,3], [4,6]. *)
+  Alcotest.(check int) "num segments" 3 (Star.num_segments p);
+  Alcotest.(check (pair int int)) "seg 1" (1, 1) (Star.segment_depths p 1);
+  Alcotest.(check (pair int int)) "seg 2" (2, 3) (Star.segment_depths p 2);
+  Alcotest.(check (pair int int)) "seg 3" (4, 6) (Star.segment_depths p 3);
+  Alcotest.(check int) "segment_of_depth 1" 1 (Star.segment_of_depth 1);
+  Alcotest.(check int) "segment_of_depth 3" 2 (Star.segment_of_depth 3);
+  Alcotest.(check int) "segment_of_depth 4" 3 (Star.segment_of_depth 4)
+
+let tree_params = { Tree.branching = 2; depth = 3 }
+
+let test_tree_structure () =
+  let g = Tree.graph tree_params in
+  Alcotest.(check int) "n" 15 (G.n g);
+  Alcotest.(check int) "n_of" 15 (Tree.n_of tree_params);
+  Alcotest.(check int) "tree edges" 14 (G.num_edges g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  Alcotest.(check (option int)) "root parent" None (Tree.parent 0 tree_params);
+  Alcotest.(check (option int)) "parent of 4" (Some 1) (Tree.parent 4 tree_params);
+  Alcotest.(check int) "depth of leaf" 3 (Tree.node_depth 14 tree_params);
+  Alcotest.(check int) "unary tree" 5 (Tree.n_of { Tree.branching = 1; depth = 4 })
+
+let test_tree_metric () =
+  let m = Tree.metric tree_params in
+  (* Siblings 1 and 2 meet at the root: distance 2. *)
+  Alcotest.(check int) "siblings" 2 (Metric.dist m 1 2);
+  (* Leaves 7 and 14 are in different root subtrees: 3 + 3. *)
+  Alcotest.(check int) "cross leaves" 6 (Metric.dist m 7 14);
+  (* Ancestor chain 0 -> 1 -> 3 -> 7. *)
+  Alcotest.(check int) "ancestor" 3 (Metric.dist m 0 7)
+
+let hg_params = { Hypergrid.dims = [ 3; 4; 2 ] }
+
+let test_hypergrid_structure () =
+  let g = Hypergrid.graph hg_params in
+  Alcotest.(check int) "n" 24 (G.n g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  (* Edges: for each axis, (d_i - 1) * prod(others). *)
+  Alcotest.(check int) "edges" ((2 * 8) + (3 * 6) + (1 * 12)) (G.num_edges g);
+  Alcotest.(check int) "diameter" 6 (Hypergrid.diameter hg_params)
+
+let test_hypergrid_coords_roundtrip () =
+  for id = 0 to 23 do
+    Alcotest.(check int) "roundtrip" id
+      (Hypergrid.node hg_params (Hypergrid.coords hg_params id))
+  done
+
+let test_hypergrid_degenerates () =
+  (* One dimension is a line; [a; b] matches the grid. *)
+  let line = Hypergrid.metric { Hypergrid.dims = [ 7 ] } in
+  let lref = Line.metric 7 in
+  for u = 0 to 6 do
+    for v = 0 to 6 do
+      Alcotest.(check int) "line" (Metric.dist lref u v) (Metric.dist line u v)
+    done
+  done
+
+let test_blocks_roundtrip () =
+  let p = Blocks.make ~s:9 in
+  Alcotest.(check int) "root" 3 p.Blocks.root;
+  Alcotest.(check int) "n" (9 * 9 * 3) (Blocks.n p);
+  for id = 0 to Blocks.n p - 1 do
+    let b, x, y = Blocks.coords p id in
+    Alcotest.(check int) "roundtrip" id (Blocks.node p ~block:b ~x ~y)
+  done
+
+let test_blocks_rejects_non_square () =
+  Alcotest.check_raises "non-square" (Invalid_argument "Blocks.make: s must be a perfect square")
+    (fun () -> ignore (Blocks.make ~s:8))
+
+let test_block_grid_structure () =
+  let p = Blocks.make ~s:4 in
+  let g = Block_grid.graph p in
+  Alcotest.(check int) "n" 32 (G.n g);
+  Alcotest.(check bool) "connected" true (G.is_connected g);
+  (* Bridge edges carry weight s between adjacent blocks, one per row. *)
+  let b0_right = Blocks.node p ~block:0 ~x:1 ~y:2 in
+  let b1_left = Blocks.node p ~block:1 ~x:0 ~y:2 in
+  Alcotest.(check (option int)) "bridge weight" (Some 4) (G.edge_weight g b0_right b1_left)
+
+let test_block_tree_is_tree () =
+  let p = Blocks.make ~s:4 in
+  let g = Block_tree.graph p in
+  Alcotest.(check int) "n" 32 (G.n g);
+  Alcotest.(check int) "edges = n-1" 31 (G.num_edges g);
+  Alcotest.(check bool) "connected" true (G.is_connected g)
+
+let test_block_separation () =
+  (* Any two nodes in different blocks are at distance >= s. *)
+  let p = Blocks.make ~s:4 in
+  List.iter
+    (fun m ->
+      let mm = m p in
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v ->
+              Alcotest.(check bool) "separated" true (Metric.dist mm u v >= 4))
+            (Blocks.block_nodes p 2))
+        (Blocks.block_nodes p 0))
+    [ Block_grid.metric; Block_tree.metric ]
+
+(* ------------------------------------------------------------------ *)
+(* Topology dispatcher                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_topology_roundtrip () =
+  List.iter
+    (fun t ->
+      match Topology.of_string (Topology.to_string t) with
+      | Ok t' ->
+        Alcotest.(check string) "roundtrip" (Topology.to_string t) (Topology.to_string t')
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    Topology.all_examples
+
+let test_topology_n_consistent () =
+  List.iter
+    (fun t ->
+      Alcotest.(check int)
+        (Topology.to_string t ^ " n")
+        (G.n (Topology.graph t))
+        (Topology.n t))
+    Topology.all_examples
+
+let test_topology_graphs_connected () =
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Topology.to_string t ^ " connected")
+        true
+        (G.is_connected (Topology.graph t)))
+    Topology.all_examples
+
+let test_topology_parse_errors () =
+  List.iter
+    (fun s ->
+      match Topology.of_string s with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" s
+      | Error _ -> ())
+    [ "clique"; "clique:0"; "grid:4"; "grid:0x4"; "widget:3"; "cluster:2x2";
+      "cluster:2x2:g0"; "blockgrid:8"; "hypercube:25"; "" ]
+
+let test_topology_describe () =
+  let d = Topology.describe (Topology.Clique 8) in
+  Alcotest.(check bool) "mentions nodes" true
+    (String.length d > 0 && String.contains d '8')
+
+(* All metrics validated as true metrics on the small examples. *)
+let test_all_metrics_valid () =
+  List.iter
+    (fun t ->
+      match Metric.validate (Topology.metric t) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" (Topology.to_string t) e)
+    Topology.all_examples
+
+let metric_agreement_cases =
+  [
+    check_metric_matches_apsp "clique" (fun () -> Clique.graph 7) (fun () -> Clique.metric 7);
+    check_metric_matches_apsp "line" (fun () -> Line.graph 9) (fun () -> Line.metric 9);
+    check_metric_matches_apsp "ring even" (fun () -> Ring.graph 10) (fun () -> Ring.metric 10);
+    check_metric_matches_apsp "ring odd" (fun () -> Ring.graph 9) (fun () -> Ring.metric 9);
+    check_metric_matches_apsp "grid"
+      (fun () -> Grid.graph ~rows:4 ~cols:6)
+      (fun () -> Grid.metric ~rows:4 ~cols:6);
+    check_metric_matches_apsp "torus"
+      (fun () -> Torus.graph ~rows:5 ~cols:4)
+      (fun () -> Torus.metric ~rows:5 ~cols:4);
+    check_metric_matches_apsp "hypercube"
+      (fun () -> Hypercube.graph ~dim:4)
+      (fun () -> Hypercube.metric ~dim:4);
+    check_metric_matches_apsp "cluster"
+      (fun () -> Cluster.graph cluster_params)
+      (fun () -> Cluster.metric cluster_params);
+    check_metric_matches_apsp "cluster beta=1"
+      (fun () -> Cluster.graph { Cluster.clusters = 4; size = 1; bridge_weight = 3 })
+      (fun () -> Cluster.metric { Cluster.clusters = 4; size = 1; bridge_weight = 3 });
+    check_metric_matches_apsp "star"
+      (fun () -> Star.graph star_params)
+      (fun () -> Star.metric star_params);
+    check_metric_matches_apsp "tree 2x3"
+      (fun () -> Tree.graph tree_params)
+      (fun () -> Tree.metric tree_params);
+    check_metric_matches_apsp "tree 3x2"
+      (fun () -> Tree.graph { Tree.branching = 3; depth = 2 })
+      (fun () -> Tree.metric { Tree.branching = 3; depth = 2 });
+    check_metric_matches_apsp "hypergrid 3x4x2"
+      (fun () -> Hypergrid.graph hg_params)
+      (fun () -> Hypergrid.metric hg_params);
+    check_metric_matches_apsp "block grid s=4"
+      (fun () -> Block_grid.graph (Blocks.make ~s:4))
+      (fun () -> Block_grid.metric (Blocks.make ~s:4));
+    check_metric_matches_apsp "block grid s=9"
+      (fun () -> Block_grid.graph (Blocks.make ~s:9))
+      (fun () -> Block_grid.metric (Blocks.make ~s:9));
+    check_metric_matches_apsp "block tree s=4"
+      (fun () -> Block_tree.graph (Blocks.make ~s:4))
+      (fun () -> Block_tree.metric (Blocks.make ~s:4));
+    check_metric_matches_apsp "block tree s=9"
+      (fun () -> Block_tree.graph (Blocks.make ~s:9))
+      (fun () -> Block_tree.metric (Blocks.make ~s:9));
+  ]
+
+let () =
+  Alcotest.run "dtm_topology"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "clique" `Quick test_clique_structure;
+          Alcotest.test_case "clique n=1" `Quick test_clique_one_node;
+          Alcotest.test_case "line" `Quick test_line_structure;
+          Alcotest.test_case "ring" `Quick test_ring_structure;
+          Alcotest.test_case "ring metric" `Quick test_ring_metric;
+          Alcotest.test_case "ring arc span" `Quick test_ring_arc_span;
+          Alcotest.test_case "grid" `Quick test_grid_structure;
+          Alcotest.test_case "grid coords" `Quick test_grid_coords_roundtrip;
+          Alcotest.test_case "torus" `Quick test_torus_structure;
+          Alcotest.test_case "torus 2x2" `Quick test_torus_small;
+          Alcotest.test_case "hypercube" `Quick test_hypercube_structure;
+          Alcotest.test_case "butterfly" `Quick test_butterfly_structure;
+          Alcotest.test_case "butterfly ids" `Quick test_butterfly_node_roundtrip;
+          Alcotest.test_case "cluster" `Quick test_cluster_structure;
+          Alcotest.test_case "cluster helpers" `Quick test_cluster_helpers;
+          Alcotest.test_case "star" `Quick test_star_structure;
+          Alcotest.test_case "star depth/ray" `Quick test_star_depth_ray;
+          Alcotest.test_case "star segments" `Quick test_star_segments;
+          Alcotest.test_case "tree" `Quick test_tree_structure;
+          Alcotest.test_case "tree metric" `Quick test_tree_metric;
+          Alcotest.test_case "hypergrid" `Quick test_hypergrid_structure;
+          Alcotest.test_case "hypergrid coords" `Quick test_hypergrid_coords_roundtrip;
+          Alcotest.test_case "hypergrid degenerate" `Quick test_hypergrid_degenerates;
+          Alcotest.test_case "blocks roundtrip" `Quick test_blocks_roundtrip;
+          Alcotest.test_case "blocks non-square" `Quick test_blocks_rejects_non_square;
+          Alcotest.test_case "block grid" `Quick test_block_grid_structure;
+          Alcotest.test_case "block tree is tree" `Quick test_block_tree_is_tree;
+          Alcotest.test_case "block separation" `Quick test_block_separation;
+        ] );
+      ("metric-vs-apsp", metric_agreement_cases);
+      ( "dispatcher",
+        [
+          Alcotest.test_case "to/of_string roundtrip" `Quick test_topology_roundtrip;
+          Alcotest.test_case "n consistent" `Quick test_topology_n_consistent;
+          Alcotest.test_case "graphs connected" `Quick test_topology_graphs_connected;
+          Alcotest.test_case "parse errors" `Quick test_topology_parse_errors;
+          Alcotest.test_case "describe" `Quick test_topology_describe;
+          Alcotest.test_case "metrics valid" `Quick test_all_metrics_valid;
+        ] );
+    ]

@@ -1,0 +1,243 @@
+(* Tests for the workload generators, including the Section 8 lower-bound
+   instances. *)
+
+module Instance = Dtm_core.Instance
+module Cluster = Dtm_topology.Cluster
+module Blocks = Dtm_topology.Blocks
+module Prng = Dtm_util.Prng
+open Dtm_workload
+
+let qtest ?(count = 80) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let arb_seed = QCheck.int_range 0 1_000_000
+
+(* ------------------------------------------------------------------ *)
+(* Uniform                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_uniform_shape () =
+  let rng = Prng.create ~seed:1 in
+  let inst = Uniform.instance ~rng ~n:20 ~num_objects:8 ~k:3 () in
+  Alcotest.(check int) "all nodes have txns" 20 (Instance.num_txns inst);
+  Alcotest.(check int) "k respected" 3 (Instance.k_max inst);
+  Array.iter
+    (fun v ->
+      match Instance.txn_at inst v with
+      | Some objs -> Alcotest.(check int) "exactly k" 3 (Array.length objs)
+      | None -> Alcotest.fail "missing txn")
+    (Instance.txn_nodes inst)
+
+let test_uniform_homes_at_requesters () =
+  let rng = Prng.create ~seed:2 in
+  let inst = Uniform.instance ~rng ~n:16 ~num_objects:6 ~k:2 () in
+  Alcotest.(check bool) "paper placement" true (Instance.homes_at_requesters inst)
+
+let test_uniform_density () =
+  let rng = Prng.create ~seed:3 in
+  let inst = Uniform.instance ~rng ~n:200 ~num_objects:8 ~k:2 ~density:0.3 () in
+  let t = Instance.num_txns inst in
+  Alcotest.(check bool) "sparse" true (t > 20 && t < 120)
+
+let test_uniform_rejects_bad_k () =
+  let rng = Prng.create ~seed:4 in
+  Alcotest.check_raises "bad k" (Invalid_argument "Uniform.instance: bad k")
+    (fun () -> ignore (Uniform.instance ~rng ~n:4 ~num_objects:2 ~k:3 ()))
+
+let prop_uniform_deterministic =
+  qtest "same seed, same instance" arb_seed (fun seed ->
+      let gen () =
+        let rng = Prng.create ~seed in
+        Uniform.instance ~rng ~n:12 ~num_objects:5 ~k:2 ()
+      in
+      let a = gen () and b = gen () in
+      List.for_all
+        (fun v -> Instance.txn_at a v = Instance.txn_at b v)
+        (List.init 12 Fun.id)
+      && Array.init 5 (Instance.home a) = Array.init 5 (Instance.home b))
+
+(* ------------------------------------------------------------------ *)
+(* Arbitrary families                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_hot_object () =
+  let rng = Prng.create ~seed:5 in
+  let inst = Arbitrary.hot_object ~rng ~n:15 ~num_objects:6 ~k:3 in
+  Alcotest.(check int) "load = n via object 0" 15
+    (Array.length (Instance.requesters inst 0));
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "uses object 0" true (Instance.uses inst ~node:v ~obj:0))
+    (Instance.txn_nodes inst)
+
+let test_hot_object_k1 () =
+  let rng = Prng.create ~seed:6 in
+  let inst = Arbitrary.hot_object ~rng ~n:5 ~num_objects:3 ~k:1 in
+  Alcotest.(check int) "k" 1 (Instance.k_max inst)
+
+let test_windowed_span () =
+  let rng = Prng.create ~seed:7 in
+  let n = 64 in
+  let inst = Arbitrary.windowed ~rng ~n ~num_objects:n ~k:2 ~span:6 in
+  (* Requesters of any object lie within a window of node positions. *)
+  for o = 0 to n - 1 do
+    let reqs = Instance.requesters inst o in
+    if Array.length reqs > 1 then begin
+      let lo = Array.fold_left min max_int reqs
+      and hi = Array.fold_left max 0 reqs in
+      Alcotest.(check bool) "bounded node span" true (hi - lo <= 12)
+    end
+  done
+
+let test_partitioned_no_cross_traffic () =
+  let rng = Prng.create ~seed:8 in
+  let parts = 4 in
+  let inst = Arbitrary.partitioned ~rng ~n:16 ~num_objects:8 ~k:2 ~parts in
+  for o = 0 to 7 do
+    let part_of_obj = o * parts / 8 in
+    Array.iter
+      (fun v ->
+        Alcotest.(check int) "requester in object's part" part_of_obj (v * parts / 16))
+      (Instance.requesters inst o)
+  done
+
+let cluster_p = { Cluster.clusters = 3; size = 4; bridge_weight = 5 }
+
+let test_cluster_local_confinement () =
+  let rng = Prng.create ~seed:9 in
+  let inst = Arbitrary.cluster_local ~rng cluster_p ~num_objects_per_cluster:3 ~k:2 in
+  Alcotest.(check int) "object count" 9 (Instance.num_objects inst);
+  for o = 0 to 8 do
+    let owner = o / 3 in
+    Array.iter
+      (fun v ->
+        Alcotest.(check int) "requester in owning cluster" owner
+          (Cluster.cluster_of cluster_p v))
+      (Instance.requesters inst o)
+  done
+
+let test_cluster_spread_reaches_sigma () =
+  let rng = Prng.create ~seed:10 in
+  let inst = Arbitrary.cluster_spread ~rng cluster_p ~num_objects:6 ~k:2 ~sigma:3 in
+  let sigma = Dtm_sched.Cluster_sched.sigma cluster_p inst in
+  Alcotest.(check bool) "spread across clusters" true (sigma >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_shape () =
+  let rng = Prng.create ~seed:11 in
+  let inst = Zipf.instance ~rng ~n:30 ~num_objects:10 ~k:2 ~exponent:1.0 in
+  Alcotest.(check int) "txns" 30 (Instance.num_txns inst);
+  Alcotest.(check int) "k" 2 (Instance.k_max inst)
+
+let test_zipf_skew () =
+  let rng = Prng.create ~seed:12 in
+  let inst = Zipf.instance ~rng ~n:400 ~num_objects:20 ~k:1 ~exponent:1.5 in
+  let hot = Array.length (Instance.requesters inst 0) in
+  let cold = Array.length (Instance.requesters inst 19) in
+  Alcotest.(check bool) "object 0 much hotter" true (hot > 4 * max 1 cold)
+
+let test_zipf_zero_exponent_uniformish () =
+  let rng = Prng.create ~seed:13 in
+  let inst = Zipf.instance ~rng ~n:600 ~num_objects:6 ~k:1 ~exponent:0.0 in
+  let counts = Array.init 6 (fun o -> Array.length (Instance.requesters inst o)) in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "near uniform" true (c > 50 && c < 150))
+    counts
+
+(* ------------------------------------------------------------------ *)
+(* Section 8 instances                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lb_instance_structure () =
+  let p = Blocks.make ~s:9 in
+  let rng = Prng.create ~seed:14 in
+  let inst = Lb_instance.instance ~rng p in
+  Alcotest.(check int) "n" (Blocks.n p) (Instance.n inst);
+  Alcotest.(check int) "2s objects" 18 (Instance.num_objects inst);
+  Alcotest.(check int) "every node has a txn" (Blocks.n p) (Instance.num_txns inst);
+  Alcotest.(check int) "k = 2" 2 (Instance.k_max inst);
+  (* a_i is requested by exactly the nodes of block i. *)
+  for i = 0 to 8 do
+    let reqs = Instance.requesters inst (Lb_instance.a_object i) in
+    Alcotest.(check int) "a_i full block" (Blocks.block_size p) (Array.length reqs);
+    Array.iter
+      (fun v -> Alcotest.(check int) "a_i block membership" i (Blocks.block_of p v))
+      reqs
+  done;
+  (* All objects start in H_1 (block 0). *)
+  for o = 0 to 17 do
+    Alcotest.(check int) "home in H1" 0 (Blocks.block_of p (Instance.home inst o))
+  done
+
+let test_lb_instance_b_homes_at_users () =
+  let p = Blocks.make ~s:9 in
+  let rng = Prng.create ~seed:15 in
+  let inst = Lb_instance.instance ~rng p in
+  for j = 0 to 8 do
+    let o = Lb_instance.b_object p j in
+    let home = Instance.home inst o in
+    let h1_users =
+      Array.to_list (Instance.requesters inst o)
+      |> List.filter (fun v -> Blocks.block_of p v = 0)
+    in
+    if h1_users <> [] then
+      Alcotest.(check bool) "b home used in H1" true (List.mem home h1_users)
+  done
+
+let test_lb_instance_object_ids () =
+  let p = Blocks.make ~s:4 in
+  Alcotest.(check int) "a id" 2 (Lb_instance.a_object 2);
+  Alcotest.(check int) "b id" 6 (Lb_instance.b_object p 2);
+  Alcotest.(check bool) "is_b" true (Lb_instance.is_b_object p 5);
+  Alcotest.(check bool) "not b" false (Lb_instance.is_b_object p 3)
+
+let prop_lb_instance_schedulable =
+  qtest ~count:10 "Section 8 instances schedule feasibly on both carriers"
+    arb_seed (fun seed ->
+      let p = Blocks.make ~s:4 in
+      let rng = Prng.create ~seed in
+      let inst = Lb_instance.instance ~rng p in
+      let check metric =
+        let sched = Dtm_core.Greedy.schedule metric inst in
+        Dtm_core.Validator.is_feasible metric inst sched
+      in
+      check (Dtm_topology.Block_grid.metric p)
+      && check (Dtm_topology.Block_tree.metric p))
+
+let () =
+  Alcotest.run "dtm_workload"
+    [
+      ( "uniform",
+        [
+          Alcotest.test_case "shape" `Quick test_uniform_shape;
+          Alcotest.test_case "homes at requesters" `Quick test_uniform_homes_at_requesters;
+          Alcotest.test_case "density" `Quick test_uniform_density;
+          Alcotest.test_case "rejects bad k" `Quick test_uniform_rejects_bad_k;
+          prop_uniform_deterministic;
+        ] );
+      ( "arbitrary",
+        [
+          Alcotest.test_case "hot object" `Quick test_hot_object;
+          Alcotest.test_case "hot object k=1" `Quick test_hot_object_k1;
+          Alcotest.test_case "windowed span" `Quick test_windowed_span;
+          Alcotest.test_case "partitioned" `Quick test_partitioned_no_cross_traffic;
+          Alcotest.test_case "cluster local" `Quick test_cluster_local_confinement;
+          Alcotest.test_case "cluster spread" `Quick test_cluster_spread_reaches_sigma;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "shape" `Quick test_zipf_shape;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "zero exponent" `Quick test_zipf_zero_exponent_uniformish;
+        ] );
+      ( "section8",
+        [
+          Alcotest.test_case "structure" `Quick test_lb_instance_structure;
+          Alcotest.test_case "b homes" `Quick test_lb_instance_b_homes_at_users;
+          Alcotest.test_case "object ids" `Quick test_lb_instance_object_ids;
+          prop_lb_instance_schedulable;
+        ] );
+    ]
