@@ -313,6 +313,155 @@ let online_cmd =
       const run $ topo_arg $ objects_arg $ k_arg $ seed_arg $ txns_arg $ gap_arg
       $ policy_arg)
 
+let analyze_cmd =
+  let module Analysis = Dtm_analysis in
+  let run topo w k seed workload scheduler inst_file sched_file json
+      no_certificate codes =
+    if codes then begin
+      print_endline "diagnostic codes (dtm analyze):";
+      List.iter
+        (fun c ->
+          Printf.printf "  %s %-24s %-8s %s\n" (Analysis.Code.id c)
+            (Analysis.Code.title c)
+            (Analysis.Severity.to_string (Analysis.Code.default_severity c))
+            (Analysis.Code.describe c))
+        Analysis.Code.all;
+      exit 0
+    end;
+    let topo =
+      match topo with
+      | Some t -> t
+      | None ->
+        prerr_endline "dtm analyze: a topology is required (or use --codes)";
+        exit 124
+    in
+    let fail msg =
+      prerr_endline msg;
+      exit 124
+    in
+    let inst =
+      match inst_file with
+      | Some path -> (
+        match Dtm_core.Serial.instance_of_string (read_file path) with
+        | Ok i -> i
+        | Error e -> fail ("cannot parse instance: " ^ e))
+      | None -> make_instance topo ~w ~k ~seed ~workload
+    in
+    let metric = Topology.metric topo in
+    (* A loaded schedule has an unknown producer, so no theorem bound
+       applies; certificates are checked only for schedules we compute
+       with the paper's per-topology algorithm. *)
+    let sched_name, sched, certificate =
+      match sched_file with
+      | Some path -> (
+        match Dtm_core.Serial.schedule_of_string (read_file path) with
+        | Ok s -> (Some ("loaded from " ^ path), Some s, None)
+        | Error e -> fail ("cannot parse schedule: " ^ e))
+      | None -> (
+        match scheduler with
+        | `Auto ->
+          let name = Dtm_sched.Auto.name topo in
+          let s = Dtm_sched.Auto.schedule ~seed topo inst in
+          let cert = Analysis.Certificate.make ~scheduler:name topo inst s in
+          (Some name, Some s, if no_certificate then None else Some cert)
+        | `Greedy ->
+          (Some "basic greedy (Sec 2.3)", Some (Dtm_core.Greedy.schedule metric inst), None)
+        | `Sequential ->
+          (Some "sequential baseline", Some (Dtm_sched.Baseline.sequential metric inst), None)
+        | `None -> (None, None, None))
+    in
+    let report = Analysis.Analyze.run ?schedule:sched ?certificate topo inst in
+    if json then begin
+      let extra =
+        [ ("topology", Analysis.Json.String (Topology.to_string topo)) ]
+        @ (match sched_name with
+          | Some s -> [ ("scheduler", Analysis.Json.String s) ]
+          | None -> [])
+        @ (match sched with
+          | Some s ->
+            [ ("makespan", Analysis.Json.Int (Schedule.makespan s)) ]
+          | None -> [])
+        @
+        match certificate with
+        | Some c -> [ ("certificate", Analysis.Certificate.to_json c) ]
+        | None -> []
+      in
+      print_endline (Analysis.Json.to_string (Analysis.Report.to_json ~extra report))
+    end
+    else begin
+      Printf.printf "topology:  %s\n" (Topology.describe topo);
+      (match sched_name with
+      | Some s -> Printf.printf "scheduler: %s\n" s
+      | None -> ());
+      (match sched with
+      | Some s -> Printf.printf "makespan:  %d\n" (Schedule.makespan s)
+      | None -> ());
+      (match certificate with
+      | Some c -> Printf.printf "%s\n" (Analysis.Certificate.render c)
+      | None -> ());
+      print_string (Analysis.Report.render report)
+    end;
+    exit (Analysis.Report.exit_code report)
+  in
+  let topo_opt_arg =
+    Arg.(
+      value
+      & opt (some topo_conv) None
+      & info [ "t"; "topology" ] ~docv:"TOPO"
+          ~doc:"Topology to analyze (see $(b,dtm topologies)).")
+  in
+  let scheduler_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("auto", `Auto);
+               ("greedy", `Greedy);
+               ("sequential", `Sequential);
+               ("none", `None);
+             ])
+          `Auto
+      & info [ "scheduler" ] ~docv:"ALGO"
+          ~doc:
+            "Scheduler whose output to analyze: auto (with certificate \
+             check), greedy, sequential, or none (instance/topology lints \
+             only).")
+  in
+  let inst_file_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "instance" ] ~docv:"FILE"
+          ~doc:"Analyze this saved instance instead of generating one.")
+  in
+  let sched_file_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:"Analyze this saved schedule instead of computing one.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let no_cert_arg =
+    Arg.(value & flag & info [ "no-certificate" ] ~doc:"Skip the certificate check.")
+  in
+  let codes_arg =
+    Arg.(value & flag & info [ "codes" ] ~doc:"List all diagnostic codes and exit.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically analyze an instance and schedule: lints, feasibility \
+          proof, and the scheduler's approximation certificate.  Exits \
+          non-zero when any error-severity finding is reported.")
+    Term.(
+      const run $ topo_opt_arg $ objects_arg $ k_arg $ seed_arg $ workload_arg
+      $ scheduler_arg $ inst_file_arg $ sched_file_arg $ json_arg $ no_cert_arg
+      $ codes_arg)
+
 let topologies_cmd =
   let run () =
     print_endline "supported topologies (with example parameters):";
@@ -332,4 +481,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ schedule_cmd; lower_bound_cmd; validate_cmd; online_cmd; topologies_cmd ]))
+          [
+            schedule_cmd;
+            lower_bound_cmd;
+            validate_cmd;
+            analyze_cmd;
+            online_cmd;
+            topologies_cmd;
+          ]))

@@ -1,0 +1,27 @@
+module Topology = Dtm_topology.Topology
+
+let run ?schedule ?certificate ?metric_budget topo inst =
+  let metric = Topology.metric topo in
+  let lower =
+    Option.map (fun (c : Certificate.t) -> c.Certificate.lower) certificate
+  in
+  let findings =
+    Metric_lint.check ?budget:metric_budget metric
+    @ Instance_lint.check ~topo ?lower metric inst
+    @ (match schedule with
+      | Some s -> Schedule_lint.check metric inst s
+      | None -> [])
+    @ match certificate with Some c -> Certificate.verify c | None -> []
+  in
+  Report.of_diagnostics findings
+
+let run_auto ?(seed = 0) topo inst =
+  let sched = Dtm_sched.Auto.schedule ~seed topo inst in
+  let cert =
+    Certificate.make ~scheduler:(Dtm_sched.Auto.name topo) topo inst sched
+  in
+  (run ~schedule:sched ~certificate:cert topo inst, sched, cert)
+
+let quick metric inst sched =
+  Report.of_diagnostics
+    (Instance_lint.check metric inst @ Schedule_lint.check metric inst sched)

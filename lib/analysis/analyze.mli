@@ -1,0 +1,35 @@
+(** The analysis driver: compose every static analyzer over one
+    (topology, instance, optional schedule) triple and produce a
+    {!Report.t}.
+
+    This is what [dtm analyze] and the experiment gate call.  Order:
+    metric lints, instance lints, schedule lints (when a schedule is
+    given), certificate verification (when a certificate is given or
+    [`Auto] scheduling is requested). *)
+
+val run :
+  ?schedule:Dtm_core.Schedule.t ->
+  ?certificate:Certificate.t ->
+  ?metric_budget:int ->
+  Dtm_topology.Topology.t ->
+  Dtm_core.Instance.t ->
+  Report.t
+(** Analyze the instance (and schedule, when given) on the topology.
+    [certificate], when given, is verified and its findings merged. *)
+
+val run_auto :
+  ?seed:int ->
+  Dtm_topology.Topology.t ->
+  Dtm_core.Instance.t ->
+  Report.t * Dtm_core.Schedule.t * Certificate.t
+(** Schedule with {!Dtm_sched.Auto}, then run the full analysis
+    including the certificate check. *)
+
+val quick :
+  Dtm_graph.Metric.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t ->
+  Report.t
+(** The topology-free subset (instance + schedule lints, no metric
+    sweep, no certificate) — cheap enough to gate every experiment
+    measurement. *)

@@ -1,0 +1,95 @@
+module Schedule = Dtm_core.Schedule
+module Topology = Dtm_topology.Topology
+module Bounds = Dtm_sched.Bounds
+
+type t = {
+  scheduler : string;
+  topology : string;
+  makespan : int;
+  lower : int;
+  bound : int option;
+  factor : float;
+}
+
+let theorem_bound topo inst =
+  match topo with
+  | Topology.Clique _ -> Some (Bounds.clique inst)
+  | Topology.Line _ -> Some (Bounds.line inst)
+  | Topology.Ring n -> Some (Bounds.ring ~n inst)
+  | Topology.Grid { rows; cols } -> Some (Bounds.grid ~rows ~cols inst)
+  | Topology.Cluster p -> Some (Bounds.cluster_approach1 p inst)
+  | Topology.Star p -> Some (Bounds.star p inst)
+  | Topology.Torus _ | Topology.Hypercube _ | Topology.Butterfly _
+  | Topology.Tree _ | Topology.Hypergrid _ | Topology.Block_grid _
+  | Topology.Block_tree _ ->
+    Some (Bounds.diameter (Topology.metric topo) inst)
+  | Topology.Custom { graph; _ } ->
+    if Dtm_graph.Graph.is_connected graph then
+      Some (Bounds.diameter (Topology.metric topo) inst)
+    else None
+
+let make ~scheduler topo inst sched =
+  let metric = Topology.metric topo in
+  let lower = Dtm_core.Lower_bound.certified metric inst in
+  let bound = theorem_bound topo inst in
+  {
+    scheduler;
+    topology = Topology.to_string topo;
+    makespan = Schedule.makespan sched;
+    lower;
+    bound;
+    factor =
+      (match bound with
+      | Some b -> float_of_int b /. float_of_int (max 1 lower)
+      | None -> Float.nan);
+  }
+
+let verify t =
+  match t.bound with
+  | None ->
+    [
+      Diagnostic.makef Code.Certificate_unavailable
+        "no finite theorem bound for %s on %s: certificate not checked"
+        t.scheduler t.topology;
+    ]
+  | Some b when t.makespan > b ->
+    [
+      Diagnostic.makef Code.Certificate_violation
+        "%s on %s produced makespan %d, above its theorem bound %d \
+         (claimed factor %.2f x certified lower bound %d) — the scheduler \
+         violates its theorem"
+        t.scheduler t.topology t.makespan b t.factor t.lower;
+    ]
+  | Some _ -> []
+
+let check_auto ?(seed = 0) topo inst =
+  let sched = Dtm_sched.Auto.schedule ~seed topo inst in
+  let t = make ~scheduler:(Dtm_sched.Auto.name topo) topo inst sched in
+  (t, verify t)
+
+let render t =
+  match t.bound with
+  | None ->
+    Printf.sprintf "certificate: unavailable for %s on %s" t.scheduler
+      t.topology
+  | Some b ->
+    Printf.sprintf
+      "certificate: makespan %d <= bound %d (factor %.2f x lower bound %d) \
+       [%s]"
+      t.makespan b t.factor t.lower
+      (if t.makespan <= b then "ok" else "VIOLATED")
+
+let to_json t =
+  Json.Obj
+    [
+      ("scheduler", Json.String t.scheduler);
+      ("topology", Json.String t.topology);
+      ("makespan", Json.Int t.makespan);
+      ("lower_bound", Json.Int t.lower);
+      ("bound", match t.bound with Some b -> Json.Int b | None -> Json.Null);
+      ("factor", Json.Float t.factor);
+      ( "holds",
+        match t.bound with
+        | Some b -> Json.Bool (t.makespan <= b)
+        | None -> Json.Null );
+    ]

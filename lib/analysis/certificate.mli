@@ -1,0 +1,61 @@
+(** Approximation-certificate checking (paper, Sections 1.1 and 8).
+
+    Every scheduler in [lib/sched] comes with a theorem bounding its
+    makespan in closed form ({!Dtm_sched.Bounds}); the paper states each
+    as an approximation factor against the certified per-instance lower
+    bound.  A {e certificate} instantiates the bound on one concrete
+    instance and records everything needed to re-check the claim without
+    re-running the scheduler:
+
+    [makespan <= bound = factor * Lower_bound.certified] (up to the
+    rounding recorded in [factor]).
+
+    [verify] turns a violated certificate into a [DTM201] error — a bug
+    detector for the schedulers themselves (or for the bounds): a
+    correct implementation can never trip it, so any occurrence on any
+    instance falsifies the implementation against its theorem. *)
+
+type t = {
+  scheduler : string;  (** algorithm name, e.g. {!Dtm_sched.Auto.name} *)
+  topology : string;  (** e.g. ["grid:8x8"] *)
+  makespan : int;
+  lower : int;  (** {!Dtm_core.Lower_bound.certified} *)
+  bound : int option;
+      (** the theorem's closed-form makespan bound instantiated on this
+          instance; [None] when no finite bound applies (disconnected
+          custom graph) *)
+  factor : float;
+      (** the implied per-instance approximation factor
+          [bound / max 1 lower]; [nan] when [bound = None] *)
+}
+
+val theorem_bound : Dtm_topology.Topology.t -> Dtm_core.Instance.t -> int option
+(** The closed-form bound proven for {!Dtm_sched.Auto.schedule}'s
+    algorithm on this topology: Theorem 1 (clique), Theorem 2 (line and
+    the ring extension), Lemma 5 (grid), Lemma 6 (cluster), Theorem 5
+    via greedy periods (star), and the Section 3.1 diameter bound for
+    everything else.  [None] only for disconnected custom graphs. *)
+
+val make :
+  scheduler:string ->
+  Dtm_topology.Topology.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t ->
+  t
+
+val verify : t -> Diagnostic.t list
+(** [DTM201] when [makespan > bound]; [DTM202] when [bound = None].
+    Empty when the certificate holds. *)
+
+val check_auto :
+  ?seed:int ->
+  Dtm_topology.Topology.t ->
+  Dtm_core.Instance.t ->
+  t * Diagnostic.t list
+(** Run {!Dtm_sched.Auto.schedule} and check its certificate. *)
+
+val render : t -> string
+(** One line for reports, e.g.
+    ["certificate: makespan 37 <= bound 161 (factor 11.5 x lower bound 14) [ok]"]. *)
+
+val to_json : t -> Json.t

@@ -1,0 +1,131 @@
+type t =
+  | Unreachable_home
+  | Metric_asymmetry
+  | Metric_degenerate
+  | Triangle_violation
+  | Empty_instance
+  | Unrequested_object
+  | Hub_overload
+  | Home_not_at_requester
+  | Unscheduled_txn
+  | Phantom_entry
+  | Early_first_use
+  | Motion_infeasible
+  | Step_conflict
+  | Capacity_mismatch
+  | Shiftable_start
+  | Certificate_violation
+  | Certificate_unavailable
+
+let all =
+  [
+    Unreachable_home;
+    Metric_asymmetry;
+    Metric_degenerate;
+    Triangle_violation;
+    Empty_instance;
+    Unrequested_object;
+    Hub_overload;
+    Home_not_at_requester;
+    Unscheduled_txn;
+    Phantom_entry;
+    Early_first_use;
+    Motion_infeasible;
+    Step_conflict;
+    Capacity_mismatch;
+    Shiftable_start;
+    Certificate_violation;
+    Certificate_unavailable;
+  ]
+
+let id = function
+  | Unreachable_home -> "DTM001"
+  | Metric_asymmetry -> "DTM002"
+  | Metric_degenerate -> "DTM003"
+  | Triangle_violation -> "DTM004"
+  | Empty_instance -> "DTM005"
+  | Unrequested_object -> "DTM006"
+  | Hub_overload -> "DTM007"
+  | Home_not_at_requester -> "DTM008"
+  | Unscheduled_txn -> "DTM101"
+  | Phantom_entry -> "DTM102"
+  | Early_first_use -> "DTM103"
+  | Motion_infeasible -> "DTM104"
+  | Step_conflict -> "DTM105"
+  | Capacity_mismatch -> "DTM106"
+  | Shiftable_start -> "DTM107"
+  | Certificate_violation -> "DTM201"
+  | Certificate_unavailable -> "DTM202"
+
+let of_id s = List.find_opt (fun c -> id c = s) all
+
+let default_severity = function
+  | Unreachable_home | Metric_asymmetry | Metric_degenerate
+  | Triangle_violation | Unscheduled_txn | Phantom_entry | Early_first_use
+  | Motion_infeasible | Step_conflict | Capacity_mismatch
+  | Certificate_violation ->
+    Severity.Error
+  | Empty_instance | Unrequested_object | Hub_overload
+  | Certificate_unavailable ->
+    Severity.Warning
+  | Home_not_at_requester | Shiftable_start -> Severity.Info
+
+let title = function
+  | Unreachable_home -> "unreachable-home"
+  | Metric_asymmetry -> "metric-asymmetry"
+  | Metric_degenerate -> "metric-degenerate"
+  | Triangle_violation -> "triangle-violation"
+  | Empty_instance -> "empty-instance"
+  | Unrequested_object -> "unrequested-object"
+  | Hub_overload -> "hub-overload"
+  | Home_not_at_requester -> "home-not-at-requester"
+  | Unscheduled_txn -> "unscheduled-transaction"
+  | Phantom_entry -> "phantom-entry"
+  | Early_first_use -> "early-first-use"
+  | Motion_infeasible -> "motion-infeasible"
+  | Step_conflict -> "step-conflict"
+  | Capacity_mismatch -> "capacity-mismatch"
+  | Shiftable_start -> "shiftable-start"
+  | Certificate_violation -> "certificate-violation"
+  | Certificate_unavailable -> "certificate-unavailable"
+
+let describe = function
+  | Unreachable_home ->
+    "an object cannot travel from its home node to one of its requesters \
+     (infinite distance)"
+  | Metric_asymmetry -> "the distance oracle is not symmetric"
+  | Metric_degenerate ->
+    "a node is at non-zero distance from itself, or two distinct nodes are \
+     at non-positive distance"
+  | Triangle_violation ->
+    "the distance oracle violates the triangle inequality, so object \
+     travel times are not shortest-path times"
+  | Empty_instance -> "the instance has no transactions"
+  | Unrequested_object -> "an object is requested by no transaction"
+  | Hub_overload ->
+    "forced object transits through the hub (star center / cluster \
+     bridges) exceed the certified lower bound"
+  | Home_not_at_requester ->
+    "a requested object starts away from all of its requesters, deviating \
+     from the paper's initial-placement convention"
+  | Unscheduled_txn -> "a transaction is not assigned an execution step"
+  | Phantom_entry ->
+    "the schedule assigns a step to a node that holds no transaction"
+  | Early_first_use ->
+    "an object's first requester executes before the object can arrive \
+     from its home"
+  | Motion_infeasible ->
+    "consecutive requesters of one object are scheduled closer in time \
+     than the distance between them"
+  | Step_conflict -> "two users of one object share a time step"
+  | Capacity_mismatch ->
+    "the schedule was created for a different node count than the instance"
+  | Shiftable_start ->
+    "every release and arrival constraint has positive slack, so the \
+     whole schedule can be shifted earlier"
+  | Certificate_violation ->
+    "the makespan exceeds the theorem bound claimed for this scheduler \
+     and topology"
+  | Certificate_unavailable ->
+    "no finite theorem bound applies to this topology, so the certificate \
+     cannot be checked"

@@ -1,0 +1,80 @@
+(** Stable diagnostic codes.
+
+    Every finding the analyzers can emit has a code [DTMxxx] that is
+    stable across releases — scripts and CI configurations may match on
+    it.  Codes are grouped by the hundreds digit:
+
+    - [DTM0xx] — instance / topology / metric lints;
+    - [DTM1xx] — static schedule analysis;
+    - [DTM2xx] — approximation-certificate checking.
+
+    The default severity of a code reflects what it falsifies: [Error]
+    codes contradict the model's definitions or a theorem, [Warning]
+    codes flag hazards, [Info] codes are observations. *)
+
+type t =
+  | Unreachable_home
+      (** DTM001: an object cannot travel from its home to a requester
+          (infinite distance — disconnected carrier graph). *)
+  | Metric_asymmetry  (** DTM002: [dist u v <> dist v u]. *)
+  | Metric_degenerate
+      (** DTM003: [dist v v <> 0], or a non-positive distance between
+          distinct nodes. *)
+  | Triangle_violation
+      (** DTM004: [dist u w > dist u v + dist v w] — the claimed metric
+          is not a metric, so shortest-path travel times are wrong. *)
+  | Empty_instance  (** DTM005: no node holds a transaction. *)
+  | Unrequested_object
+      (** DTM006: an object no transaction requests (degenerate
+          workload; lower bounds ignore it but generators should not
+          produce it). *)
+  | Hub_overload
+      (** DTM007: on a star/cluster topology, the number of forced
+          transits through the hub (center or bridge edges) exceeds the
+          certified lower bound — congestion the bound does not see. *)
+  | Home_not_at_requester
+      (** DTM008: some requested object starts away from all of its
+          requesters — deviates from the paper's usual initial
+          placement (Section 2.1). *)
+  | Unscheduled_txn  (** DTM101: a transaction has no execution step. *)
+  | Phantom_entry
+      (** DTM102: the schedule assigns a step to a node that holds no
+          transaction. *)
+  | Early_first_use
+      (** DTM103: an object's first requester executes before the
+          object can arrive from its home. *)
+  | Motion_infeasible
+      (** DTM104: consecutive requesters of one object are scheduled
+          closer in time than the distance between them. *)
+  | Step_conflict
+      (** DTM105: two users of one object share a time step. *)
+  | Capacity_mismatch
+      (** DTM106: the schedule was built for a different node count
+          than the instance. *)
+  | Shiftable_start
+      (** DTM107: every constraint has slack >= s > 0, so the whole
+          schedule can run [s] steps earlier — the makespan is not
+          tight. *)
+  | Certificate_violation
+      (** DTM201: a schedule's makespan exceeds the theorem bound its
+          scheduler claims — a bug in the scheduler (or the bound). *)
+  | Certificate_unavailable
+      (** DTM202: no finite theorem bound applies (e.g. a disconnected
+          custom graph), so the certificate cannot be checked. *)
+
+val all : t list
+(** Every code, in [DTM] order. *)
+
+val id : t -> string
+(** The stable identifier, e.g. ["DTM105"]. *)
+
+val of_id : string -> t option
+
+val default_severity : t -> Severity.t
+
+val title : t -> string
+(** Short kebab-case name, e.g. ["step-conflict"]. *)
+
+val describe : t -> string
+(** One-sentence documentation, used by [dtm analyze --codes] and the
+    DESIGN.md code table. *)

@@ -1,0 +1,49 @@
+type t = {
+  code : Code.t;
+  severity : Severity.t;
+  message : string;
+  loc : Location.t;
+}
+
+let make ?severity ?(loc = Location.none) code message =
+  let severity =
+    match severity with Some s -> s | None -> Code.default_severity code
+  in
+  { code; severity; message; loc }
+
+let makef ?severity ?loc code fmt =
+  Printf.ksprintf (fun message -> make ?severity ?loc code message) fmt
+
+let is_error t = t.severity = Severity.Error
+
+let compare a b =
+  let c = Severity.compare b.severity a.severity in
+  if c <> 0 then c
+  else
+    let c = String.compare (Code.id a.code) (Code.id b.code) in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.loc b.loc in
+      if c <> 0 then c else String.compare a.message b.message
+
+let render t =
+  let loc = Location.to_string t.loc in
+  Printf.sprintf "%s %s %s: %s%s"
+    (Severity.to_string t.severity)
+    (Code.id t.code) (Code.title t.code) t.message
+    (if loc = "" then "" else " " ^ loc)
+
+let to_json t =
+  let opt name v fields =
+    match v with Some x -> (name, Json.Int x) :: fields | None -> fields
+  in
+  Json.Obj
+    ([
+       ("code", Json.String (Code.id t.code));
+       ("title", Json.String (Code.title t.code));
+       ("severity", Json.String (Severity.to_string t.severity));
+       ("message", Json.String t.message);
+     ]
+    @ opt "object" t.loc.Location.obj
+        (opt "node" t.loc.Location.node
+           (opt "step" t.loc.Location.step [])))

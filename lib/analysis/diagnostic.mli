@@ -1,0 +1,32 @@
+(** A single typed finding: code + severity + message + location.
+
+    The severity defaults to the code's {!Code.default_severity} but can
+    be overridden (e.g. a CI profile promoting warnings).  Renderers are
+    deterministic so findings can be snapshot-tested. *)
+
+type t = {
+  code : Code.t;
+  severity : Severity.t;
+  message : string;
+  loc : Location.t;
+}
+
+val make : ?severity:Severity.t -> ?loc:Location.t -> Code.t -> string -> t
+
+val makef :
+  ?severity:Severity.t ->
+  ?loc:Location.t ->
+  Code.t ->
+  ('a, unit, string, t) format4 ->
+  'a
+(** [makef code fmt ...] — printf-style message. *)
+
+val is_error : t -> bool
+
+val compare : t -> t -> int
+(** Errors first, then code order, then location, then message. *)
+
+val render : t -> string
+(** One line: ["error DTM105 step-conflict: ... (object 3, node 7)"]. *)
+
+val to_json : t -> Json.t

@@ -1,0 +1,92 @@
+module Instance = Dtm_core.Instance
+module Metric = Dtm_graph.Metric
+module Topology = Dtm_topology.Topology
+
+let max_per_code = 8
+
+(* Minimum number of times mobile objects must pass through the
+   topology's hub: on a star, an object requested on [r] distinct rays
+   crosses the center at least [r - 1] times; on a cluster graph, an
+   object requested in [c] distinct clusters crosses bridge edges at
+   least [c - 1] times.  The certified lower bound sees travel time but
+   not this funneling, so a large transit count is a congestion hazard
+   the bound cannot certify against. *)
+let hub_transits topo inst =
+  let count group_of =
+    let total = ref 0 in
+    for o = 0 to Instance.num_objects inst - 1 do
+      let groups =
+        Array.to_list (Instance.requesters inst o)
+        |> List.filter_map group_of
+        |> List.sort_uniq compare
+      in
+      total := !total + max 0 (List.length groups - 1)
+    done;
+    !total
+  in
+  match topo with
+  | Topology.Star p -> Some ("star center", count (Dtm_topology.Star.ray_of p))
+  | Topology.Cluster p ->
+    Some
+      ( "cluster bridges",
+        count (fun v -> Some (Dtm_topology.Cluster.cluster_of p v)) )
+  | _ -> None
+
+let check ?topo ?lower metric inst =
+  let out = ref [] in
+  let counts = Hashtbl.create 4 in
+  let add code mk =
+    let c = Option.value ~default:0 (Hashtbl.find_opt counts code) in
+    if c < max_per_code then begin
+      Hashtbl.replace counts code (c + 1);
+      out := mk () :: !out
+    end
+  in
+  if Instance.num_txns inst = 0 then
+    add Code.Empty_instance (fun () ->
+        Diagnostic.make Code.Empty_instance "instance has no transactions");
+  let away_from_requesters = ref 0 in
+  for o = 0 to Instance.num_objects inst - 1 do
+    let reqs = Instance.requesters inst o in
+    if Array.length reqs = 0 then
+      add Code.Unrequested_object (fun () ->
+          Diagnostic.makef Code.Unrequested_object
+            ~loc:(Location.make ~obj:o ())
+            "object %d is requested by no transaction" o)
+    else begin
+      let home = Instance.home inst o in
+      Array.iter
+        (fun r ->
+          if Metric.dist metric home r = max_int then
+            add Code.Unreachable_home (fun () ->
+                Diagnostic.makef Code.Unreachable_home
+                  ~loc:(Location.make ~obj:o ~node:r ())
+                  "object %d cannot reach requester %d from home %d" o r home))
+        reqs;
+      if not (Array.exists (fun r -> r = home) reqs) then
+        incr away_from_requesters
+    end
+  done;
+  if !away_from_requesters > 0 then
+    add Code.Home_not_at_requester (fun () ->
+        Diagnostic.makef Code.Home_not_at_requester
+          "%d requested object%s start away from all requesters (paper \
+           convention places homes at requesters)"
+          !away_from_requesters
+          (if !away_from_requesters = 1 then "" else "s"));
+  (match Option.bind topo (fun t -> hub_transits t inst) with
+  | Some (hub, transits) when transits > 0 ->
+    let lb =
+      match lower with
+      | Some l -> l
+      | None -> Dtm_core.Lower_bound.certified metric inst
+    in
+    if transits > max 1 lb then
+      add Code.Hub_overload (fun () ->
+          Diagnostic.makef Code.Hub_overload
+            "objects must cross the %s %d times, above the certified lower \
+             bound %d — under per-edge capacity limits execution will \
+             degrade"
+            hub transits lb)
+  | _ -> ());
+  List.rev !out

@@ -1,0 +1,17 @@
+(** Lints on a problem instance against its metric and (optionally) its
+    topology: reachability of homes ([DTM001]), degenerate workloads
+    ([DTM005], [DTM006]), hub-capacity hazards on star/cluster carriers
+    ([DTM007]), and deviation from the paper's initial-placement
+    convention ([DTM008]).
+
+    [lower], when given, is the instance's certified lower bound
+    (computed by the caller, typically shared with the certificate
+    check); it feeds the hub-overload threshold.  When absent it is
+    computed on demand only if the topology has a hub. *)
+
+val check :
+  ?topo:Dtm_topology.Topology.t ->
+  ?lower:int ->
+  Dtm_graph.Metric.t ->
+  Dtm_core.Instance.t ->
+  Diagnostic.t list

@@ -1,0 +1,17 @@
+(** Minimal JSON tree and printer (no external dependency).
+
+    Enough for the analyzer's [--json] output: objects, arrays, and the
+    scalar types the diagnostics use.  Strings are escaped per RFC 8259;
+    non-finite floats are emitted as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Pretty-printed with [indent] spaces per level (default 2). *)

@@ -1,0 +1,21 @@
+type t = { obj : int option; node : int option; step : int option }
+
+let none = { obj = None; node = None; step = None }
+let make ?obj ?node ?step () = { obj; node; step }
+
+let to_string t =
+  let parts =
+    List.filter_map
+      (fun (label, v) ->
+        Option.map (fun x -> Printf.sprintf "%s %d" label x) v)
+      [ ("object", t.obj); ("node", t.node); ("step", t.step) ]
+  in
+  match parts with
+  | [] -> ""
+  | _ -> "(" ^ String.concat ", " parts ^ ")"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let subsumes a b =
+  let field f = match f a with None -> true | Some x -> f b = Some x in
+  field (fun t -> t.obj) && field (fun t -> t.node) && field (fun t -> t.step)

@@ -1,0 +1,22 @@
+(** Where a finding points: an object, a node, a time step — any subset.
+
+    Mirrors the coordinates of the DTM model (there are no source files
+    to point at): analyses locate findings on the instance/schedule
+    being analyzed. *)
+
+type t = { obj : int option; node : int option; step : int option }
+
+val none : t
+
+val make : ?obj:int -> ?node:int -> ?step:int -> unit -> t
+
+val to_string : t -> string
+(** ["(object 3, node 7, step 9)"] with absent fields omitted; [""] for
+    {!none}. *)
+
+val pp : Format.formatter -> t -> unit
+
+val subsumes : t -> t -> bool
+(** [subsumes a b]: every field set in [a] is set to the same value in
+    [b] (used by tests to match analyzer findings against dynamic
+    validator verdicts). *)

@@ -1,0 +1,84 @@
+module Metric = Dtm_graph.Metric
+
+(* Cap the number of findings per code: one bad metric otherwise floods
+   the report with O(n^3) near-identical lines. *)
+let max_per_code = 8
+
+let check ?(budget = 200_000) metric =
+  let n = Metric.size metric in
+  let out = ref [] in
+  let counts = Hashtbl.create 4 in
+  let add code mk =
+    let c = Option.value ~default:0 (Hashtbl.find_opt counts code) in
+    if c < max_per_code then begin
+      Hashtbl.replace counts code (c + 1);
+      out := mk () :: !out
+    end
+  in
+  let dist = Metric.dist metric in
+  let check_pair u v =
+    if u <> v then begin
+      let duv = dist u v and dvu = dist v u in
+      if duv <> dvu then
+        add Code.Metric_asymmetry (fun () ->
+            Diagnostic.makef Code.Metric_asymmetry
+              ~loc:(Location.make ~node:u ())
+              "dist %d->%d is %d but dist %d->%d is %d" u v duv v u dvu);
+      if duv <= 0 then
+        add Code.Metric_degenerate (fun () ->
+            Diagnostic.makef Code.Metric_degenerate
+              ~loc:(Location.make ~node:u ())
+              "distinct nodes %d and %d at non-positive distance %d" u v duv)
+    end
+  in
+  let check_diag v =
+    let d = dist v v in
+    if d <> 0 then
+      add Code.Metric_degenerate (fun () ->
+          Diagnostic.makef Code.Metric_degenerate
+            ~loc:(Location.make ~node:v ())
+            "node %d at distance %d from itself" v d)
+  in
+  let check_triple u v w =
+    let a = dist u v and b = dist v w and c = dist u w in
+    (* Skip unreachable legs (max_int): reachability is DTM001's job and
+       the sums would overflow. *)
+    if a < max_int && b < max_int && c < max_int && c > a + b then
+      add Code.Triangle_violation (fun () ->
+          Diagnostic.makef Code.Triangle_violation
+            ~loc:(Location.make ~node:u ())
+            "dist %d->%d = %d exceeds dist via %d = %d + %d" u w c v a b)
+  in
+  if n > 0 then begin
+    for v = 0 to n - 1 do
+      check_diag v
+    done;
+    if n * n <= budget then
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          check_pair u v
+        done
+      done
+    else begin
+      let rng = Dtm_util.Prng.create ~seed:0 in
+      for _ = 1 to budget / 2 do
+        check_pair (Dtm_util.Prng.int rng n) (Dtm_util.Prng.int rng n)
+      done
+    end;
+    if n * n * n <= budget then
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          for w = 0 to n - 1 do
+            check_triple u v w
+          done
+        done
+      done
+    else begin
+      let rng = Dtm_util.Prng.create ~seed:1 in
+      for _ = 1 to budget / 3 do
+        check_triple (Dtm_util.Prng.int rng n) (Dtm_util.Prng.int rng n)
+          (Dtm_util.Prng.int rng n)
+      done
+    end
+  end;
+  List.rev !out

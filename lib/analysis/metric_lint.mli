@@ -1,0 +1,16 @@
+(** Static checks on a distance oracle: symmetry, zero diagonal,
+    positivity off the diagonal, and the triangle inequality
+    ([DTM002]..[DTM004]).
+
+    Every scheduler and bound in the library assumes these; a custom
+    matrix that violates them silently breaks travel-time reasoning.
+    The closed-form topologies are verified against APSP in tests, so
+    for them this is a fast sanity pass; for [Custom] metrics it is the
+    primary gate.
+
+    Work is bounded by [budget] primitive distance lookups (default
+    200_000): pair checks are exhaustive while they fit, then
+    deterministically sampled; triple checks likewise.  Findings are
+    deduplicated per code. *)
+
+val check : ?budget:int -> Dtm_graph.Metric.t -> Diagnostic.t list

@@ -1,0 +1,50 @@
+type t = Diagnostic.t list (* sorted, deduplicated *)
+
+let empty = []
+
+let of_diagnostics ds =
+  let sorted = List.sort Diagnostic.compare ds in
+  let rec dedup = function
+    | a :: (b :: _ as rest) when Diagnostic.compare a b = 0 -> dedup rest
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+let merge a b = of_diagnostics (a @ b)
+let diagnostics t = t
+let count t sev = List.length (List.filter (fun d -> d.Diagnostic.severity = sev) t)
+let total = List.length
+let errors t = List.filter Diagnostic.is_error t
+let has_errors t = errors t <> []
+
+let summary t =
+  let plural n word = Printf.sprintf "%d %s%s" n word (if n = 1 then "" else "s") in
+  Printf.sprintf "%s, %s, %s"
+    (plural (count t Severity.Error) "error")
+    (plural (count t Severity.Warning) "warning")
+    (plural (count t Severity.Info) "info")
+
+let render t =
+  match t with
+  | [] -> "no findings\n"
+  | _ ->
+    String.concat ""
+      (List.map (fun d -> Diagnostic.render d ^ "\n") t)
+    ^ summary t ^ "\n"
+
+let to_json ?(extra = []) t =
+  Json.Obj
+    (extra
+    @ [
+        ( "summary",
+          Json.Obj
+            [
+              ("errors", Json.Int (count t Severity.Error));
+              ("warnings", Json.Int (count t Severity.Warning));
+              ("infos", Json.Int (count t Severity.Info));
+            ] );
+        ("diagnostics", Json.List (List.map Diagnostic.to_json t));
+      ])
+
+let exit_code t = if has_errors t then 1 else 0

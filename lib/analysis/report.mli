@@ -1,0 +1,34 @@
+(** An analysis report: the sorted findings of one run plus renderers
+    and the exit-code policy ([Error] present => non-zero). *)
+
+type t
+
+val empty : t
+
+val of_diagnostics : Diagnostic.t list -> t
+(** Sorts (errors first) and deduplicates identical findings. *)
+
+val merge : t -> t -> t
+
+val diagnostics : t -> Diagnostic.t list
+
+val count : t -> Severity.t -> int
+
+val total : t -> int
+
+val has_errors : t -> bool
+
+val errors : t -> Diagnostic.t list
+
+val summary : t -> string
+(** ["2 errors, 1 warning, 0 infos"]. *)
+
+val render : t -> string
+(** Human text: one line per finding, then the summary line.  A clean
+    report renders as ["no findings"]. *)
+
+val to_json : ?extra:(string * Json.t) list -> t -> Json.t
+(** [{"summary": {...}, "diagnostics": [...], ...extra}]. *)
+
+val exit_code : t -> int
+(** 1 when the report has errors, else 0. *)

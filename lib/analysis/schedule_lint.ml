@@ -1,0 +1,113 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+module Metric = Dtm_graph.Metric
+
+let check metric inst sched =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let n = Instance.n inst in
+  let cap = Schedule.capacity sched in
+  if cap <> n then
+    add
+      (Diagnostic.makef Code.Capacity_mismatch
+         "schedule was created for %d nodes but the instance has %d" cap n);
+  let time v = if v < cap then Schedule.time sched v else None in
+  (* Every transaction scheduled; nothing else scheduled. *)
+  for v = 0 to n - 1 do
+    match (Instance.txn_at inst v, time v) with
+    | Some _, None ->
+      add
+        (Diagnostic.makef Code.Unscheduled_txn
+           ~loc:(Location.make ~node:v ())
+           "transaction at node %d is not scheduled" v)
+    | None, Some t ->
+      add
+        (Diagnostic.makef Code.Phantom_entry
+           ~loc:(Location.make ~node:v ~step:t ())
+           "node %d holds no transaction but is scheduled at step %d" v t)
+    | _ -> ()
+  done;
+  for v = n to cap - 1 do
+    match Schedule.time sched v with
+    | Some t ->
+      add
+        (Diagnostic.makef Code.Phantom_entry
+           ~loc:(Location.make ~node:v ~step:t ())
+           "node %d is outside the instance but scheduled at step %d" v t)
+    | None -> ()
+  done;
+  (* Per-object itineraries, plus the global shift slack. *)
+  let slack = ref max_int in
+  let note_slack s = if s < !slack then slack := s in
+  List.iter
+    (fun v ->
+      match time v with Some t -> note_slack (t - 1) | None -> ())
+    (List.init (min n cap) Fun.id);
+  for o = 0 to Instance.num_objects inst - 1 do
+    let reqs = Instance.requesters inst o in
+    let all_scheduled = Array.for_all (fun r -> time r <> None) reqs in
+    if all_scheduled && Array.length reqs > 0 then begin
+      let order = Schedule.object_order sched ~requesters:reqs in
+      (match order with
+      | [] -> ()
+      | first :: _ ->
+        let t1 = Schedule.time_exn sched first in
+        let d = Metric.dist metric (Instance.home inst o) first in
+        let needed = if d = max_int then max_int else max 1 d in
+        let loc = Location.make ~obj:o ~node:first ~step:t1 () in
+        if d = max_int then
+          add
+            (Diagnostic.makef Code.Early_first_use ~loc
+               "object %d can never reach its first requester %d (scheduled \
+                at step %d)"
+               o first t1)
+        else if t1 < needed then
+          add
+            (Diagnostic.makef Code.Early_first_use ~loc
+               "object %d reaches its first requester %d no earlier than \
+                step %d but it is scheduled at step %d"
+               o first needed t1)
+        else note_slack (t1 - needed));
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+          let ta = Schedule.time_exn sched a and tb = Schedule.time_exn sched b in
+          let d = Metric.dist metric a b in
+          if ta = tb then
+            add
+              (Diagnostic.makef Code.Step_conflict
+                 ~loc:(Location.make ~obj:o ~node:b ~step:tb ())
+                 "object %d is used by nodes %d and %d on the same step %d" o
+                 a b tb)
+          else if tb - ta < d then
+            add
+              (Diagnostic.makef Code.Motion_infeasible
+                 ~loc:(Location.make ~obj:o ~node:b ~step:tb ())
+                 "object %d must travel %s from node %d (step %d) to node %d \
+                  (step %d)"
+                 o
+                 (if d = max_int then "an unreachable path"
+                  else Printf.sprintf "%d steps" d)
+                 a ta b tb);
+          pairs rest
+        | _ -> ()
+      in
+      pairs order
+    end
+  done;
+  let findings = List.rev !out in
+  let has_errors = List.exists Diagnostic.is_error findings in
+  if (not has_errors) && !slack > 0 && !slack < max_int then
+    findings
+    @ [
+        Diagnostic.makef Code.Shiftable_start
+          "every release and arrival constraint has slack >= %d: the whole \
+           schedule can be shifted %d step%s earlier"
+          !slack !slack
+          (if !slack = 1 then "" else "s");
+      ]
+  else findings
+
+let errors_only metric inst sched =
+  List.filter Diagnostic.is_error (check metric inst sched)
+
+let is_clean metric inst sched = errors_only metric inst sched = []

@@ -1,0 +1,41 @@
+(** The static schedule analyzer: proves conflict-freedom and
+    object-motion feasibility of a schedule from the distance matrix
+    alone — no simulator run — and reports {e all} violations with
+    stable codes ([DTM101]..[DTM107]).
+
+    The checks are exactly the feasibility conditions of the dynamic
+    {!Dtm_core.Validator} (paper, Section 2.1), restated statically on
+    {!Dtm_core.Schedule.object_order} and the metric: every transaction
+    scheduled, no phantom entries, each object's first requester no
+    earlier than its travel time from home, consecutive requesters
+    separated by at least their distance, and no two users of an object
+    on one step.  Whenever the validator rejects a schedule, this
+    analyzer reports at least one [Error] at the same location.
+
+    Beyond the validator it also reports:
+    - [DTM106] when the schedule was built for a different node count
+      (the dynamic validator would raise instead);
+    - [DTM107] (info) when every constraint has slack [s > 0], i.e. the
+      whole schedule could start [s] steps earlier. *)
+
+val check :
+  Dtm_graph.Metric.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t ->
+  Diagnostic.t list
+
+val errors_only :
+  Dtm_graph.Metric.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t ->
+  Diagnostic.t list
+(** Just the [Error]-severity findings of {!check}. *)
+
+val is_clean :
+  Dtm_graph.Metric.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t ->
+  bool
+(** No [Error]-severity findings.  Agrees with
+    {!Dtm_core.Validator.is_feasible} on schedules of matching
+    capacity. *)

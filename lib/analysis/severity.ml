@@ -1,0 +1,12 @@
+type t = Info | Warning | Error
+
+let rank = function Info -> 0 | Warning -> 1 | Error -> 2
+let compare a b = Int.compare (rank a) (rank b)
+let max a b = if compare a b >= 0 then a else b
+
+let to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

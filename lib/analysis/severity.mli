@@ -1,0 +1,18 @@
+(** Severity levels for static diagnostics.
+
+    [Error] findings make an analysis run fail (non-zero CLI exit, the
+    experiment gate trips); [Warning]s flag hazards that do not falsify
+    the run; [Info]s are observations (e.g. an optimization the schedule
+    leaves on the table). *)
+
+type t = Info | Warning | Error
+
+val compare : t -> t -> int
+(** [Info < Warning < Error]. *)
+
+val max : t -> t -> t
+
+val to_string : t -> string
+(** Lowercase: ["info"], ["warning"], ["error"] — the JSON encoding. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,6 +1,5 @@
 module Table = Dtm_util.Table
 module Prng = Dtm_util.Prng
-module Instance = Dtm_core.Instance
 module Schedule = Dtm_core.Schedule
 module Topology = Dtm_topology.Topology
 module Cluster = Dtm_topology.Cluster

@@ -3,16 +3,23 @@ type measurement = {
   lower : int;
   ratio : float;
   feasible : bool;
+  clean : bool;
 }
 
 let measure metric inst sched =
   let makespan = Dtm_core.Schedule.makespan sched in
   let lower = Dtm_core.Lower_bound.certified metric inst in
+  (* Static gate: beyond the dynamic validator, every measurement is
+     statically analyzed (instance + schedule lints); an error-severity
+     finding marks the measurement unclean and fails the experiment's
+     all-feasible flag. *)
+  let report = Dtm_analysis.Analyze.quick metric inst sched in
   {
     makespan;
     lower;
     ratio = Dtm_core.Lower_bound.ratio ~makespan ~lower;
     feasible = Dtm_core.Validator.is_feasible metric inst sched;
+    clean = not (Dtm_analysis.Report.has_errors report);
   }
 
 let mean_ratio ~seeds ~gen ~metric ~sched =
@@ -22,7 +29,7 @@ let mean_ratio ~seeds ~gen ~metric ~sched =
         let rng = Dtm_util.Prng.create ~seed in
         let inst = gen rng in
         let m = measure metric inst (sched inst) in
-        (m.ratio :: acc, ok && m.feasible))
+        (m.ratio :: acc, ok && m.feasible && m.clean))
       ([], true) seeds
   in
   let arr = Array.of_list ratios in

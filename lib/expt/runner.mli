@@ -5,6 +5,7 @@ type measurement = {
   lower : int;
   ratio : float;
   feasible : bool;
+  clean : bool;  (** no error-severity static-analysis finding *)
 }
 
 val measure :
@@ -12,8 +13,9 @@ val measure :
   Dtm_core.Instance.t ->
   Dtm_core.Schedule.t ->
   measurement
-(** Makespan, certified lower bound, their ratio, and a validator
-    verdict. *)
+(** Makespan, certified lower bound, their ratio, a validator verdict,
+    and the static-analysis gate: every measurement is also run through
+    {!Dtm_analysis.Analyze.quick} before results are reported. *)
 
 val mean_ratio :
   seeds:int list ->
@@ -21,7 +23,8 @@ val mean_ratio :
   metric:Dtm_graph.Metric.t ->
   sched:(Dtm_core.Instance.t -> Dtm_core.Schedule.t) ->
   float * float * bool
-(** [(mean, max, all_feasible)] of the ratio over one instance per
-    seed. *)
+(** [(mean, max, all_ok)] of the ratio over one instance per seed;
+    [all_ok] requires every schedule to be feasible {e and} statically
+    clean. *)
 
 val fmt_ratio : float -> string

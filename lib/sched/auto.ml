@@ -6,8 +6,8 @@ let schedule ?(seed = 0) topo inst =
   | Topology.Line n -> Line_sched.schedule ~n inst
   | Topology.Ring n -> Ring_sched.schedule ~n inst
   | Topology.Grid { rows; cols } -> Grid_sched.schedule ~rows ~cols inst
-  | Topology.Cluster p -> Cluster_sched.schedule ~approach:(Best { seed }) p inst
-  | Topology.Star p -> Star_sched.schedule ~variant:(Best_periods { seed }) p inst
+  | Topology.Cluster p -> Cluster_sched.schedule ~approach:(Cluster_sched.Best { seed }) p inst
+  | Topology.Star p -> Star_sched.schedule ~variant:(Star_sched.Best_periods { seed }) p inst
   | Topology.Torus _ | Topology.Hypercube _ | Topology.Butterfly _
   | Topology.Tree _ | Topology.Hypergrid _ | Topology.Block_grid _
   | Topology.Block_tree _ | Topology.Custom _ ->

@@ -49,6 +49,13 @@ let grid ~rows ~cols inst =
       diam order
   end
 
+let star (p : Dtm_topology.Star.params) inst =
+  let eta = Dtm_topology.Star.num_segments p in
+  let d = 2 * p.Dtm_topology.Star.ray_len in
+  let k = max 1 (Instance.k_max inst) in
+  let l = max 1 (Instance.load inst) in
+  1 + (((eta + 1) * d * ((k * l) + 1)) + d)
+
 let cluster_approach1 p inst =
   let sigma = max 1 (Cluster_sched.sigma p inst) in
   let k = max 1 (Instance.k_max inst) in

@@ -29,6 +29,14 @@ val grid : rows:int -> cols:int -> Dtm_core.Instance.t -> int
     transition periods (3·side each) plus the 2·max(rows,cols) initial
     positioning, evaluated at the algorithm's default subgrid side. *)
 
+val star : Dtm_topology.Star.params -> Dtm_core.Instance.t -> int
+(** Theorem 5's schedule, bounded via its greedy-periods variant: the
+    center first, then one group per segment period; each period costs
+    at most a transition gap (<= the diameter d = 2·ray_len) plus a
+    greedy group span (<= k·l·d), summed over the η = ceil(log2 β)
+    periods.  [Star_sched]'s default best-of variant never exceeds the
+    greedy-periods variant, so the bound applies to it too. *)
+
 val cluster_approach1 :
   Dtm_topology.Cluster.params -> Dtm_core.Instance.t -> int
 (** Lemma 6: k·(σ·β)·(γ+2) + γ + 3 (weighted degree of the dependency

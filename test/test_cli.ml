@@ -140,6 +140,86 @@ let test_capacity_flag () =
   Alcotest.(check int) "exit 0" 0 code;
   check_contains out [ "congestion (cap 1):"; "max_queue=" ]
 
+let test_analyze_clean () =
+  let code, out = run (cli ^ " analyze -t grid:8x8 -w 16 -k 2") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out [ "certificate: makespan"; "[ok]"; "no findings" ]
+
+let test_analyze_json () =
+  let code, out = run (cli ^ " analyze -t star:4x5 -w 8 -k 2 --json") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out
+    [ "\"topology\": \"star:4x5\""; "\"certificate\""; "\"errors\": 0"; "\"holds\": true" ]
+
+let test_analyze_codes () =
+  let code, out = run (cli ^ " analyze --codes") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out [ "DTM001"; "DTM105"; "DTM201"; "step-conflict" ]
+
+let test_analyze_corrupted_schedule () =
+  let dir = Filename.temp_file "dtm" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let inst_file = Filename.concat dir "inst.txt" in
+  let sched_file = Filename.concat dir "sched.txt" in
+  let code, _ =
+    run
+      (Printf.sprintf
+         "%s schedule -t line:8 -w 3 -k 2 --save-instance %s --save-schedule %s"
+         cli inst_file sched_file)
+  in
+  Alcotest.(check int) "save exit 0" 0 code;
+  let code, _ =
+    run
+      (Printf.sprintf "%s analyze -t line:8 --instance %s --schedule %s" cli
+         inst_file sched_file)
+  in
+  Alcotest.(check int) "clean schedule accepted" 0 code;
+  (* Corrupt: give two requesters of one object the same step by moving
+     every transaction to its neighbour's step.  Cheap textual edit:
+     duplicate the step of node 0 onto node 1. *)
+  let ic = open_in sched_file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let step0 =
+    List.find_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ "at"; "0"; t ] -> Some t
+        | _ -> None)
+      !lines
+    |> Option.get
+  in
+  let rewritten =
+    List.rev_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ "at"; "1"; _ ] -> "at 1 " ^ step0
+        | _ -> l)
+      !lines
+  in
+  let oc = open_out sched_file in
+  List.iter (fun l -> output_string oc (l ^ "\n")) rewritten;
+  close_out oc;
+  let code, out =
+    run
+      (Printf.sprintf "%s analyze -t line:8 --instance %s --schedule %s" cli
+         inst_file sched_file)
+  in
+  Alcotest.(check int) "corrupted exits 1" 1 code;
+  check_contains out [ "error DTM10" ];
+  (* The dynamic validator agrees. *)
+  let code, _ =
+    run
+      (Printf.sprintf "%s validate -t line:8 --instance %s --schedule %s" cli
+         inst_file sched_file)
+  in
+  Alcotest.(check bool) "validator also rejects" true (code <> 0)
+
 let test_experiments_list () =
   let code, out = run (experiments ^ " --list") in
   Alcotest.(check int) "exit 0" 0 code;
@@ -172,6 +252,11 @@ let () =
           Alcotest.test_case "missing graph file" `Quick test_custom_graph_missing_file;
           Alcotest.test_case "online subcommand" `Quick test_online_subcommand;
           Alcotest.test_case "capacity flag" `Quick test_capacity_flag;
+          Alcotest.test_case "analyze clean" `Quick test_analyze_clean;
+          Alcotest.test_case "analyze --json" `Quick test_analyze_json;
+          Alcotest.test_case "analyze --codes" `Quick test_analyze_codes;
+          Alcotest.test_case "analyze corrupted schedule" `Quick
+            test_analyze_corrupted_schedule;
         ] );
       ( "experiments",
         [

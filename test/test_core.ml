@@ -4,7 +4,6 @@
 
 open Dtm_core
 module Metric = Dtm_graph.Metric
-module Walk = Dtm_graph.Walk
 module Topology = Dtm_topology.Topology
 
 let qtest ?(count = 100) name gen prop =

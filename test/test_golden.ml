@@ -4,7 +4,6 @@
    is intentional, update the constants and note it in the commit. *)
 
 module Schedule = Dtm_core.Schedule
-module Topology = Dtm_topology.Topology
 module Prng = Dtm_util.Prng
 
 let uniform ~seed ~n ~w ~k =
