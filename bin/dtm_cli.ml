@@ -51,6 +51,24 @@ let k_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Size of the domain pool the analysis and measurement passes \
+           run on (default: all recommended domains).  Results are \
+           merged in submission order, so output is byte-identical for \
+           any $(docv).")
+
+let apply_jobs = function
+  | None -> ()
+  | Some j when j >= 1 -> Dtm_util.Pool.set_default_jobs j
+  | Some j ->
+    Printf.eprintf "invalid -j value %d (need an integer >= 1)\n" j;
+    exit 124
+
 let workload_arg =
   Arg.(
     value
@@ -132,7 +150,8 @@ let capacity_arg =
 
 let schedule_cmd =
   let run topo w k seed workload scheduler replay times chart save_inst save_sched
-      capacity =
+      capacity jobs =
+    apply_jobs jobs;
     let inst = make_instance topo ~w ~k ~seed ~workload in
     let metric = Topology.metric topo in
     let name, sched =
@@ -191,7 +210,7 @@ let schedule_cmd =
     Term.(
       const run $ topo_arg $ objects_arg $ k_arg $ seed_arg $ workload_arg
       $ scheduler_arg $ replay_arg $ times_arg $ chart_arg $ save_instance_arg
-      $ save_schedule_arg $ capacity_arg)
+      $ save_schedule_arg $ capacity_arg $ jobs_arg)
 
 let lower_bound_cmd =
   let run topo w k seed workload =
@@ -316,7 +335,8 @@ let online_cmd =
 let analyze_cmd =
   let module Analysis = Dtm_analysis in
   let run topo w k seed workload scheduler inst_file sched_file json
-      no_certificate codes =
+      no_certificate codes jobs =
+    apply_jobs jobs;
     if codes then begin
       print_endline "diagnostic codes (dtm analyze):";
       List.iter
@@ -460,7 +480,7 @@ let analyze_cmd =
     Term.(
       const run $ topo_opt_arg $ objects_arg $ k_arg $ seed_arg $ workload_arg
       $ scheduler_arg $ inst_file_arg $ sched_file_arg $ json_arg $ no_cert_arg
-      $ codes_arg)
+      $ codes_arg $ jobs_arg)
 
 let topologies_cmd =
   let run () =

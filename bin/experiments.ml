@@ -2,9 +2,13 @@
    reproduction (see DESIGN.md's experiment index and EXPERIMENTS.md for
    the recorded outputs).
 
+   Entries run in parallel on the Dtm_util.Pool domain pool; output is
+   merged in entry order, so stdout is byte-identical for any -j.
+
    Usage:
      dune exec bin/experiments.exe               # run everything
      dune exec bin/experiments.exe -- e3 f2      # run selected entries
+     dune exec bin/experiments.exe -- -j 4 e1 e3 # 4-way parallel
      dune exec bin/experiments.exe -- --csv e4   # CSV for one table
      dune exec bin/experiments.exe -- --list     # list entries *)
 
@@ -15,7 +19,10 @@ let list_entries () =
       Printf.printf "  %-4s %s\n" e.Dtm_expt.Registry.id e.Dtm_expt.Registry.title)
     Dtm_expt.Registry.all
 
-let run_entry e = print_string (Dtm_expt.Registry.run_to_string e)
+let run_entries entries =
+  List.iter
+    (fun (_, out) -> print_string out)
+    (Dtm_expt.Registry.run_many entries)
 
 let run_csv id =
   match Dtm_expt.Registry.find (String.lowercase_ascii id) with
@@ -28,18 +35,33 @@ let run_csv id =
     Printf.eprintf "unknown entry %S (try --list)\n" id;
     exit 1
 
+let resolve id =
+  match Dtm_expt.Registry.find (String.lowercase_ascii id) with
+  | Some e -> e
+  | None ->
+    Printf.eprintf "unknown entry %S (try --list)\n" id;
+    exit 1
+
+(* Strip -j N / --jobs N (default: every recommended domain). *)
+let rec extract_jobs acc = function
+  | [] -> List.rev acc
+  | ("-j" | "--jobs") :: v :: rest -> (
+    match int_of_string_opt v with
+    | Some j when j >= 1 ->
+      Dtm_util.Pool.set_default_jobs j;
+      extract_jobs acc rest
+    | _ ->
+      Printf.eprintf "invalid -j value %S (need an integer >= 1)\n" v;
+      exit 1)
+  | [ ("-j" | "--jobs") ] ->
+    prerr_endline "-j needs a value";
+    exit 1
+  | x :: rest -> extract_jobs (x :: acc) rest
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = extract_jobs [] (List.tl (Array.to_list Sys.argv)) in
   match args with
   | [ "--list" ] -> list_entries ()
   | "--csv" :: ids when ids <> [] -> List.iter run_csv ids
-  | [] -> List.iter run_entry Dtm_expt.Registry.all
-  | ids ->
-    List.iter
-      (fun id ->
-        match Dtm_expt.Registry.find (String.lowercase_ascii id) with
-        | Some e -> run_entry e
-        | None ->
-          Printf.eprintf "unknown entry %S (try --list)\n" id;
-          exit 1)
-      ids
+  | [] -> run_entries Dtm_expt.Registry.all
+  | ids -> run_entries (List.map resolve ids)

@@ -5,15 +5,23 @@ let run ?schedule ?certificate ?metric_budget topo inst =
   let lower =
     Option.map (fun (c : Certificate.t) -> c.Certificate.lower) certificate
   in
-  let findings =
-    Metric_lint.check ?budget:metric_budget metric
-    @ Instance_lint.check ~topo ?lower metric inst
-    @ (match schedule with
-      | Some s -> Schedule_lint.check metric inst s
-      | None -> [])
-    @ match certificate with Some c -> Certificate.verify c | None -> []
+  (* The four analyzers are independent: fan them out on the domain
+     pool ([-j N]) and merge in the documented order — metric, instance,
+     schedule, certificate — so the report is identical at any
+     parallelism. *)
+  let passes =
+    [
+      (fun () -> Metric_lint.check ?budget:metric_budget metric);
+      (fun () -> Instance_lint.check ~topo ?lower metric inst);
+      (fun () ->
+        match schedule with
+        | Some s -> Schedule_lint.check metric inst s
+        | None -> []);
+      (fun () ->
+        match certificate with Some c -> Certificate.verify c | None -> []);
+    ]
   in
-  Report.of_diagnostics findings
+  Report.of_diagnostics (List.concat (Dtm_util.Pool.run (fun f -> f ()) passes))
 
 let run_auto ?(seed = 0) topo inst =
   let sched = Dtm_sched.Auto.schedule ~seed topo inst in

@@ -125,16 +125,20 @@ let e3_line ~seeds =
       let gen rng =
         Dtm_workload.Arbitrary.windowed ~rng ~n ~num_objects:n ~k:2 ~span:16
       in
-      let spans = ref [] and makespans = ref [] in
-      let stats =
-        Runner.mean_ratio ~seeds ~gen ~metric ~sched:(fun inst ->
-            let s = Dtm_sched.Line_sched.schedule ~n inst in
-            spans := Dtm_sched.Line_sched.span inst :: !spans;
-            makespans := Schedule.makespan s :: !makespans;
-            s)
+      let ms =
+        Runner.sweep ~seeds ~gen ~metric ~sched:(fun inst ->
+            Dtm_sched.Line_sched.schedule ~n inst)
       in
-      let span = List.fold_left max 0 !spans in
-      let mk = List.fold_left max 0 !makespans in
+      (* Spans come from regenerating each seed's instance: [sweep] runs
+         on the domain pool, so the scheduler closure must not mutate
+         shared state. *)
+      let span =
+        List.fold_left
+          (fun a seed ->
+            max a (Dtm_sched.Line_sched.span (gen (Prng.create ~seed))))
+          0 seeds
+      in
+      let mk = List.fold_left (fun a m -> max a m.Runner.makespan) 0 ms in
       Table.add_row t
         ([
            Table.cell_int n;
@@ -142,7 +146,7 @@ let e3_line ~seeds =
            Table.cell_int mk;
            Table.cell_int (4 * span);
          ]
-        @ ratio_cells stats))
+        @ ratio_cells (Runner.summarize ms)))
     [ 64; 128; 256; 512; 1024; 2048; 4096 ];
   {
     table = t;
@@ -343,7 +347,7 @@ let e7_lower_bound ~seeds =
     let p = Blocks.make ~s in
     let metric = metric_of p in
     let gaps =
-      List.map
+      Dtm_util.Pool.run
         (fun seed ->
           let rng = Prng.create ~seed in
           let inst = Dtm_workload.Lb_instance.instance ~rng p in
@@ -413,39 +417,37 @@ let e8_greedy ~seeds =
   in
   List.iter
     (fun (name, strategy, order) ->
-      let colors = ref [] and gammas = ref [] in
-      let within = ref true and valid = ref true in
-      List.iter
-        (fun seed ->
-          let rng = Prng.create ~seed in
-          (* A weighted topology (cluster, h_max = gamma + 2) separates the
-             slotted and compact strategies; on unit metrics they agree. *)
-          let p = { Cluster.clusters = 4; size = 24; bridge_weight = 8 } in
-          let n = p.Cluster.clusters * p.Cluster.size in
-          let inst =
-            Dtm_workload.Uniform.instance ~rng ~n ~num_objects:24 ~k:3 ()
-          in
-          let metric = Cluster.metric p in
-          let dep = Dtm_core.Dependency.build metric inst in
-          let c = Dtm_core.Coloring.greedy ~strategy ~order dep inst in
-          colors := float_of_int c.Dtm_core.Coloring.num_colors :: !colors;
-          gammas :=
-            float_of_int (Dtm_core.Dependency.weighted_degree dep + 1) :: !gammas;
-          if
-            strategy = Dtm_core.Coloring.Slotted
-            && c.Dtm_core.Coloring.num_colors
-               > Dtm_core.Dependency.weighted_degree dep + 1
-          then within := false;
-          if not (Dtm_core.Coloring.is_valid dep inst c.Dtm_core.Coloring.colors)
-          then valid := false)
-        seeds;
+      let per_seed =
+        Dtm_util.Pool.run
+          (fun seed ->
+            let rng = Prng.create ~seed in
+            (* A weighted topology (cluster, h_max = gamma + 2) separates the
+               slotted and compact strategies; on unit metrics they agree. *)
+            let p = { Cluster.clusters = 4; size = 24; bridge_weight = 8 } in
+            let n = p.Cluster.clusters * p.Cluster.size in
+            let inst =
+              Dtm_workload.Uniform.instance ~rng ~n ~num_objects:24 ~k:3 ()
+            in
+            let metric = Cluster.metric p in
+            let dep = Dtm_core.Dependency.build metric inst in
+            let c = Dtm_core.Coloring.greedy ~strategy ~order dep inst in
+            let gamma1 = Dtm_core.Dependency.weighted_degree dep + 1 in
+            ( float_of_int c.Dtm_core.Coloring.num_colors,
+              float_of_int gamma1,
+              not
+                (strategy = Dtm_core.Coloring.Slotted
+                && c.Dtm_core.Coloring.num_colors > gamma1),
+              Dtm_core.Coloring.is_valid dep inst c.Dtm_core.Coloring.colors ))
+          seeds
+      in
+      let pick f = Array.of_list (List.map f per_seed) in
       Table.add_row t
         [
           name;
-          Table.cell_float (Dtm_util.Stats.mean (Array.of_list !colors));
-          Table.cell_float (Dtm_util.Stats.mean (Array.of_list !gammas));
-          string_of_bool !within;
-          string_of_bool !valid;
+          Table.cell_float (Dtm_util.Stats.mean (pick (fun (c, _, _, _) -> c)));
+          Table.cell_float (Dtm_util.Stats.mean (pick (fun (_, g, _, _) -> g)));
+          string_of_bool (List.for_all (fun (_, _, w, _) -> w) per_seed);
+          string_of_bool (List.for_all (fun (_, _, _, v) -> v) per_seed);
         ])
     cases;
   {
@@ -489,7 +491,7 @@ let e9_congestion ~seeds =
       let n = Topology.n topo in
       let g = Topology.graph topo and metric = Topology.metric topo in
       let runs capacity =
-        List.map
+        Dtm_util.Pool.run
           (fun seed ->
             let rng = Prng.create ~seed in
             let inst =
@@ -564,28 +566,33 @@ let e10_tradeoff ~seeds =
   in
   List.iter
     (fun (name, sched) ->
-      let mks = ref [] and comms = ref [] and ok = ref true in
-      List.iter
-        (fun seed ->
-          let rng = Prng.create ~seed in
-          (* Partitioned workload: plenty of parallelism for the fast
-             schedulers, while the visit order still dominates travel --
-             so minimizing one cost visibly sacrifices the other. *)
-          let inst =
-            Dtm_workload.Arbitrary.partitioned ~rng ~n ~num_objects:16 ~k:2
-              ~parts:8
-          in
-          let s = sched inst in
-          mks := float_of_int (Schedule.makespan s) :: !mks;
-          comms := float_of_int (Dtm_core.Cost.communication metric inst s) :: !comms;
-          if not (Dtm_core.Validator.is_feasible metric inst s) then ok := false)
-        seeds;
+      let per_seed =
+        Dtm_util.Pool.run
+          (fun seed ->
+            let rng = Prng.create ~seed in
+            (* Partitioned workload: plenty of parallelism for the fast
+               schedulers, while the visit order still dominates travel --
+               so minimizing one cost visibly sacrifices the other. *)
+            let inst =
+              Dtm_workload.Arbitrary.partitioned ~rng ~n ~num_objects:16 ~k:2
+                ~parts:8
+            in
+            let s = sched inst in
+            ( float_of_int (Schedule.makespan s),
+              float_of_int (Dtm_core.Cost.communication metric inst s),
+              Dtm_core.Validator.is_feasible metric inst s ))
+          seeds
+      in
       Table.add_row t
         [
           name;
-          Table.cell_float (Dtm_util.Stats.mean (Array.of_list !mks));
-          Table.cell_float (Dtm_util.Stats.mean (Array.of_list !comms));
-          string_of_bool !ok;
+          Table.cell_float
+            (Dtm_util.Stats.mean
+               (Array.of_list (List.map (fun (m, _, _) -> m) per_seed)));
+          Table.cell_float
+            (Dtm_util.Stats.mean
+               (Array.of_list (List.map (fun (_, c, _) -> c) per_seed)));
+          string_of_bool (List.for_all (fun (_, _, ok) -> ok) per_seed);
         ])
     schedulers;
   {
@@ -624,32 +631,40 @@ let e11_lb_tightness ~seeds =
     (fun topo ->
       let n = Topology.n topo in
       let metric = Topology.metric topo in
-      let opt_lb = ref [] and greedy_opt = ref [] in
-      List.iter
-        (fun seed ->
-          (* Several small instances per seed for statistical weight. *)
-          let rng = Prng.create ~seed in
-          for _ = 1 to 5 do
-            let inst =
-              Dtm_workload.Uniform.instance ~rng ~n ~num_objects:3 ~k:2 ()
-            in
-            let opt = Dtm_sim.Optimal.makespan metric inst in
-            let lb = Dtm_core.Lower_bound.certified metric inst in
-            let greedy =
-              Schedule.makespan (Dtm_core.Greedy.schedule metric inst)
-            in
-            opt_lb := (float_of_int opt /. float_of_int (max 1 lb)) :: !opt_lb;
-            greedy_opt :=
-              (float_of_int greedy /. float_of_int (max 1 opt)) :: !greedy_opt
-          done)
-        seeds;
+      let per_seed =
+        Dtm_util.Pool.run
+          (fun seed ->
+            (* Several small instances per seed for statistical weight;
+               the accumulator is task-local, so the rng draws keep their
+               sequential order within the seed. *)
+            let rng = Prng.create ~seed in
+            let acc = ref [] in
+            for _ = 1 to 5 do
+              let inst =
+                Dtm_workload.Uniform.instance ~rng ~n ~num_objects:3 ~k:2 ()
+              in
+              let opt = Dtm_sim.Optimal.makespan metric inst in
+              let lb = Dtm_core.Lower_bound.certified metric inst in
+              let greedy =
+                Schedule.makespan (Dtm_core.Greedy.schedule metric inst)
+              in
+              acc :=
+                ( float_of_int opt /. float_of_int (max 1 lb),
+                  float_of_int greedy /. float_of_int (max 1 opt) )
+                :: !acc
+            done;
+            List.rev !acc)
+          seeds
+        |> List.concat
+      in
+      let opt_lb = List.map fst per_seed and greedy_opt = List.map snd per_seed in
       let arr l = Array.of_list l in
       Table.add_row t
         [
           Topology.to_string topo;
-          Table.cell_float (Dtm_util.Stats.mean (arr !opt_lb));
-          Table.cell_float (Dtm_util.Stats.mean (arr !greedy_opt));
-          Table.cell_float (snd (Dtm_util.Stats.min_max (arr !greedy_opt)));
+          Table.cell_float (Dtm_util.Stats.mean (arr opt_lb));
+          Table.cell_float (Dtm_util.Stats.mean (arr greedy_opt));
+          Table.cell_float (snd (Dtm_util.Stats.min_max (arr greedy_opt)));
         ])
     topologies;
   {
@@ -686,16 +701,17 @@ let e12_ring ~seeds =
       let gen rng =
         Dtm_workload.Arbitrary.windowed ~rng ~n ~num_objects:n ~k:2 ~span:16
       in
-      let spans = ref [] and makespans = ref [] in
-      let stats =
-        Runner.mean_ratio ~seeds ~gen ~metric ~sched:(fun inst ->
-            let s = Dtm_sched.Ring_sched.schedule ~n inst in
-            spans := Dtm_sched.Ring_sched.span ~n inst :: !spans;
-            makespans := Schedule.makespan s :: !makespans;
-            s)
+      let ms =
+        Runner.sweep ~seeds ~gen ~metric ~sched:(fun inst ->
+            Dtm_sched.Ring_sched.schedule ~n inst)
       in
-      let span = List.fold_left max 0 !spans in
-      let mk = List.fold_left max 0 !makespans in
+      let span =
+        List.fold_left
+          (fun a seed ->
+            max a (Dtm_sched.Ring_sched.span ~n (gen (Prng.create ~seed))))
+          0 seeds
+      in
+      let mk = List.fold_left (fun a m -> max a m.Runner.makespan) 0 ms in
       Table.add_row t
         ([
            Table.cell_int n;
@@ -703,7 +719,7 @@ let e12_ring ~seeds =
            Table.cell_int mk;
            Table.cell_int (9 * span);
          ]
-        @ ratio_cells stats))
+        @ ratio_cells (Runner.summarize ms)))
     [ 64; 128; 256; 512; 1024; 2048 ];
   {
     table = t;
@@ -735,29 +751,27 @@ let e13_replication ~seeds =
   let n = 96 in
   let metric = Dtm_topology.Clique.metric n in
   let measure write_fraction =
-    let mks = ref [] and pairs = ref [] and ratios = ref [] and ok = ref true in
-    List.iter
-      (fun seed ->
-        let rng = Prng.create ~seed in
-        let rw =
-          Dtm_workload.Rw_uniform.instance ~rng ~n ~num_objects:12 ~k:3
-            ~write_fraction
-        in
-        let s = Dtm_core.Rw_greedy.schedule metric rw in
-        let lb = Dtm_core.Rw_lower_bound.certified metric rw in
-        mks := float_of_int (Schedule.makespan s) :: !mks;
-        ratios :=
-          (float_of_int (Schedule.makespan s) /. float_of_int (max 1 lb))
-          :: !ratios;
-        pairs :=
-          float_of_int (List.length (Dtm_core.Rw_greedy.conflict_pairs rw))
-          :: !pairs;
-        if not (Dtm_core.Rw_validator.is_feasible metric rw s) then ok := false)
-      seeds;
-    ( Dtm_util.Stats.mean (Array.of_list !mks),
-      Dtm_util.Stats.mean (Array.of_list !ratios),
-      Dtm_util.Stats.mean (Array.of_list !pairs),
-      !ok )
+    let per_seed =
+      Dtm_util.Pool.run
+        (fun seed ->
+          let rng = Prng.create ~seed in
+          let rw =
+            Dtm_workload.Rw_uniform.instance ~rng ~n ~num_objects:12 ~k:3
+              ~write_fraction
+          in
+          let s = Dtm_core.Rw_greedy.schedule metric rw in
+          let lb = Dtm_core.Rw_lower_bound.certified metric rw in
+          ( float_of_int (Schedule.makespan s),
+            float_of_int (Schedule.makespan s) /. float_of_int (max 1 lb),
+            float_of_int (List.length (Dtm_core.Rw_greedy.conflict_pairs rw)),
+            Dtm_core.Rw_validator.is_feasible metric rw s ))
+        seeds
+    in
+    let mean f = Dtm_util.Stats.mean (Array.of_list (List.map f per_seed)) in
+    ( mean (fun (m, _, _, _) -> m),
+      mean (fun (_, r, _, _) -> r),
+      mean (fun (_, _, p, _) -> p),
+      List.for_all (fun (_, _, _, ok) -> ok) per_seed )
   in
   let base_mk, _, _, _ = measure 1.0 in
   List.iter
@@ -819,32 +833,30 @@ let e14_online ~seeds =
       let metric = Topology.metric topo in
       List.iter
         (fun policy ->
-          let mks = ref [] and resp = ref [] and p95 = ref [] in
-          let forced = ref 0 and preempted = ref 0 in
-          List.iter
-            (fun seed ->
-              let rng = Prng.create ~seed in
-              let s =
-                Dtm_online.Stream.uniform ~rng ~n ~num_objects:(max 2 (n / 3))
-                  ~k:2 ~txns_per_node:4 ~mean_gap:3
-              in
-              let homes = Dtm_online.Stream.initial_homes ~rng s in
-              let r = Dtm_online.Runner.run ~policy metric s ~homes in
-              mks := float_of_int r.Dtm_online.Runner.makespan :: !mks;
-              resp := r.Dtm_online.Runner.mean_response :: !resp;
-              p95 := r.Dtm_online.Runner.p95_response :: !p95;
-              forced := !forced + r.Dtm_online.Runner.forced_grants;
-              preempted := !preempted + r.Dtm_online.Runner.preemptions)
-            seeds;
+          let per_seed =
+            Dtm_util.Pool.run
+              (fun seed ->
+                let rng = Prng.create ~seed in
+                let s =
+                  Dtm_online.Stream.uniform ~rng ~n ~num_objects:(max 2 (n / 3))
+                    ~k:2 ~txns_per_node:4 ~mean_gap:3
+                in
+                let homes = Dtm_online.Stream.initial_homes ~rng s in
+                Dtm_online.Runner.run ~policy metric s ~homes)
+              seeds
+          in
+          let mean f = Dtm_util.Stats.mean (Array.of_list (List.map f per_seed)) in
+          let sum f = List.fold_left (fun a r -> a + f r) 0 per_seed in
           Table.add_row t
             [
               Topology.to_string topo;
               Dtm_online.Policy.to_string policy;
-              Table.cell_float (Dtm_util.Stats.mean (Array.of_list !mks));
-              Table.cell_float (Dtm_util.Stats.mean (Array.of_list !resp));
-              Table.cell_float (Dtm_util.Stats.mean (Array.of_list !p95));
-              Table.cell_int !forced;
-              Table.cell_int !preempted;
+              Table.cell_float
+                (mean (fun r -> float_of_int r.Dtm_online.Runner.makespan));
+              Table.cell_float (mean (fun r -> r.Dtm_online.Runner.mean_response));
+              Table.cell_float (mean (fun r -> r.Dtm_online.Runner.p95_response));
+              Table.cell_int (sum (fun r -> r.Dtm_online.Runner.forced_grants));
+              Table.cell_int (sum (fun r -> r.Dtm_online.Runner.preemptions));
             ])
         policies;
       Table.add_separator t)

@@ -19,3 +19,8 @@ val default_seeds : int list
 
 val run_to_string : ?seeds:int list -> entry -> string
 (** Header + claim + output. *)
+
+val run_many : ?seeds:int list -> entry list -> (entry * string) list
+(** Render several entries on {!Dtm_util.Pool.default}, results in
+    input order — the parallel counterpart of mapping
+    {!run_to_string}, with byte-identical output. *)

@@ -17,14 +17,30 @@ val measure :
     and the static-analysis gate: every measurement is also run through
     {!Dtm_analysis.Analyze.quick} before results are reported. *)
 
+val sweep :
+  seeds:int list ->
+  gen:(Dtm_util.Prng.t -> Dtm_core.Instance.t) ->
+  metric:Dtm_graph.Metric.t ->
+  sched:(Dtm_core.Instance.t -> Dtm_core.Schedule.t) ->
+  measurement list
+(** One generated instance and measurement per seed, in seed order.
+    Seeds are measured in parallel on {!Dtm_util.Pool.default} ([-j N]
+    in the binaries); [gen] and [sched] must therefore be pure up to
+    their [Prng.t] argument — each seed owns a fresh generator, so
+    results are independent of the parallelism degree. *)
+
+val summarize : measurement list -> float * float * bool
+(** [(mean, max, all_ok)] of the ratios; [all_ok] requires every
+    measurement to be feasible {e and} statically clean. *)
+
 val mean_ratio :
   seeds:int list ->
   gen:(Dtm_util.Prng.t -> Dtm_core.Instance.t) ->
   metric:Dtm_graph.Metric.t ->
   sched:(Dtm_core.Instance.t -> Dtm_core.Schedule.t) ->
   float * float * bool
-(** [(mean, max, all_ok)] of the ratio over one instance per seed;
-    [all_ok] requires every schedule to be feasible {e and} statically
-    clean. *)
+(** [summarize] of [sweep]: one instance per seed, measured in
+    parallel; [all_ok] requires every schedule to be feasible {e and}
+    statically clean. *)
 
 val fmt_ratio : float -> string

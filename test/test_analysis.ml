@@ -288,28 +288,32 @@ let seven_topologies =
   ]
 
 let test_certificates_hold () =
-  List.iter
-    (fun topo ->
-      let n = Topology.n topo in
-      for seed = 0 to 199 do
-        let rng = Prng.create ~seed in
-        let w = 1 + Prng.int rng (max 1 (n / 2)) in
-        let k = 1 + Prng.int rng (min 3 w) in
-        let inst = uniform rng ~n ~w ~k in
-        let cert, diags = Certificate.check_auto ~seed topo inst in
-        if diags <> [] then
-          Alcotest.failf "%s seed %d: %s"
-            (Topology.to_string topo)
-            seed
-            (String.concat "; " (List.map Diagnostic.render diags));
-        (match cert.Certificate.bound with
-        | Some b ->
-          Alcotest.(check bool) "makespan within bound" true
-            (cert.Certificate.makespan <= b)
-        | None ->
-          Alcotest.failf "%s: no bound" (Topology.to_string topo))
-      done)
-    seven_topologies
+  (* 200 seeds x 7 topologies: fanned out on the domain pool (the same
+     machinery the -j flag uses), failures reported in seed order. *)
+  Dtm_util.Pool.with_pool ~jobs:4 (fun pool ->
+      List.iter
+        (fun topo ->
+          let n = Topology.n topo in
+          Dtm_util.Pool.map pool
+            (fun seed ->
+              let rng = Prng.create ~seed in
+              let w = 1 + Prng.int rng (max 1 (n / 2)) in
+              let k = 1 + Prng.int rng (min 3 w) in
+              let inst = uniform rng ~n ~w ~k in
+              let cert, diags = Certificate.check_auto ~seed topo inst in
+              if diags <> [] then
+                Alcotest.failf "%s seed %d: %s"
+                  (Topology.to_string topo)
+                  seed
+                  (String.concat "; " (List.map Diagnostic.render diags));
+              match cert.Certificate.bound with
+              | Some b ->
+                Alcotest.(check bool) "makespan within bound" true
+                  (cert.Certificate.makespan <= b)
+              | None -> Alcotest.failf "%s: no bound" (Topology.to_string topo))
+            (List.init 200 Fun.id)
+          |> ignore)
+        seven_topologies)
 
 let test_certificate_failure_path () =
   (* A deliberately broken bound must trip DTM201. *)

@@ -1,0 +1,58 @@
+(* The determinism guarantee, end to end: the binaries must produce
+   byte-identical stdout at any -j.  The domain pool merges results in
+   submission order and every seed owns its own Prng, so nothing about
+   the output may depend on the parallelism degree.
+
+   Runs a cheap subset of experiment entries (e15 is excluded by design:
+   it reports wall-clock timings). *)
+
+let experiments = "../bin/experiments.exe"
+let cli = "../bin/dtm_cli.exe"
+
+let run cmd =
+  let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED c -> c | _ -> -1 in
+  (code, Buffer.contents buf)
+
+let check_identical name cmd_of_jobs =
+  let code1, out1 = run (cmd_of_jobs 1) in
+  let code4, out4 = run (cmd_of_jobs 4) in
+  Alcotest.(check int) (name ^ ": -j 1 exit 0") 0 code1;
+  Alcotest.(check int) (name ^ ": -j 4 exit 0") 0 code4;
+  Alcotest.(check bool) (name ^ ": output non-empty") true (String.length out1 > 0);
+  Alcotest.(check string) (name ^ ": -j 4 byte-identical to -j 1") out1 out4
+
+let test_experiments_subset () =
+  check_identical "experiments e3 e8 f1 f2 f3" (fun j ->
+      Printf.sprintf "%s -j %d e3 e8 f1 f2 f3" experiments j)
+
+let test_experiments_csv () =
+  check_identical "experiments --csv e8" (fun j ->
+      Printf.sprintf "%s -j %d --csv e8" experiments j)
+
+let test_analyze_json () =
+  check_identical "dtm analyze --json" (fun j ->
+      Printf.sprintf "%s analyze -t grid:8x8 -w 16 -k 2 --json -j %d" cli j)
+
+let test_analyze_text () =
+  check_identical "dtm analyze (text)" (fun j ->
+      Printf.sprintf "%s analyze -t butterfly:3 -w 12 -k 3 -j %d" cli j)
+
+let () =
+  Alcotest.run "dtm_determinism"
+    [
+      ( "parallel-vs-sequential",
+        [
+          Alcotest.test_case "experiments subset" `Quick test_experiments_subset;
+          Alcotest.test_case "experiments csv" `Quick test_experiments_csv;
+          Alcotest.test_case "analyze json" `Quick test_analyze_json;
+          Alcotest.test_case "analyze text" `Quick test_analyze_text;
+        ] );
+    ]

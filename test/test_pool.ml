@@ -1,0 +1,133 @@
+(* Tests for the Dtm_util.Pool domain pool: ordered merge (parallel =
+   sequential, byte for byte), deterministic exception propagation,
+   nested joins (helping), and the shared default pool the -j flag
+   configures. *)
+
+module Pool = Dtm_util.Pool
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let test_map_matches_sequential () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          let xs = List.init 100 (fun i -> i) in
+          Alcotest.(check (list int))
+            (Printf.sprintf "jobs=%d" jobs)
+            (List.map (fun x -> (x * x) + 1) xs)
+            (Pool.map p (fun x -> (x * x) + 1) xs)))
+    [ 1; 2; 4; 7 ]
+
+let test_map_empty_and_singleton () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map p succ []);
+      Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map p succ [ 7 ]))
+
+let test_map_reduce_ordered () =
+  (* String concatenation is non-commutative: any merge-order slip shows. *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      let xs = List.init 50 (fun i -> i) in
+      Alcotest.(check string) "ordered fold"
+        (String.concat "," (List.map string_of_int xs))
+        (Pool.map_reduce p
+           ~map:string_of_int
+           ~reduce:(fun acc s -> if acc = "" then s else acc ^ "," ^ s)
+           ~init:"" xs))
+
+exception Boom of int
+
+let test_earliest_exception_wins () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      List.iter
+        (fun _ ->
+          match
+            Pool.map p (fun i -> if i mod 3 = 2 then raise (Boom i) else i)
+              (List.init 30 (fun i -> i))
+          with
+          | _ -> Alcotest.fail "expected Boom"
+          | exception Boom i ->
+            Alcotest.(check int) "lowest failing index" 2 i)
+        (List.init 10 Fun.id))
+
+let test_nested_maps () =
+  (* An outer map whose tasks themselves map on the same pool: the
+     helping join must keep this deadlock-free at any pool size. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          let expected =
+            List.init 8 (fun i -> List.init 20 (fun j -> (i * 100) + j))
+          in
+          let got =
+            Pool.map p
+              (fun i -> Pool.map p (fun j -> (i * 100) + j) (List.init 20 Fun.id))
+              (List.init 8 Fun.id)
+          in
+          Alcotest.(check (list (list int)))
+            (Printf.sprintf "nested jobs=%d" jobs)
+            expected got))
+    [ 1; 2; 4 ]
+
+let test_shutdown_then_map_still_works () =
+  let p = Pool.create ~jobs:3 in
+  Alcotest.(check (list int)) "before" [ 2; 3 ] (Pool.map p succ [ 1; 2 ]);
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* After shutdown the caller drains the queue itself. *)
+  Alcotest.(check (list int)) "after" [ 2; 3; 4 ] (Pool.map p succ [ 1; 2; 3 ])
+
+let test_default_pool_configurable () =
+  Pool.set_default_jobs 2;
+  Alcotest.(check int) "configured" 2 (Pool.default_jobs ());
+  Alcotest.(check int) "pool size" 2 (Pool.jobs (Pool.default ()));
+  Alcotest.(check (list int)) "run" [ 1; 4; 9 ] (Pool.run (fun x -> x * x) [ 1; 2; 3 ]);
+  Pool.set_default_jobs 3;
+  Alcotest.(check int) "replaced" 3 (Pool.jobs (Pool.default ()))
+
+let test_jobs_validation () =
+  Alcotest.check_raises "create 0" (Invalid_argument "Pool.create: jobs must be >= 1")
+    (fun () -> ignore (Pool.create ~jobs:0));
+  Alcotest.check_raises "set 0"
+    (Invalid_argument "Pool.set_default_jobs: jobs must be >= 1") (fun () ->
+      Pool.set_default_jobs 0)
+
+(* Parallel map equals List.map on random inputs, pool sizes and
+   functions; runs the same batch twice to catch scheduling-dependent
+   state. *)
+let prop_map_deterministic =
+  qtest ~count:200 "Pool.map = List.map, twice, any jobs"
+    QCheck.(pair (int_range 1 6) (small_list small_int))
+    (fun (jobs, xs) ->
+      Pool.with_pool ~jobs (fun p ->
+          let f x = (x * 37) mod 101 in
+          let expected = List.map f xs in
+          Pool.map p f xs = expected && Pool.map p f xs = expected))
+
+let prop_map_reduce_matches_fold =
+  qtest ~count:200 "map_reduce = fold_left over List.map"
+    QCheck.(pair (int_range 1 5) (small_list small_int))
+    (fun (jobs, xs) ->
+      Pool.with_pool ~jobs (fun p ->
+          Pool.map_reduce p ~map:string_of_int
+            ~reduce:(fun acc s -> acc ^ "|" ^ s)
+            ~init:"" xs
+          = List.fold_left (fun acc s -> acc ^ "|" ^ s) "" (List.map string_of_int xs)))
+
+let () =
+  Alcotest.run "dtm_pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map = sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "empty + singleton" `Quick test_map_empty_and_singleton;
+          Alcotest.test_case "map_reduce ordered" `Quick test_map_reduce_ordered;
+          Alcotest.test_case "earliest exception wins" `Quick
+            test_earliest_exception_wins;
+          Alcotest.test_case "nested maps" `Quick test_nested_maps;
+          Alcotest.test_case "shutdown" `Quick test_shutdown_then_map_still_works;
+          Alcotest.test_case "default pool" `Quick test_default_pool_configurable;
+          Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
+        ] );
+      ("properties", [ prop_map_deterministic; prop_map_reduce_matches_fold ]);
+    ]

@@ -1,0 +1,171 @@
+(* The property-based test layer (QCheck): random instances on all
+   seven paper topologies, checking the end-to-end contracts the
+   theorems promise —
+
+     - the auto scheduler's output is validator-feasible,
+     - its makespan stays within the Certificate theorem bound,
+     - the certified lower bound never exceeds a feasible makespan,
+     - Engine.compact never lengthens a schedule (and stays feasible),
+     - every generated topology metric passes Metric_lint,
+     - the parallel measurement stack (Dtm_util.Pool) is byte-identical
+       to sequential at any -j.
+
+   Every property draws one integer seed and derives size parameters
+   per topology from it with Prng, so each QCheck case exercises all
+   seven families deterministically. *)
+
+module Topology = Dtm_topology.Topology
+module Schedule = Dtm_core.Schedule
+module Validator = Dtm_core.Validator
+module Certificate = Dtm_analysis.Certificate
+module Prng = Dtm_util.Prng
+module Pool = Dtm_util.Pool
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let seed_gen = QCheck.int_range 0 1_000_000
+
+(* One topology per family, sizes drawn from the seed. *)
+let seven_topologies rng =
+  let range lo hi = Prng.int_in_range rng ~lo ~hi in
+  [
+    Topology.Clique (range 4 24);
+    Topology.Line (range 4 32);
+    Topology.Grid { rows = range 2 5; cols = range 2 5 };
+    Topology.Cluster
+      {
+        Dtm_topology.Cluster.clusters = range 2 4;
+        size = range 2 5;
+        bridge_weight = range 2 8;
+      };
+    Topology.Hypercube { dim = range 2 4 };
+    Topology.Butterfly { dim = range 2 3 };
+    Topology.Star { Dtm_topology.Star.rays = range 2 5; ray_len = range 1 6 };
+  ]
+
+let instance_on rng topo =
+  let n = Topology.n topo in
+  let w = 1 + Prng.int rng (max 1 (n / 2)) in
+  let k = 1 + Prng.int rng (min 3 w) in
+  Dtm_workload.Uniform.instance ~rng ~n ~num_objects:w ~k ()
+
+let for_all_topologies seed check =
+  let rng = Prng.create ~seed in
+  List.for_all
+    (fun topo ->
+      let inst = instance_on rng topo in
+      check ~seed topo inst)
+    (seven_topologies rng)
+
+(* P1: the paper scheduler always emits a feasible schedule. *)
+let prop_auto_feasible =
+  qtest "auto schedule is validator-feasible on all 7 topologies" seed_gen
+    (fun seed ->
+      for_all_topologies seed (fun ~seed topo inst ->
+          let sched = Dtm_sched.Auto.schedule ~seed topo inst in
+          Validator.is_feasible (Topology.metric topo) inst sched))
+
+(* P2: the makespan stays inside the topology's theorem bound. *)
+let prop_auto_within_certificate =
+  qtest "auto schedule within its Certificate theorem bound" seed_gen
+    (fun seed ->
+      for_all_topologies seed (fun ~seed topo inst ->
+          let cert, diags = Certificate.check_auto ~seed topo inst in
+          diags = []
+          &&
+          match cert.Certificate.bound with
+          | Some b -> cert.Certificate.makespan <= b
+          | None -> false))
+
+(* P3: the certified lower bound is sound — no feasible schedule beats it. *)
+let prop_lower_bound_sound =
+  qtest "certified lower bound <= any feasible makespan" seed_gen
+    (fun seed ->
+      for_all_topologies seed (fun ~seed topo inst ->
+          let metric = Topology.metric topo in
+          let lb = Dtm_core.Lower_bound.certified metric inst in
+          let sched = Dtm_sched.Auto.schedule ~seed topo inst in
+          let greedy = Dtm_core.Greedy.schedule metric inst in
+          lb <= Schedule.makespan sched && lb <= Schedule.makespan greedy))
+
+(* P4: compaction never lengthens and preserves feasibility. *)
+let prop_compact_never_lengthens =
+  qtest "Engine.compact never lengthens a schedule" seed_gen
+    (fun seed ->
+      for_all_topologies seed (fun ~seed:_ topo inst ->
+          let metric = Topology.metric topo in
+          let sched = Dtm_core.Greedy.schedule metric inst in
+          let compacted = Dtm_sim.Engine.compact metric inst sched in
+          Schedule.makespan compacted <= Schedule.makespan sched
+          && Validator.is_feasible metric inst compacted))
+
+(* P5: every generated topology metric is a clean metric space. *)
+let prop_metrics_pass_lint =
+  qtest "topology metrics always pass Metric_lint" seed_gen
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      List.for_all
+        (fun topo -> Dtm_analysis.Metric_lint.check (Topology.metric topo) = [])
+        (seven_topologies rng))
+
+(* P6: the parallel measurement stack is deterministic — mean_ratio is
+   bit-identical at -j 1 and -j 4 (ordered merge, per-seed Prng). *)
+let prop_measurements_parallel_deterministic =
+  qtest ~count:15 "Runner.mean_ratio identical at jobs 1 and 4" seed_gen
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let topo =
+        List.nth (seven_topologies rng) (seed mod 7)
+      in
+      let n = Topology.n topo in
+      let w = max 2 (n / 3) in
+      let measure () =
+        Dtm_expt.Runner.mean_ratio
+          ~seeds:[ seed; seed + 1; seed + 2; seed + 3 ]
+          ~gen:(fun rng ->
+            Dtm_workload.Uniform.instance ~rng ~n ~num_objects:w ~k:2 ())
+          ~metric:(Topology.metric topo)
+          ~sched:(fun inst -> Dtm_core.Greedy.schedule (Topology.metric topo) inst)
+      in
+      Pool.set_default_jobs 1;
+      let sequential = measure () in
+      Pool.set_default_jobs 4;
+      let parallel = measure () in
+      Pool.set_default_jobs 2;
+      sequential = parallel)
+
+(* P7: Runner.sweep merges in seed order — it equals the sequential map. *)
+let prop_sweep_ordered =
+  qtest ~count:15 "Runner.sweep = sequential per-seed measurement" seed_gen
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let topo = List.nth (seven_topologies rng) ((seed + 3) mod 7) in
+      let metric = Topology.metric topo in
+      let n = Topology.n topo in
+      let gen rng =
+        Dtm_workload.Uniform.instance ~rng ~n ~num_objects:(max 2 (n / 4)) ~k:2 ()
+      in
+      let sched inst = Dtm_core.Greedy.schedule metric inst in
+      let seeds = List.init 5 (fun i -> seed + i) in
+      let swept = Dtm_expt.Runner.sweep ~seeds ~gen ~metric ~sched in
+      let sequential =
+        List.map
+          (fun s ->
+            let rng = Prng.create ~seed:s in
+            let inst = gen rng in
+            Dtm_expt.Runner.measure metric inst (sched inst))
+          seeds
+      in
+      swept = sequential)
+
+let () =
+  Alcotest.run "dtm_props"
+    [
+      ( "scheduler",
+        [ prop_auto_feasible; prop_auto_within_certificate; prop_lower_bound_sound ] );
+      ("compaction", [ prop_compact_never_lengthens ]);
+      ("lints", [ prop_metrics_pass_lint ]);
+      ( "determinism",
+        [ prop_measurements_parallel_deterministic; prop_sweep_ordered ] );
+    ]
