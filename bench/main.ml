@@ -1,7 +1,14 @@
 (* Benchmark harness: one bechamel test per experiment (E1-E8: the cost of
    computing each theorem's schedule), plus the DESIGN.md ablations
    (coloring strategy, grid subgrid side, cluster approach) and substrate
-   micro-benchmarks.  Run with: dune exec bench/main.exe *)
+   micro-benchmarks.  Run with: dune exec bench/main.exe
+
+   Flags:
+     --json        also write BENCH.json (machine-readable name ->
+                   time/run ms, with git rev and config) next to the
+                   text table; the file is gitignored.
+     --quota-ms N  per-test time quota in milliseconds (default 500);
+                   CI runs a ~50 ms smoke so the harness cannot bitrot. *)
 
 open Bechamel
 open Toolkit
@@ -179,13 +186,17 @@ let all_tests =
   Test.make_grouped ~name:"dtm"
     [ experiment_tests; ablation_tests; extension_tests; substrate_tests ]
 
-let benchmark () =
+let bench_limit = 2000
+
+let benchmark ~quota_ms =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:bench_limit
+      ~quota:(Time.second (quota_ms /. 1000.0))
+      ~kde:(Some 1000) ()
   in
   let raw = Benchmark.all cfg instances all_tests in
   let results =
@@ -193,8 +204,62 @@ let benchmark () =
   in
   Analyze.merge ols instances results
 
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then "unknown" else line
+  with _ -> "unknown"
+
+let json_path = "BENCH.json"
+
+let write_json rows ~quota_ms =
+  let open Dtm_analysis.Json in
+  let results = List.map (fun (name, ms) -> (name, Float ms)) rows in
+  let doc =
+    Obj
+      [
+        ("schema", String "dtm-bench/1");
+        ("git_rev", String (git_rev ()));
+        ( "config",
+          Obj
+            [
+              ("quota_ms", Float quota_ms);
+              ("limit", Int bench_limit);
+              ("estimator", String "monotonic-clock OLS, ms per run");
+            ] );
+        ("results", Obj results);
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc (to_string doc);
+  output_string oc "\n";
+  close_out oc
+
+let usage = "usage: main.exe [--json] [--quota-ms N]"
+
 let () =
-  let results = benchmark () in
+  let json = ref false and quota_ms = ref 500.0 in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--quota-ms" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some x when x > 0.0 ->
+        quota_ms := x;
+        parse rest
+      | _ ->
+        Printf.eprintf "invalid --quota-ms %s\n%s\n" v usage;
+        exit 2)
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %s\n%s\n" arg usage;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let results = benchmark ~quota_ms:!quota_ms in
   let ms_of_ns ns = ns /. 1_000_000.0 in
   (* Extract the monotonic-clock OLS estimate per test and print a
      stable, diff-friendly table. *)
@@ -215,4 +280,8 @@ let () =
   Printf.printf "%s\n" (String.make 55 '-');
   List.iter
     (fun (name, ns) -> Printf.printf "%-40s %14.4f\n" name (ms_of_ns ns))
-    rows
+    rows;
+  if !json then begin
+    write_json (List.map (fun (n, ns) -> (n, ms_of_ns ns)) rows) ~quota_ms:!quota_ms;
+    Printf.printf "\nwrote %s\n" json_path
+  end

@@ -21,49 +21,106 @@ let order_nodes order dep inst =
     Dtm_util.Prng.shuffle rng nodes);
   nodes
 
-(* Smallest c >= 1 with |c - cv| >= w for every colored conflict (cv, w):
-   collect the forbidden open intervals and scan. *)
-let smallest_compact constraints =
-  let forbidden =
-    List.filter_map
-      (fun (cv, w) ->
-        let lo = max 1 (cv - w + 1) and hi = cv + w - 1 in
-        if lo <= hi then Some (lo, hi) else None)
-      constraints
-  in
-  let sorted = List.sort compare forbidden in
-  let rec scan c = function
-    | [] -> c
-    | (lo, hi) :: rest ->
-      if c < lo then c else scan (max c (hi + 1)) rest
-  in
-  scan 1 sorted
+(* Per-call scratch space: constraint colors/weights of the already
+   colored neighbors, and the forbidden intervals derived from them.
+   Sized once by the graph's max degree so the per-node searches are
+   allocation-free.  Local to each [greedy] call, so concurrent calls
+   from pool workers never share state. *)
+type scratch = {
+  cv : int array; (* neighbor color *)
+  cw : int array; (* conflict weight *)
+  lo : int array; (* forbidden interval start *)
+  hi : int array; (* forbidden interval end *)
+}
 
-let smallest_slotted hmax constraints =
-  let step = max 1 hmax in
-  let ok c = List.for_all (fun (cv, w) -> abs (c - cv) >= w) constraints in
-  let rec go j =
-    let c = (j * step) + 1 in
-    if ok c then c else go (j + 1)
-  in
-  go 0
+let make_scratch dep =
+  let cap = max 1 (Dependency.max_degree dep) in
+  {
+    cv = Array.make cap 0;
+    cw = Array.make cap 0;
+    lo = Array.make cap 0;
+    hi = Array.make cap 0;
+  }
+
+(* Smallest c >= 1 with |c - cv| >= w for every colored conflict (cv, w):
+   collect the forbidden open intervals, sort them by start (insertion
+   sort on the scratch arrays: degrees are small and the input nearly
+   sorted), and scan.  Equivalent to the interval-list scan it replaces —
+   the running max over interval ends is insensitive to the order of
+   equal starts. *)
+let smallest_compact s m =
+  let k = ref 0 in
+  for i = 0 to m - 1 do
+    let c = Array.unsafe_get s.cv i and w = Array.unsafe_get s.cw i in
+    let l = if c - w + 1 < 1 then 1 else c - w + 1 in
+    let h = c + w - 1 in
+    if l <= h then begin
+      Array.unsafe_set s.lo !k l;
+      Array.unsafe_set s.hi !k h;
+      incr k
+    end
+  done;
+  let k = !k in
+  for i = 1 to k - 1 do
+    let l = s.lo.(i) and h = s.hi.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && s.lo.(!j) > l do
+      s.lo.(!j + 1) <- s.lo.(!j);
+      s.hi.(!j + 1) <- s.hi.(!j);
+      decr j
+    done;
+    s.lo.(!j + 1) <- l;
+    s.hi.(!j + 1) <- h
+  done;
+  let c = ref 1 in
+  let i = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !i < k do
+    if !c < s.lo.(!i) then stop := true
+    else begin
+      if s.hi.(!i) + 1 > !c then c := s.hi.(!i) + 1;
+      incr i
+    end
+  done;
+  !c
+
+let smallest_slotted hmax s m =
+  let step = if hmax < 1 then 1 else hmax in
+  let j = ref 0 and found = ref (-1) in
+  while !found < 0 do
+    let c = (!j * step) + 1 in
+    let ok = ref true in
+    for i = 0 to m - 1 do
+      if abs (c - Array.unsafe_get s.cv i) < Array.unsafe_get s.cw i then
+        ok := false
+    done;
+    if !ok then found := c else incr j
+  done;
+  !found
 
 let greedy ?(strategy = Compact) ?(order = Natural) dep inst =
   let n = Instance.n inst in
   let colors = Array.make n 0 in
   let nodes = order_nodes order dep inst in
   let hmax = Dependency.hmax dep in
+  let s = make_scratch dep in
   Array.iter
     (fun v ->
-      let constraints =
-        Array.to_list (Dependency.conflicts dep v)
-        |> List.filter_map (fun (u, w) ->
-               if colors.(u) <> 0 then Some (colors.(u), w) else None)
-      in
+      let conf = Dependency.conflicts dep v in
+      let m = ref 0 in
+      Array.iter
+        (fun (u, w) ->
+          let cu = Array.unsafe_get colors u in
+          if cu <> 0 then begin
+            Array.unsafe_set s.cv !m cu;
+            Array.unsafe_set s.cw !m w;
+            incr m
+          end)
+        conf;
       let c =
         match strategy with
-        | Compact -> smallest_compact constraints
-        | Slotted -> smallest_slotted hmax constraints
+        | Compact -> smallest_compact s !m
+        | Slotted -> smallest_slotted hmax s !m
       in
       colors.(v) <- c)
     nodes;

@@ -14,6 +14,14 @@ let collect metric inst sched ~stop_at_first =
   let out = ref [] in
   let add what ?obj ?node () = out := { what; obj; node } :: !out in
   let done_ () = stop_at_first && !out <> [] in
+  (* All looked-up nodes come from the instance, so one up-front range
+     check covers every lookup; undersized metrics keep the checked
+     (raising) path. *)
+  let dist =
+    if Dtm_graph.Metric.size metric >= Instance.n inst then
+      Dtm_graph.Metric.unsafe_dist metric
+    else Dtm_graph.Metric.dist metric
+  in
   (* Every transaction scheduled; nothing else scheduled. *)
   let n = Instance.n inst in
   let v = ref 0 in
@@ -37,7 +45,7 @@ let collect metric inst sched ~stop_at_first =
       | [] -> ()
       | first :: _ ->
         let t1 = Schedule.time_exn sched first in
-        let d = Dtm_graph.Metric.dist metric (Instance.home inst !o) first in
+        let d = dist (Instance.home inst !o) first in
         if t1 < max 1 d then
           add
             (Printf.sprintf
@@ -47,7 +55,7 @@ let collect metric inst sched ~stop_at_first =
       let rec pairs = function
         | a :: (b :: _ as rest) ->
           let ta = Schedule.time_exn sched a and tb = Schedule.time_exn sched b in
-          let d = Dtm_graph.Metric.dist metric a b in
+          let d = dist a b in
           if tb - ta < d then
             add
               (Printf.sprintf

@@ -1,8 +1,25 @@
 let unit_weights g = List.for_all (fun e -> e.Graph.w = 1) (Graph.edges g)
 
+(* Below this node count the per-task bookkeeping of the pool costs more
+   than the searches themselves. *)
+let parallel_threshold = 64
+
 let distances g =
   let n = Graph.n g in
   let single = if unit_weights g then Bfs.distances else Dijkstra.distances in
-  Array.init n (fun src -> single g ~src)
+  if n < parallel_threshold then Array.init n (fun src -> single g ~src)
+  else
+    (* One independent search per source on the shared domain pool.
+       Pool.map merges in submission order, so the matrix (and anything
+       derived from it) is identical to the sequential result. *)
+    let rows = Dtm_util.Pool.run (fun src -> single g ~src) (List.init n Fun.id) in
+    Array.of_list rows
 
-let to_metric g = Metric.of_matrix (distances g)
+let to_metric g =
+  let n = Graph.n g in
+  let rows = distances g in
+  let flat = Array.make (n * n) 0 in
+  for u = 0 to n - 1 do
+    Array.blit rows.(u) 0 flat (u * n) n
+  done;
+  Metric.of_flat ~size:n flat

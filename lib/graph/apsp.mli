@@ -1,14 +1,18 @@
 (** All-pairs shortest paths.
 
     Runs BFS from every source when all weights are 1, Dijkstra otherwise.
-    The resulting matrix backs a {!Metric.t} for schedulers that run on
-    arbitrary graphs. *)
+    Sources are independent, so graphs of at least 64 nodes fan out over
+    the shared {!Dtm_util.Pool} (results merged in source order — the
+    matrix is identical to a sequential run at any [-j]).  The resulting
+    matrix backs a {!Metric.t} for schedulers that run on arbitrary
+    graphs. *)
 
 val distances : Graph.t -> int array array
 (** [distances g] is the full matrix; [max_int] marks unreachable pairs. *)
 
 val to_metric : Graph.t -> Metric.t
-(** APSP-backed metric for [g]. *)
+(** APSP-backed metric for [g], built directly on the flat
+    {!Metric.of_flat} backend. *)
 
 val unit_weights : Graph.t -> bool
 (** True when every edge has weight 1. *)

@@ -1,18 +1,29 @@
 let search g ~src =
   let n = Graph.n g in
+  let off, nbr, _ = Graph.csr g in
   let dist = Array.make n max_int in
   let parent = Array.make n (-1) in
-  let q = Queue.create () in
+  (* Each node enters the frontier at most once, so a flat int array with
+     head/tail cursors replaces Queue — no allocation per visited node. *)
+  let queue = Array.make (max 1 n) 0 in
+  let head = ref 0 and tail = ref 0 in
   dist.(src) <- 0;
-  Queue.add src q;
-  while not (Queue.is_empty q) do
-    let u = Queue.take q in
-    Graph.iter_neighbors g u (fun v _ ->
-        if dist.(v) = max_int then begin
-          dist.(v) <- dist.(u) + 1;
-          parent.(v) <- u;
-          Queue.add v q
-        end)
+  queue.(0) <- src;
+  tail := 1;
+  while !head < !tail do
+    let u = Array.unsafe_get queue !head in
+    incr head;
+    let du = Array.unsafe_get dist u + 1 in
+    let hi = Array.unsafe_get off (u + 1) in
+    for i = Array.unsafe_get off u to hi - 1 do
+      let v = Array.unsafe_get nbr i in
+      if Array.unsafe_get dist v = max_int then begin
+        Array.unsafe_set dist v du;
+        Array.unsafe_set parent v u;
+        Array.unsafe_set queue !tail v;
+        incr tail
+      end
+    done
   done;
   (dist, parent)
 

@@ -1,5 +1,6 @@
 let distances_and_parents g ~src =
   let n = Graph.n g in
+  let off, nbr, wt = Graph.csr g in
   let dist = Array.make n max_int in
   let parent = Array.make n (-1) in
   let settled = Array.make n false in
@@ -12,13 +13,16 @@ let distances_and_parents g ~src =
     | Some (d, u) ->
       if not settled.(u) then begin
         settled.(u) <- true;
-        Graph.iter_neighbors g u (fun v w ->
-            let nd = d + w in
-            if nd < dist.(v) then begin
-              dist.(v) <- nd;
-              parent.(v) <- u;
-              Dtm_util.Pqueue.push pq ~prio:nd v
-            end)
+        let hi = Array.unsafe_get off (u + 1) in
+        for i = Array.unsafe_get off u to hi - 1 do
+          let v = Array.unsafe_get nbr i in
+          let nd = d + Array.unsafe_get wt i in
+          if nd < Array.unsafe_get dist v then begin
+            Array.unsafe_set dist v nd;
+            Array.unsafe_set parent v u;
+            Dtm_util.Pqueue.push pq ~prio:nd v
+          end
+        done
       end;
       loop ()
   in

@@ -1,6 +1,17 @@
 type edge = { u : int; v : int; w : int }
 
-type t = { n : int; adj : (int * int) array array; edge_list : edge list }
+type t = {
+  n : int;
+  adj : (int * int) array array;
+  edge_list : edge list;
+  (* CSR mirror of [adj]: neighbours of [u] live at indices
+     [off.(u) .. off.(u+1) - 1] of [nbr] (targets) and [wt] (weights).
+     Flat int arrays keep traversals (BFS, Dijkstra, replay) free of
+     tuple dereferences. *)
+  off : int array;
+  nbr : int array;
+  wt : int array;
+}
 
 let of_edges ~n triples =
   if n < 0 then invalid_arg "Graph.of_edges: negative n";
@@ -35,7 +46,21 @@ let of_edges ~n triples =
       adj.(v).(fill.(v)) <- (u, w);
       fill.(v) <- fill.(v) + 1)
     edge_list;
-  { n; adj; edge_list }
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + deg.(i)
+  done;
+  let total = off.(n) in
+  let nbr = Array.make total 0 and wt = Array.make total 0 in
+  for u = 0 to n - 1 do
+    let base = off.(u) in
+    Array.iteri
+      (fun i (v, w) ->
+        nbr.(base + i) <- v;
+        wt.(base + i) <- w)
+      adj.(u)
+  done;
+  { n; adj; edge_list; off; nbr; wt }
 
 let n g = g.n
 let num_edges g = List.length g.edge_list
@@ -43,12 +68,22 @@ let edges g = g.edge_list
 let degree g u = Array.length g.adj.(u)
 let neighbors g u = g.adj.(u)
 
-let iter_neighbors g u f = Array.iter (fun (v, w) -> f v w) g.adj.(u)
+let csr g = (g.off, g.nbr, g.wt)
+
+let iter_neighbors g u f =
+  let hi = g.off.(u + 1) in
+  for i = g.off.(u) to hi - 1 do
+    f (Array.unsafe_get g.nbr i) (Array.unsafe_get g.wt i)
+  done
 
 let edge_weight g u v =
-  let found = ref None in
-  Array.iter (fun (x, w) -> if x = v then found := Some w) g.adj.(u);
-  !found
+  let hi = g.off.(u + 1) in
+  let rec scan i =
+    if i >= hi then None
+    else if Array.unsafe_get g.nbr i = v then Some (Array.unsafe_get g.wt i)
+    else scan (i + 1)
+  in
+  scan g.off.(u)
 
 let mem_edge g u v = edge_weight g u v <> None
 

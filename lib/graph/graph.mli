@@ -31,6 +31,12 @@ val neighbors : t -> int -> (int * int) array
 val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
 (** [iter_neighbors g u f] applies [f v w] for each edge [(u, v, w)]. *)
 
+val csr : t -> int array * int array * int array
+(** [csr g] is [(off, targets, weights)]: the neighbours of [u] are
+    [targets.(i)] with weights [weights.(i)] for
+    [off.(u) <= i < off.(u + 1)].  Flat compressed-sparse-row view used
+    by the traversal kernels; do not mutate. *)
+
 val edge_weight : t -> int -> int -> int option
 (** [edge_weight g u v] is [Some w] if the edge exists. *)
 

@@ -1,8 +1,18 @@
-type t = { size : int; dist : int -> int -> int }
+type backend =
+  | Oracle of (int -> int -> int)
+  | Flat of int array (* row-major, length size * size *)
+
+type t = { size : int; backend : backend }
 
 let make ~size dist =
   if size < 0 then invalid_arg "Metric.make: negative size";
-  { size; dist }
+  { size; backend = Oracle dist }
+
+let of_flat ~size data =
+  if size < 0 then invalid_arg "Metric.of_flat: negative size";
+  if Array.length data <> size * size then
+    invalid_arg "Metric.of_flat: length <> size * size";
+  { size; backend = Flat data }
 
 let of_matrix m =
   let size = Array.length m in
@@ -10,24 +20,71 @@ let of_matrix m =
     (fun row ->
       if Array.length row <> size then invalid_arg "Metric.of_matrix: ragged")
     m;
-  { size; dist = (fun u v -> m.(u).(v)) }
+  let data = Array.make (size * size) 0 in
+  for u = 0 to size - 1 do
+    Array.blit m.(u) 0 data (u * size) size
+  done;
+  { size; backend = Flat data }
 
 let size t = t.size
+
+let is_flat t = match t.backend with Flat _ -> true | Oracle _ -> false
+
+(* Hot path: caller guarantees [0 <= u, v < size].  The flat case is a
+   single multiply-add and an unchecked read. *)
+let unsafe_dist t u v =
+  match t.backend with
+  | Flat d -> Array.unsafe_get d ((u * t.size) + v)
+  | Oracle f -> f u v
 
 let dist t u v =
   if u < 0 || u >= t.size || v < 0 || v >= t.size then
     invalid_arg "Metric.dist: node out of range";
-  t.dist u v
+  unsafe_dist t u v
+
+let default_threshold = 16
+let default_max_size = 1024
+
+let materialize ?(threshold = default_threshold) ?(max_size = default_max_size)
+    t =
+  match t.backend with
+  | Flat _ -> t
+  | Oracle f ->
+    if t.size < threshold || t.size > max_size then t
+    else begin
+      let n = t.size in
+      let data = Array.make (n * n) 0 in
+      for u = 0 to n - 1 do
+        let base = u * n in
+        for v = 0 to n - 1 do
+          Array.unsafe_set data (base + v) (f u v)
+        done
+      done;
+      { t with backend = Flat data }
+    end
 
 let diameter t =
-  let best = ref 0 in
-  for u = 0 to t.size - 1 do
-    for v = u + 1 to t.size - 1 do
-      let d = t.dist u v in
-      if d < max_int then best := max !best d
-    done
-  done;
-  !best
+  let n = t.size in
+  match t.backend with
+  | Flat d ->
+    let best = ref 0 in
+    for u = 0 to n - 1 do
+      let base = u * n in
+      for v = u + 1 to n - 1 do
+        let x = Array.unsafe_get d (base + v) in
+        if x < max_int && x > !best then best := x
+      done
+    done;
+    !best
+  | Oracle f ->
+    let best = ref 0 in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        let x = f u v in
+        if x < max_int then best := max !best x
+      done
+    done;
+    !best
 
 let max_dist_among t nodes =
   let best = ref 0 in
@@ -40,23 +97,29 @@ let max_dist_among t nodes =
   outer nodes;
   !best
 
+exception Invalid of string
+
 let validate t =
-  let err = ref None in
-  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
-  for u = 0 to t.size - 1 do
-    if t.dist u u <> 0 then fail "dist(%d,%d) <> 0" u u;
-    for v = 0 to t.size - 1 do
-      if t.dist u v <> t.dist v u then fail "asymmetric at (%d,%d)" u v;
-      if u <> v && t.dist u v <= 0 then fail "non-positive dist(%d,%d)" u v
-    done
-  done;
-  for u = 0 to t.size - 1 do
-    for v = 0 to t.size - 1 do
-      for w = 0 to t.size - 1 do
-        let duv = t.dist u v and duw = t.dist u w and dwv = t.dist w v in
-        if duw < max_int && dwv < max_int && duv > duw + dwv then
-          fail "triangle violated: d(%d,%d) > d(%d,%d)+d(%d,%d)" u v u w w v
+  (* Early exit: the triple loop is O(size^3), so stop at the first
+     violation instead of scanning the rest of the space. *)
+  let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt in
+  let d u v = unsafe_dist t u v in
+  try
+    for u = 0 to t.size - 1 do
+      if d u u <> 0 then fail "dist(%d,%d) <> 0" u u;
+      for v = 0 to t.size - 1 do
+        if d u v <> d v u then fail "asymmetric at (%d,%d)" u v;
+        if u <> v && d u v <= 0 then fail "non-positive dist(%d,%d)" u v
       done
-    done
-  done;
-  match !err with None -> Ok () | Some e -> Error e
+    done;
+    for u = 0 to t.size - 1 do
+      for v = 0 to t.size - 1 do
+        for w = 0 to t.size - 1 do
+          let duv = d u v and duw = d u w and dwv = d w v in
+          if duw < max_int && dwv < max_int && duv > duw + dwv then
+            fail "triangle violated: d(%d,%d) > d(%d,%d)+d(%d,%d)" u v u w w v
+        done
+      done
+    done;
+    Ok ()
+  with Invalid e -> Error e

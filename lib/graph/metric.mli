@@ -4,30 +4,62 @@
     topologies of the paper these have closed forms (Manhattan distance on
     the grid, Hamming distance on the hypercube, ...).  A [Metric.t]
     abstracts over closed-form oracles and APSP-backed matrices so that a
-    scheduler can run on either without caring which. *)
+    scheduler can run on either without caring which.
+
+    Two backends exist: a closure oracle ([make]) and a flat row-major
+    [int array] ([of_flat], [of_matrix], [materialize]).  The flat backend
+    is validated once at construction; lookups are a single bounds check
+    followed by an unchecked read, so the hot loops of [Dependency],
+    [Validator], [Tsp], and the simulators pay no closure call per
+    distance. *)
 
 type t
 
 val make : size:int -> (int -> int -> int) -> t
 (** [make ~size dist] wraps a distance function over [0, size).  The
     function must be symmetric, zero on the diagonal, and satisfy the
-    triangle inequality; {!check} can verify this on small instances. *)
+    triangle inequality; {!validate} can verify this on small instances. *)
+
+val of_flat : size:int -> int array -> t
+(** [of_flat ~size data] wraps a row-major distance array
+    ([data.(u * size + v)] is the distance from [u] to [v]; not copied —
+    do not mutate).  Raises [Invalid_argument] unless
+    [Array.length data = size * size]. *)
 
 val of_matrix : int array array -> t
-(** Wraps a precomputed distance matrix (not copied). *)
+(** Copies a precomputed distance matrix into the flat backend. *)
+
+val materialize : ?threshold:int -> ?max_size:int -> t -> t
+(** [materialize t] memoizes a closure-backed metric into the flat
+    backend by evaluating all [size * size] pairs once.  Metrics smaller
+    than [threshold] (default 16) are left alone — the closure is cheap
+    enough there and the O(size²) table would be pure overhead for
+    one-shot uses — as are metrics larger than [max_size] (default 1024),
+    whose tables would no longer be comfortably cache- and
+    memory-resident.  Flat metrics are returned unchanged. *)
 
 val size : t -> int
+
+val is_flat : t -> bool
+(** True when lookups are backed by the flat array. *)
 
 val dist : t -> int -> int -> int
 (** [dist m u v]; raises [Invalid_argument] if a node is out of range. *)
 
+val unsafe_dist : t -> int -> int -> int
+(** [dist] without the bounds check: the caller must guarantee
+    [0 <= u, v < size t].  On the flat backend this compiles to a single
+    unchecked array read.  Out-of-range arguments are undefined
+    behaviour. *)
+
 val diameter : t -> int
-(** Maximum finite pairwise distance (O(size^2) calls). *)
+(** Maximum finite pairwise distance (O(size^2) lookups; array scan on
+    the flat backend). *)
 
 val max_dist_among : t -> int list -> int
 (** Largest pairwise distance within the given node list; 0 for lists of
     length < 2. *)
 
 val validate : t -> (unit, string) result
-(** Exhaustively checks symmetry, identity, and triangle inequality.
-    O(size^3); intended for tests. *)
+(** Checks symmetry, identity, and triangle inequality, stopping at the
+    first violation.  O(size^3) when valid; intended for tests. *)

@@ -11,7 +11,15 @@ let exact_path_length m ?start terminals =
   else if t > max_exact_terminals then
     invalid_arg "Tsp.exact_path_length: too many terminals"
   else begin
-    let d i j = Metric.dist m terms.(i) terms.(j) in
+    (* Snapshot the terminal-pair distances into a flat t*t array once:
+       the DP below reads them O(2^t * t^2) times and must not pay an
+       oracle call per read. *)
+    let dm = Array.make (t * t) 0 in
+    for i = 0 to t - 1 do
+      for j = 0 to t - 1 do
+        dm.((i * t) + j) <- Metric.dist m terms.(i) terms.(j)
+      done
+    done;
     let full = (1 lsl t) - 1 in
     let dp = Array.make_matrix (full + 1) t max_int in
     for j = 0 to t - 1 do
@@ -19,16 +27,21 @@ let exact_path_length m ?start terminals =
         (match start with None -> 0 | Some s -> Metric.dist m s terms.(j))
     done;
     for set = 1 to full do
+      let row = Array.unsafe_get dp set in
       for last = 0 to t - 1 do
-        let cur = dp.(set).(last) in
-        if cur < max_int && set land (1 lsl last) <> 0 then
+        let cur = Array.unsafe_get row last in
+        if cur < max_int && set land (1 lsl last) <> 0 then begin
+          let base = last * t in
           for next = 0 to t - 1 do
             if set land (1 lsl next) = 0 then begin
               let nset = set lor (1 lsl next) in
-              let cand = cur + d last next in
-              if cand < dp.(nset).(next) then dp.(nset).(next) <- cand
+              let cand = cur + Array.unsafe_get dm (base + next) in
+              let nrow = Array.unsafe_get dp nset in
+              if cand < Array.unsafe_get nrow next then
+                Array.unsafe_set nrow next cand
             end
           done
+        end
       done
     done;
     let best = ref max_int in

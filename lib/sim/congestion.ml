@@ -9,9 +9,12 @@ type result = {
   delayed_hops : int;
 }
 
+(* Directed edges are encoded as the int key [tail * n + head] (n = node
+   count of the graph): the per-step queue and admission tables hash
+   immediate ints instead of boxed (int * int) tuples. *)
 type loc =
   | At of int
-  | Queued of { edge : int * int } (* directed: tail, head *)
+  | Queued of { edge : int } (* encoded directed edge *)
   | Crossing of { arrive : int; dest : int }
 
 type obj_state = {
@@ -20,12 +23,16 @@ type obj_state = {
   mutable path : int list; (* remaining nodes towards the target *)
 }
 
-let undirected (u, v) = if u < v then (u, v) else (v, u)
-
 let run ?(capacity = max_int) graph inst ~priority =
   if capacity < 1 then invalid_arg "Congestion.run: capacity < 1";
   let router = Router.create graph in
   let n = Instance.n inst in
+  let g_n = Dtm_graph.Graph.n graph in
+  let encode tail head = (tail * g_n) + head in
+  let undirected key =
+    let tail = key / g_n and head = key mod g_n in
+    if tail < head then key else encode head tail
+  in
   let w = Instance.num_objects inst in
   Array.iter
     (fun v ->
@@ -46,8 +53,8 @@ let run ?(capacity = max_int) graph inst ~priority =
   let remaining = ref (Instance.num_txns inst) in
   (* FIFO queue per directed edge: (object, enqueue step).  The admission
      bound is shared between the two directions of an edge. *)
-  let queues : (int * int, (int * int) Queue.t) Hashtbl.t = Hashtbl.create 64 in
-  let edge_order : (int * int) list ref = ref [] in
+  let queues : (int, (int * int) Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  let edge_order : int list ref = ref [] in
   let queue_of edge =
     match Hashtbl.find_opt queues edge with
     | Some q -> q
@@ -115,12 +122,12 @@ let run ?(capacity = max_int) graph inst ~priority =
         match (s.loc, s.targets) with
         | At v, target :: _ when v <> target -> (
           match s.path with
-          | hop :: _ -> enqueue o (v, hop) now
+          | hop :: _ -> enqueue o (encode v hop) now
           | [] -> (
             match Router.route router ~src:v ~dst:target with
             | _ :: (hop :: _ as rest) ->
               s.path <- rest;
-              enqueue o (v, hop) now
+              enqueue o (encode v hop) now
             | _ -> assert false))
         | (At _ | Queued _ | Crossing _), _ -> ())
       objs;
@@ -141,7 +148,7 @@ let run ?(capacity = max_int) graph inst ~priority =
           let o, since = Queue.pop q in
           (match objs.(o).loc with
           | Queued { edge = e } when e = edge ->
-            let tail, head = edge in
+            let tail = edge / g_n and head = edge mod g_n in
             let weight =
               match Dtm_graph.Graph.edge_weight graph tail head with
               | Some x -> x

@@ -8,6 +8,8 @@ let graph n =
   done;
   Dtm_graph.Graph.of_edges ~n !edges
 
-let metric n =
+let oracle n =
   if n < 1 then invalid_arg "Clique.metric: n < 1";
   Dtm_graph.Metric.make ~size:n (fun u v -> if u = v then 0 else 1)
+
+let metric n = Dtm_graph.Metric.materialize (oracle n)

@@ -4,4 +4,8 @@ val graph : int -> Dtm_graph.Graph.t
 (** [graph n]; requires [n >= 1]. *)
 
 val metric : int -> Dtm_graph.Metric.t
+(** {!oracle}, materialized into the flat backend when the size is in
+    {!Dtm_graph.Metric.materialize}'s range. *)
+
+val oracle : int -> Dtm_graph.Metric.t
 (** Closed form: 0 on the diagonal, 1 elsewhere. *)

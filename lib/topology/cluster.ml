@@ -29,7 +29,7 @@ let graph p =
   done;
   Dtm_graph.Graph.of_edges ~n !edges
 
-let metric p =
+let oracle p =
   check p;
   let gamma = p.bridge_weight in
   Dtm_graph.Metric.make ~size:(p.clusters * p.size) (fun u v ->
@@ -39,3 +39,5 @@ let metric p =
         let hop id = if is_bridge p id then 0 else 1 in
         hop u + gamma + hop v
       end)
+
+let metric p = Dtm_graph.Metric.materialize (oracle p)

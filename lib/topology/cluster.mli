@@ -13,6 +13,10 @@ val graph : params -> Dtm_graph.Graph.t
 (** Requires all three parameters >= 1. *)
 
 val metric : params -> Dtm_graph.Metric.t
+(** {!oracle}, materialized into the flat backend when the size is in
+    {!Dtm_graph.Metric.materialize}'s range. *)
+
+val oracle : params -> Dtm_graph.Metric.t
 (** Closed form: 1 inside a cluster; between clusters,
     [gamma + (0 or 1) + (0 or 1)] depending on whether each endpoint is a
     bridge node. *)

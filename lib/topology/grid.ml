@@ -16,8 +16,10 @@ let graph ~rows ~cols =
   done;
   Dtm_graph.Graph.of_edges ~n:(rows * cols) !edges
 
-let metric ~rows ~cols =
+let oracle ~rows ~cols =
   check ~rows ~cols;
   Dtm_graph.Metric.make ~size:(rows * cols) (fun u v ->
       let xu, yu = coords ~cols u and xv, yv = coords ~cols v in
       abs (xu - xv) + abs (yu - yv))
+
+let metric ~rows ~cols = Dtm_graph.Metric.materialize (oracle ~rows ~cols)

@@ -16,6 +16,8 @@ let popcount x =
   let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
   go x 0
 
-let metric ~dim =
+let oracle ~dim =
   check dim;
   Dtm_graph.Metric.make ~size:(1 lsl dim) (fun u v -> popcount (u lxor v))
+
+let metric ~dim = Dtm_graph.Metric.materialize (oracle ~dim)

@@ -5,4 +5,8 @@ val graph : dim:int -> Dtm_graph.Graph.t
 (** Requires [0 <= dim <= 20]. *)
 
 val metric : dim:int -> Dtm_graph.Metric.t
+(** {!oracle}, materialized into the flat backend when the size is in
+    {!Dtm_graph.Metric.materialize}'s range. *)
+
+val oracle : dim:int -> Dtm_graph.Metric.t
 (** Closed form: Hamming distance [popcount (u lxor v)]. *)

@@ -3,6 +3,8 @@ let graph n =
   let edges = List.init (n - 1) (fun i -> (i, i + 1, 1)) in
   Dtm_graph.Graph.of_edges ~n edges
 
-let metric n =
+let oracle n =
   if n < 1 then invalid_arg "Line.metric: n < 1";
   Dtm_graph.Metric.make ~size:n (fun u v -> abs (u - v))
+
+let metric n = Dtm_graph.Metric.materialize (oracle n)

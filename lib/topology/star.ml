@@ -26,7 +26,7 @@ let graph p =
   done;
   Dtm_graph.Graph.of_edges ~n !edges
 
-let metric p =
+let oracle p =
   check p;
   Dtm_graph.Metric.make ~size:(1 + (p.rays * p.ray_len)) (fun u v ->
       if u = v then 0
@@ -38,6 +38,8 @@ let metric p =
           if ru = rv then abs (depth_of p u - depth_of p v)
           else depth_of p u + depth_of p v
       end)
+
+let metric p = Dtm_graph.Metric.materialize (oracle p)
 
 let rec log2_floor x = if x <= 1 then 0 else 1 + log2_floor (x / 2)
 

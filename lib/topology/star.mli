@@ -16,6 +16,10 @@ val graph : params -> Dtm_graph.Graph.t
 (** Requires [rays >= 1] and [ray_len >= 1]. *)
 
 val metric : params -> Dtm_graph.Metric.t
+(** {!oracle}, materialized into the flat backend when the size is in
+    {!Dtm_graph.Metric.materialize}'s range. *)
+
+val oracle : params -> Dtm_graph.Metric.t
 (** Closed form: within a ray, [|j1 - j2|]; across rays (or to the
     center), via the center. *)
 

@@ -21,10 +21,12 @@ let graph ~rows ~cols =
   done;
   Dtm_graph.Graph.of_edges ~n:(rows * cols) !edges
 
-let metric ~rows ~cols =
+let oracle ~rows ~cols =
   check ~rows ~cols;
   Dtm_graph.Metric.make ~size:(rows * cols) (fun u v ->
       let xu = u mod cols and yu = u / cols in
       let xv = v mod cols and yv = v / cols in
       let dx = abs (xu - xv) and dy = abs (yu - yv) in
       min dx (cols - dx) + min dy (rows - dy))
+
+let metric ~rows ~cols = Dtm_graph.Metric.materialize (oracle ~rows ~cols)

@@ -8,4 +8,8 @@ val graph : rows:int -> cols:int -> Dtm_graph.Graph.t
 (** Requires [rows >= 1] and [cols >= 1]. *)
 
 val metric : rows:int -> cols:int -> Dtm_graph.Metric.t
+(** {!oracle}, materialized into the flat backend when the size is in
+    {!Dtm_graph.Metric.materialize}'s range. *)
+
+val oracle : rows:int -> cols:int -> Dtm_graph.Metric.t
 (** Closed form: wraparound Manhattan distance. *)

@@ -171,6 +171,23 @@ let test_dependency_empty () =
   Alcotest.(check int) "no conflicts" 0 (Dependency.num_conflicts dep);
   Alcotest.(check int) "hmax 0" 0 (Dependency.hmax dep)
 
+let test_dependency_canonical_pair () =
+  (* Two objects shared by the same requester pair, listed in opposite
+     orders by the two transactions: the pair must collapse to a single
+     canonical edge no matter the orientation it is discovered in, with
+     symmetric adjacency on both endpoints. *)
+  let i =
+    Instance.create ~n:5 ~num_objects:2
+      ~txns:[ (1, [ 0; 1 ]); (4, [ 1; 0 ]) ]
+      ~home:[| 1; 4 |]
+  in
+  let dep = Dependency.build line5 i in
+  Alcotest.(check int) "one canonical edge" 1 (Dependency.num_conflicts dep);
+  Alcotest.(check (array (pair int int)))
+    "adj of 1" [| (4, 3) |] (Dependency.conflicts dep 1);
+  Alcotest.(check (array (pair int int)))
+    "adj of 4" [| (1, 3) |] (Dependency.conflicts dep 4)
+
 (* ------------------------------------------------------------------ *)
 (* Coloring                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -672,6 +689,7 @@ let () =
           Alcotest.test_case "small" `Quick test_dependency_small;
           Alcotest.test_case "no double edges" `Quick test_dependency_no_double_edges;
           Alcotest.test_case "empty" `Quick test_dependency_empty;
+          Alcotest.test_case "canonical pair" `Quick test_dependency_canonical_pair;
         ] );
       ( "coloring",
         [

@@ -179,6 +179,49 @@ let test_metric_out_of_range () =
   Alcotest.check_raises "range" (Invalid_argument "Metric.dist: node out of range")
     (fun () -> ignore (Metric.dist m 0 3))
 
+let test_metric_flat_backend () =
+  let m = Apsp.to_metric path5 in
+  Alcotest.(check bool) "apsp metric is flat" true (Metric.is_flat m);
+  let oracle = Metric.make ~size:5 (fun u v -> abs (u - v)) in
+  Alcotest.(check bool) "oracle not flat" false (Metric.is_flat oracle);
+  let flat = Metric.materialize ~threshold:1 oracle in
+  Alcotest.(check bool) "materialized" true (Metric.is_flat flat);
+  for u = 0 to 4 do
+    for v = 0 to 4 do
+      Alcotest.(check int) "agrees" (Metric.dist oracle u v) (Metric.dist flat u v)
+    done
+  done;
+  Alcotest.(check bool) "below threshold stays oracle" false
+    (Metric.is_flat (Metric.materialize ~threshold:6 oracle));
+  Alcotest.(check bool) "above max_size stays oracle" false
+    (Metric.is_flat (Metric.materialize ~threshold:1 ~max_size:4 oracle))
+
+let test_metric_of_flat_rejects () =
+  Alcotest.check_raises "length"
+    (Invalid_argument "Metric.of_flat: length <> size * size") (fun () ->
+      ignore (Metric.of_flat ~size:2 [| 0; 1; 1 |]))
+
+let test_metric_flat_out_of_range () =
+  let m = Metric.of_flat ~size:2 [| 0; 1; 1; 0 |] in
+  Alcotest.check_raises "range" (Invalid_argument "Metric.dist: node out of range")
+    (fun () -> ignore (Metric.dist m 2 0))
+
+let test_metric_validate_first_error () =
+  (* The early-exit validate reports the same message the exhaustive scan
+     used to put first. *)
+  let bad =
+    Metric.make ~size:3 (fun u v ->
+        if u = v then 0 else if (u, v) = (0, 2) then 5 else 1)
+  in
+  Alcotest.(check bool) "asymmetry first" true
+    (Metric.validate bad = Error "asymmetric at (0,2)");
+  let no_triangle =
+    Metric.of_matrix [| [| 0; 1; 5 |]; [| 1; 0; 1 |]; [| 5; 1; 0 |] |]
+  in
+  Alcotest.(check bool) "triangle message" true
+    (Metric.validate no_triangle
+    = Error "triangle violated: d(0,2) > d(0,1)+d(1,2)")
+
 (* ------------------------------------------------------------------ *)
 (* Mst                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -368,6 +411,10 @@ let () =
           Alcotest.test_case "diameter" `Quick test_metric_diameter;
           Alcotest.test_case "max_dist_among" `Quick test_metric_max_dist_among;
           Alcotest.test_case "out of range" `Quick test_metric_out_of_range;
+          Alcotest.test_case "flat backend" `Quick test_metric_flat_backend;
+          Alcotest.test_case "of_flat rejects" `Quick test_metric_of_flat_rejects;
+          Alcotest.test_case "flat out of range" `Quick test_metric_flat_out_of_range;
+          Alcotest.test_case "validate first error" `Quick test_metric_validate_first_error;
         ] );
       ( "mst",
         [

@@ -159,6 +159,193 @@ let prop_sweep_ordered =
       in
       swept = sequential)
 
+(* P8: the flat (materialized) metric backend is observationally equal
+   to the closed-form oracle on all seven paper topologies — dist on
+   every pair, diameter, and max_dist_among on a random subset. *)
+let prop_flat_matches_oracle =
+  qtest "flat backend = closure oracle on all 7 topologies" seed_gen
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let range lo hi = Prng.int_in_range rng ~lo ~hi in
+      let oracles =
+        [
+          Dtm_topology.Clique.oracle (range 4 24);
+          Dtm_topology.Line.oracle (range 4 32);
+          Dtm_topology.Grid.oracle ~rows:(range 2 6) ~cols:(range 2 6);
+          Dtm_topology.Torus.oracle ~rows:(range 2 6) ~cols:(range 2 6);
+          Dtm_topology.Hypercube.oracle ~dim:(range 2 4);
+          Dtm_topology.Star.oracle
+            { Dtm_topology.Star.rays = range 2 5; ray_len = range 1 6 };
+          Dtm_topology.Cluster.oracle
+            {
+              Dtm_topology.Cluster.clusters = range 2 4;
+              size = range 2 5;
+              bridge_weight = range 2 8;
+            };
+        ]
+      in
+      let module Metric = Dtm_graph.Metric in
+      List.for_all
+        (fun oracle ->
+          let flat = Metric.materialize ~threshold:1 oracle in
+          let n = Metric.size oracle in
+          let dists_agree = ref (Metric.is_flat flat) in
+          for u = 0 to n - 1 do
+            for v = 0 to n - 1 do
+              if Metric.dist flat u v <> Metric.dist oracle u v then
+                dists_agree := false
+            done
+          done;
+          let k = 1 + Prng.int rng n in
+          let nodes = Array.to_list (Prng.sample_subset rng ~k ~n) in
+          !dists_agree
+          && Metric.diameter flat = Metric.diameter oracle
+          && Metric.max_dist_among flat nodes = Metric.max_dist_among oracle nodes)
+        oracles)
+
+(* Reference (pre-optimization) conflict-graph and coloring kernels,
+   transcribed from the seed implementations: boxed-tuple hashing for
+   dedup, list-based interval scans for the color searches.  P9/P10
+   pin the rewritten kernels to these. *)
+module Seed_ref = struct
+  module Instance = Dtm_core.Instance
+  module Dependency = Dtm_core.Dependency
+
+  (* conflicts, hmax, num_conflicts of the seed Dependency.build *)
+  let build metric inst =
+    let n = Instance.n inst in
+    let pair_seen = Hashtbl.create 256 in
+    let adj = Array.make (max 1 n) [] in
+    let hmax = ref 0 and num = ref 0 in
+    for o = 0 to Instance.num_objects inst - 1 do
+      let reqs = Instance.requesters inst o in
+      let len = Array.length reqs in
+      for i = 0 to len - 1 do
+        for j = i + 1 to len - 1 do
+          let u = reqs.(i) and v = reqs.(j) in
+          if not (Hashtbl.mem pair_seen (u, v)) then begin
+            Hashtbl.replace pair_seen (u, v) ();
+            let w = Dtm_graph.Metric.dist metric u v in
+            adj.(u) <- (v, w) :: adj.(u);
+            adj.(v) <- (u, w) :: adj.(v);
+            if w > !hmax then hmax := w;
+            incr num
+          end
+        done
+      done
+    done;
+    (Array.map Array.of_list adj, !hmax, !num)
+
+  let smallest_compact constraints =
+    let forbidden =
+      List.filter_map
+        (fun (cv, w) ->
+          let lo = max 1 (cv - w + 1) and hi = cv + w - 1 in
+          if lo <= hi then Some (lo, hi) else None)
+        constraints
+    in
+    let sorted = List.sort compare forbidden in
+    let rec scan c = function
+      | [] -> c
+      | (lo, hi) :: rest -> if c < lo then c else scan (max c (hi + 1)) rest
+    in
+    scan 1 sorted
+
+  let smallest_slotted hmax constraints =
+    let step = max 1 hmax in
+    let ok c = List.for_all (fun (cv, w) -> abs (c - cv) >= w) constraints in
+    let rec go j =
+      let c = (j * step) + 1 in
+      if ok c then c else go (j + 1)
+    in
+    go 0
+
+  let order_nodes order dep inst =
+    let nodes = Array.copy (Instance.txn_nodes inst) in
+    (match order with
+    | Dtm_core.Coloring.Natural -> ()
+    | Dtm_core.Coloring.Desc_degree ->
+      let deg v = Array.length (Dependency.conflicts dep v) in
+      let lst = Array.to_list nodes in
+      let sorted = List.stable_sort (fun a b -> compare (deg b) (deg a)) lst in
+      List.iteri (fun i v -> nodes.(i) <- v) sorted
+    | Dtm_core.Coloring.Random_order seed ->
+      let rng = Prng.create ~seed in
+      Prng.shuffle rng nodes);
+    nodes
+
+  (* Seed Coloring.greedy on top of the production dependency graph
+     (adjacency order differs from the seed's, but both searches are
+     insensitive to it). *)
+  let greedy ~strategy ~order dep inst =
+    let n = Instance.n inst in
+    let colors = Array.make n 0 in
+    let nodes = order_nodes order dep inst in
+    let hmax = Dependency.hmax dep in
+    Array.iter
+      (fun v ->
+        let constraints =
+          Array.to_list (Dependency.conflicts dep v)
+          |> List.filter_map (fun (u, w) ->
+                 if colors.(u) <> 0 then Some (colors.(u), w) else None)
+        in
+        let c =
+          match strategy with
+          | Dtm_core.Coloring.Compact -> smallest_compact constraints
+          | Dtm_core.Coloring.Slotted -> smallest_slotted hmax constraints
+        in
+        colors.(v) <- c)
+      nodes;
+    (colors, Array.fold_left max 0 colors)
+end
+
+(* P9: the int-keyed radix dedup in Dependency.build matches the seed's
+   tuple-hashing build: same edge set (as sorted adjacency), hmax and
+   conflict count on random instances over all seven topologies. *)
+let prop_dependency_matches_seed =
+  qtest "Dependency.build = seed reference on all 7 topologies" seed_gen
+    (fun seed ->
+      for_all_topologies seed (fun ~seed:_ topo inst ->
+          let metric = Topology.metric topo in
+          let dep = Dtm_core.Dependency.build metric inst in
+          let ref_adj, ref_hmax, ref_num = Seed_ref.build metric inst in
+          let sorted a =
+            let l = Array.to_list a in
+            List.sort compare l
+          in
+          Dtm_core.Dependency.hmax dep = ref_hmax
+          && Dtm_core.Dependency.num_conflicts dep = ref_num
+          && List.for_all
+               (fun v ->
+                 sorted (Dtm_core.Dependency.conflicts dep v)
+                 = sorted ref_adj.(v))
+               (List.init (Dtm_core.Instance.n inst) Fun.id)))
+
+(* P10: the scratch-array color searches match the seed's list-based
+   ones — identical colorings for every strategy/order combination. *)
+let prop_coloring_matches_seed =
+  qtest "Coloring.greedy = seed reference on all 7 topologies" seed_gen
+    (fun seed ->
+      for_all_topologies seed (fun ~seed:_ topo inst ->
+          let metric = Topology.metric topo in
+          let dep = Dtm_core.Dependency.build metric inst in
+          List.for_all
+            (fun strategy ->
+              List.for_all
+                (fun order ->
+                  let c = Dtm_core.Coloring.greedy ~strategy ~order dep inst in
+                  let ref_colors, ref_num =
+                    Seed_ref.greedy ~strategy ~order dep inst
+                  in
+                  c.Dtm_core.Coloring.colors = ref_colors
+                  && c.Dtm_core.Coloring.num_colors = ref_num)
+                [
+                  Dtm_core.Coloring.Natural;
+                  Dtm_core.Coloring.Desc_degree;
+                  Dtm_core.Coloring.Random_order (seed land 0xffff);
+                ])
+            [ Dtm_core.Coloring.Compact; Dtm_core.Coloring.Slotted ]))
+
 let () =
   Alcotest.run "dtm_props"
     [
@@ -168,4 +355,10 @@ let () =
       ("lints", [ prop_metrics_pass_lint ]);
       ( "determinism",
         [ prop_measurements_parallel_deterministic; prop_sweep_ordered ] );
+      ( "kernels",
+        [
+          prop_flat_matches_oracle;
+          prop_dependency_matches_seed;
+          prop_coloring_matches_seed;
+        ] );
     ]
