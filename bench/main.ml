@@ -8,7 +8,10 @@
                    time/run ms, with git rev and config) next to the
                    text table; the file is gitignored.
      --quota-ms N  per-test time quota in milliseconds (default 500);
-                   CI runs a ~50 ms smoke so the harness cannot bitrot. *)
+                   CI runs a ~50 ms smoke so the harness cannot bitrot.
+     -j/--jobs N   domain-pool width for the kernels that fan out on
+                   Dtm_util.Pool (lower_bound, apsp); -j 1 isolates the
+                   single-domain algorithmic cost. *)
 
 open Bechamel
 open Toolkit
@@ -237,7 +240,7 @@ let write_json rows ~quota_ms =
   output_string oc "\n";
   close_out oc
 
-let usage = "usage: main.exe [--json] [--quota-ms N]"
+let usage = "usage: main.exe [--json] [--quota-ms N] [-j N]"
 
 let () =
   let json = ref false and quota_ms = ref 500.0 in
@@ -253,6 +256,14 @@ let () =
         parse rest
       | _ ->
         Printf.eprintf "invalid --quota-ms %s\n%s\n" v usage;
+        exit 2)
+    | ("-j" | "--jobs") :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some j when j >= 1 ->
+        Dtm_util.Pool.set_default_jobs j;
+        parse rest
+      | _ ->
+        Printf.eprintf "invalid -j value %s\n%s\n" v usage;
         exit 2)
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n%s\n" arg usage;

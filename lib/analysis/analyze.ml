@@ -1,6 +1,6 @@
 module Topology = Dtm_topology.Topology
 
-let run ?schedule ?certificate ?metric_budget topo inst =
+let run ?jobs ?schedule ?certificate ?metric_budget topo inst =
   let metric = Topology.metric topo in
   let lower =
     Option.map (fun (c : Certificate.t) -> c.Certificate.lower) certificate
@@ -12,7 +12,7 @@ let run ?schedule ?certificate ?metric_budget topo inst =
   let passes =
     [
       (fun () -> Metric_lint.check ?budget:metric_budget metric);
-      (fun () -> Instance_lint.check ~topo ?lower metric inst);
+      (fun () -> Instance_lint.check ?jobs ~topo ?lower metric inst);
       (fun () ->
         match schedule with
         | Some s -> Schedule_lint.check metric inst s

@@ -8,6 +8,7 @@
     [`Auto] scheduling is requested). *)
 
 val run :
+  ?jobs:int ->
   ?schedule:Dtm_core.Schedule.t ->
   ?certificate:Certificate.t ->
   ?metric_budget:int ->
@@ -15,7 +16,10 @@ val run :
   Dtm_core.Instance.t ->
   Report.t
 (** Analyze the instance (and schedule, when given) on the topology.
-    [certificate], when given, is verified and its findings merged. *)
+    [certificate], when given, is verified and its findings merged.
+    [jobs] is forwarded to the lower-bound engine the instance lints may
+    invoke; by default that engine fans out on the shared default pool
+    ([-j N]), with identical results at any parallelism. *)
 
 val run_auto :
   ?seed:int ->

@@ -32,7 +32,7 @@ let hub_transits topo inst =
         count (fun v -> Some (Dtm_topology.Cluster.cluster_of p v)) )
   | _ -> None
 
-let check ?topo ?lower metric inst =
+let check ?jobs ?topo ?lower metric inst =
   let out = ref [] in
   let counts = Hashtbl.create 4 in
   let add code mk =
@@ -79,7 +79,7 @@ let check ?topo ?lower metric inst =
     let lb =
       match lower with
       | Some l -> l
-      | None -> Dtm_core.Lower_bound.certified metric inst
+      | None -> Dtm_core.Lower_bound.certified ?jobs metric inst
     in
     if transits > max 1 lb then
       add Code.Hub_overload (fun () ->

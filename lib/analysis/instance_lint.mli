@@ -10,8 +10,11 @@
     computed on demand only if the topology has a hub. *)
 
 val check :
+  ?jobs:int ->
   ?topo:Dtm_topology.Topology.t ->
   ?lower:int ->
   Dtm_graph.Metric.t ->
   Dtm_core.Instance.t ->
   Diagnostic.t list
+(** [jobs] is forwarded to {!Dtm_core.Lower_bound.certified} when the
+    hub-overload check needs an on-demand lower bound. *)

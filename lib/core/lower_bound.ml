@@ -7,17 +7,53 @@ type t = {
   per_object : per_object array;
 }
 
-let compute metric inst =
+(* Fan-out policy: per-object walk oracles are independent, so they run
+   on the domain pool in contiguous chunks (roughly 4 per worker for
+   load balance against uneven requester sets), merged in submission
+   order — the [per_object] array is byte-identical to a sequential
+   build at any parallelism.  Tiny instances stay sequential: below
+   these floors the pool's queue round-trips would dominate the walk
+   oracles themselves. *)
+let par_min_objects = 2
+let par_min_requesters = 32
+
+let chunk_ranges ~w ~chunks =
+  List.init chunks (fun c -> (c * w / chunks, ((c + 1) * w / chunks) - 1))
+
+let per_object_array ?jobs metric inst =
   let w = Instance.num_objects inst in
-  let per_object =
-    Array.init w (fun o ->
-        let reqs = Instance.requesters inst o in
-        let walk =
-          Dtm_graph.Walk.bounds metric ~home:(Instance.home inst o)
-            (Array.to_list reqs)
-        in
-        { obj = o; requesters = Array.length reqs; walk })
+  let one o =
+    let reqs = Instance.requesters inst o in
+    let walk =
+      Dtm_graph.Walk.bounds metric ~home:(Instance.home inst o)
+        (Array.to_list reqs)
+    in
+    { obj = o; requesters = Array.length reqs; walk }
   in
+  let total_requesters = ref 0 in
+  for o = 0 to w - 1 do
+    total_requesters := !total_requesters + Array.length (Instance.requesters inst o)
+  done;
+  let wanted =
+    match jobs with Some j -> max 1 j | None -> Dtm_util.Pool.default_jobs ()
+  in
+  if wanted <= 1 || w < par_min_objects || !total_requesters < par_min_requesters
+  then Array.init w one
+  else begin
+    let ranges = chunk_ranges ~w ~chunks:(min w (wanted * 4)) in
+    let run_chunk (lo, hi) = Array.init (hi - lo + 1) (fun i -> one (lo + i)) in
+    let pieces =
+      match jobs with
+      | None -> Dtm_util.Pool.run run_chunk ranges
+      | Some j ->
+        Dtm_util.Pool.with_pool ~jobs:j (fun p ->
+            Dtm_util.Pool.map p run_chunk ranges)
+    in
+    Array.concat pieces
+  end
+
+let compute ?jobs metric inst =
+  let per_object = per_object_array ?jobs metric inst in
   let load = Instance.load inst in
   let max_walk =
     Array.fold_left
@@ -29,6 +65,6 @@ let compute metric inst =
   let base = if Instance.num_txns inst > 0 then 1 else 0 in
   { load; max_walk; certified = max base (max load max_walk); per_object }
 
-let certified metric inst = (compute metric inst).certified
+let certified ?jobs metric inst = (compute ?jobs metric inst).certified
 
 let ratio ~makespan ~lower = float_of_int makespan /. float_of_int (max 1 lower)

@@ -25,9 +25,16 @@ type t = {
   per_object : per_object array;
 }
 
-val compute : Dtm_graph.Metric.t -> Instance.t -> t
+val compute : ?jobs:int -> Dtm_graph.Metric.t -> Instance.t -> t
+(** Per-object walk oracles run in parallel on {!Dtm_util.Pool} (the
+    shared default pool, i.e. [-j N] in the binaries; a dedicated pool
+    of [jobs] domains when [jobs] is given, [jobs = 1] forcing a
+    sequential run).  Chunks merge in submission order, so the result —
+    including the [per_object] array — is byte-identical at any
+    parallelism.  Each domain reuses one [Tsp] scratch arena across all
+    the objects it processes. *)
 
-val certified : Dtm_graph.Metric.t -> Instance.t -> int
+val certified : ?jobs:int -> Dtm_graph.Metric.t -> Instance.t -> int
 (** Just the combined bound. *)
 
 val ratio : makespan:int -> lower:int -> float

@@ -1,23 +1,72 @@
 type t = { write_load : int; writer_walk : int; reach : int; certified : int }
 
-let compute metric rw =
+(* Same fan-out policy as [Lower_bound.compute]: independent per-object
+   walk/reach work in contiguous chunks on the domain pool, merged in
+   submission order.  The merge is a pair of maxes, so parallel output
+   is identical to sequential at any parallelism. *)
+let par_min_objects = 2
+let par_min_requesters = 32
+
+let compute ?jobs metric rw =
   let inst = Rw_instance.base rw in
+  let w = Instance.num_objects inst in
   let write_load = Rw_instance.write_load rw in
-  let writer_walk = ref 0 and reach = ref 0 in
-  for o = 0 to Instance.num_objects inst - 1 do
+  (* (writer-walk, reach) contributions of one object. *)
+  let one o =
     let home = Instance.home inst o in
     let writers = Array.to_list (Rw_instance.writers rw o) in
-    if writers <> [] then begin
-      let b = Dtm_graph.Walk.bounds metric ~home writers in
-      let w = Dtm_graph.Walk.best_lower b in
-      if w > !writer_walk then writer_walk := w
-    end;
-    Array.iter
-      (fun u ->
-        let d = Dtm_graph.Metric.dist metric home u in
-        if d > !reach then reach := d)
-      (Instance.requesters inst o)
+    let walk =
+      if writers = [] then 0
+      else
+        Dtm_graph.Walk.best_lower (Dtm_graph.Walk.bounds metric ~home writers)
+    in
+    let reach =
+      Array.fold_left
+        (fun acc u -> max acc (Dtm_graph.Metric.dist metric home u))
+        0 (Instance.requesters inst o)
+    in
+    (walk, reach)
+  in
+  let total_requesters = ref 0 in
+  for o = 0 to w - 1 do
+    total_requesters := !total_requesters + Array.length (Instance.requesters inst o)
   done;
+  let wanted =
+    match jobs with Some j -> max 1 j | None -> Dtm_util.Pool.default_jobs ()
+  in
+  let writer_walk = ref 0 and reach = ref 0 in
+  let merge (walk, r) =
+    if walk > !writer_walk then writer_walk := walk;
+    if r > !reach then reach := r
+  in
+  if wanted <= 1 || w < par_min_objects || !total_requesters < par_min_requesters
+  then
+    for o = 0 to w - 1 do
+      merge (one o)
+    done
+  else begin
+    let chunks = min w (wanted * 4) in
+    let ranges =
+      List.init chunks (fun c -> (c * w / chunks, ((c + 1) * w / chunks) - 1))
+    in
+    let run_chunk (lo, hi) =
+      let walk = ref 0 and r = ref 0 in
+      for o = lo to hi do
+        let cw, cr = one o in
+        if cw > !walk then walk := cw;
+        if cr > !r then r := cr
+      done;
+      (!walk, !r)
+    in
+    let pieces =
+      match jobs with
+      | None -> Dtm_util.Pool.run run_chunk ranges
+      | Some j ->
+        Dtm_util.Pool.with_pool ~jobs:j (fun p ->
+            Dtm_util.Pool.map p run_chunk ranges)
+    in
+    List.iter merge pieces
+  end;
   let base = if Instance.num_txns inst > 0 then 1 else 0 in
   {
     write_load;
@@ -26,4 +75,4 @@ let compute metric rw =
     certified = max base (max write_load (max !writer_walk !reach));
   }
 
-let certified metric rw = (compute metric rw).certified
+let certified ?jobs metric rw = (compute ?jobs metric rw).certified

@@ -16,6 +16,10 @@ type t = {
   certified : int;  (** max of the above (and 1 if any transaction) *)
 }
 
-val compute : Dtm_graph.Metric.t -> Rw_instance.t -> t
+val compute : ?jobs:int -> Dtm_graph.Metric.t -> Rw_instance.t -> t
+(** Per-object writer walks and reach scans run in parallel on
+    {!Dtm_util.Pool}, exactly as in {!Lower_bound.compute} (shared
+    default pool unless [jobs] is given; results identical at any
+    parallelism). *)
 
-val certified : Dtm_graph.Metric.t -> Rw_instance.t -> int
+val certified : ?jobs:int -> Dtm_graph.Metric.t -> Rw_instance.t -> int

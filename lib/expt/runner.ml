@@ -6,9 +6,9 @@ type measurement = {
   clean : bool;
 }
 
-let measure metric inst sched =
+let measure ?jobs metric inst sched =
   let makespan = Dtm_core.Schedule.makespan sched in
-  let lower = Dtm_core.Lower_bound.certified metric inst in
+  let lower = Dtm_core.Lower_bound.certified ?jobs metric inst in
   (* Static gate: beyond the dynamic validator, every measurement is
      statically analyzed (instance + schedule lints); an error-severity
      finding marks the measurement unclean and fails the experiment's

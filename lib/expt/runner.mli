@@ -9,13 +9,17 @@ type measurement = {
 }
 
 val measure :
+  ?jobs:int ->
   Dtm_graph.Metric.t ->
   Dtm_core.Instance.t ->
   Dtm_core.Schedule.t ->
   measurement
 (** Makespan, certified lower bound, their ratio, a validator verdict,
     and the static-analysis gate: every measurement is also run through
-    {!Dtm_analysis.Analyze.quick} before results are reported. *)
+    {!Dtm_analysis.Analyze.quick} before results are reported.  [jobs]
+    is forwarded to {!Dtm_core.Lower_bound.certified}, whose per-object
+    walk oracles otherwise fan out on the shared default pool ([-j N]);
+    results are identical at any parallelism. *)
 
 val sweep :
   seeds:int list ->

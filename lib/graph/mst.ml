@@ -1,6 +1,6 @@
 let kruskal g =
   let edges =
-    List.sort (fun a b -> compare a.Graph.w b.Graph.w) (Graph.edges g)
+    List.sort (fun a b -> Int.compare a.Graph.w b.Graph.w) (Graph.edges g)
   in
   let uf = Dtm_util.Union_find.create (Graph.n g) in
   let tree = ref [] and total = ref 0 in
@@ -13,9 +13,27 @@ let kruskal g =
     edges;
   (List.rev !tree, !total)
 
+(* Sorted dedup on a flat int array ([Int.compare] only) — same result
+   as [List.sort_uniq compare] on ints without the polymorphic-compare
+   closure in this hot path. *)
+let sort_uniq_array terminals =
+  match terminals with
+  | [] -> [||]
+  | l ->
+    let arr = Array.of_list l in
+    Array.sort Int.compare arr;
+    let n = Array.length arr in
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if arr.(i) <> arr.(!k - 1) then begin
+        arr.(!k) <- arr.(i);
+        incr k
+      end
+    done;
+    if !k = n then arr else Array.sub arr 0 !k
+
 let metric_mst m terminals =
-  let terms = List.sort_uniq compare terminals in
-  let arr = Array.of_list terms in
+  let arr = sort_uniq_array terminals in
   let t = Array.length arr in
   if t <= 1 then ([], 0)
   else begin

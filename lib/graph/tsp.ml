@@ -1,58 +1,259 @@
 let max_exact_terminals = 15
 
-let dedup terminals = List.sort_uniq compare terminals
+(* Sorted dedup on a flat int array: Int.compare only, no polymorphic
+   compare in the hot dedup path.  Same ordering as the seed's
+   [List.sort_uniq compare] (ints compare identically either way). *)
+let sort_uniq_array terminals =
+  match terminals with
+  | [] -> [||]
+  | l ->
+    let arr = Array.of_list l in
+    Array.sort Int.compare arr;
+    let n = Array.length arr in
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if arr.(i) <> arr.(!k - 1) then begin
+        arr.(!k) <- arr.(i);
+        incr k
+      end
+    done;
+    if !k = n then arr else Array.sub arr 0 !k
 
-(* Held-Karp dynamic program over subsets of terminals.  [start] is an
-   optional mandatory first node outside the subset indexing. *)
-let exact_path_length m ?start terminals =
-  let terms = Array.of_list (dedup terminals) in
+let dedup terminals = Array.to_list (sort_uniq_array terminals)
+
+(* ------------------------------------------------------------------ *)
+(* Scratch arena                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* All exact searches on a domain share one arena: flat arrays sized to
+   the largest terminal set seen so far, so the per-object hot loop of
+   [Lower_bound.compute] allocates nothing after warm-up.  The Held-Karp
+   fallback table ((2^t)*t ints) is only grown when the fallback actually
+   fires. *)
+module Scratch = struct
+  type t = {
+    mutable dm : int array;  (* t*t terminal-pair distances, row-major *)
+    mutable d0 : int array;  (* start -> terminal distances *)
+    mutable mark : bool array;  (* Prim in-tree flags (positional) *)
+    mutable key : int array;  (* Prim best-edge weights (positional) *)
+    mutable idx : int array;  (* gather buffer: remaining terminal ids *)
+    mutable cand : int array;  (* B&B child ids, one t-slice per depth *)
+    mutable ccost : int array;  (* B&B child edge costs, same layout *)
+    mutable dp : int array;  (* Held-Karp fallback, (2^t)*t flat *)
+  }
+
+  let create () =
+    {
+      dm = [||];
+      d0 = [||];
+      mark = [||];
+      key = [||];
+      idx = [||];
+      cand = [||];
+      ccost = [||];
+      dp = [||];
+    }
+
+  let ensure s ~terms:t =
+    if Array.length s.d0 < t then begin
+      s.d0 <- Array.make t 0;
+      s.mark <- Array.make t false;
+      s.key <- Array.make t 0;
+      s.idx <- Array.make t 0
+    end;
+    if Array.length s.dm < t * t then begin
+      s.dm <- Array.make (t * t) 0;
+      s.cand <- Array.make (t * t) 0;
+      s.ccost <- Array.make (t * t) 0
+    end
+
+  let ensure_dp s n = if Array.length s.dp < n then s.dp <- Array.make n 0
+end
+
+(* Bring the arena's field labels into scope for the kernels below. *)
+open Scratch
+
+let scratch_key = Domain.DLS.new_key Scratch.create
+let domain_scratch () = Domain.DLS.get scratch_key
+
+(* Snapshot the terminal-pair (and start) distances into the arena once:
+   every search below reads them many times and must not pay an oracle
+   call per read.  Returns whether a start node is present. *)
+let load_scratch (s : Scratch.t) m ~start terms =
   let t = Array.length terms in
-  if t = 0 then 0
-  else if t > max_exact_terminals then
-    invalid_arg "Tsp.exact_path_length: too many terminals"
-  else begin
-    (* Snapshot the terminal-pair distances into a flat t*t array once:
-       the DP below reads them O(2^t * t^2) times and must not pay an
-       oracle call per read. *)
-    let dm = Array.make (t * t) 0 in
-    for i = 0 to t - 1 do
-      for j = 0 to t - 1 do
-        dm.((i * t) + j) <- Metric.dist m terms.(i) terms.(j)
-      done
-    done;
-    let full = (1 lsl t) - 1 in
-    let dp = Array.make_matrix (full + 1) t max_int in
+  Scratch.ensure s ~terms:t;
+  let dm = s.dm in
+  for i = 0 to t - 1 do
+    let ti = terms.(i) in
+    let base = i * t in
+    dm.(base + i) <- 0;
+    for j = i + 1 to t - 1 do
+      let d = Metric.dist m ti terms.(j) in
+      dm.(base + j) <- d;
+      dm.((j * t) + i) <- d
+    done
+  done;
+  match start with
+  | None -> false
+  | Some st ->
+    let d0 = s.d0 in
     for j = 0 to t - 1 do
-      dp.(1 lsl j).(j) <-
-        (match start with None -> 0 | Some s -> Metric.dist m s terms.(j))
+      d0.(j) <- Metric.dist m st terms.(j)
     done;
-    for set = 1 to full do
-      let row = Array.unsafe_get dp set in
-      for last = 0 to t - 1 do
-        let cur = Array.unsafe_get row last in
-        if cur < max_int && set land (1 lsl last) <> 0 then begin
-          let base = last * t in
-          for next = 0 to t - 1 do
-            if set land (1 lsl next) = 0 then begin
-              let nset = set lor (1 lsl next) in
-              let cand = cur + Array.unsafe_get dm (base + next) in
-              let nrow = Array.unsafe_get dp nset in
-              if cand < Array.unsafe_get nrow next then
-                Array.unsafe_set nrow next cand
-            end
-          done
+    true
+
+(* ------------------------------------------------------------------ *)
+(* Exact search: branch-and-bound with MST-remainder pruning           *)
+(* ------------------------------------------------------------------ *)
+
+(* Weight of the minimum spanning tree over the terminals NOT in [mask]
+   (Prim, O(r^2) on the snapshotted distances).  Any completion of a
+   partial path must span those terminals, so this is admissible. *)
+let mst_remaining (s : Scratch.t) t mask =
+  let dm = s.dm and key = s.key and mark = s.mark and idx = s.idx in
+  let r = ref 0 in
+  for j = 0 to t - 1 do
+    if mask land (1 lsl j) = 0 then begin
+      idx.(!r) <- j;
+      incr r
+    end
+  done;
+  let r = !r in
+  if r <= 1 then 0
+  else begin
+    let root = idx.(0) * t in
+    for x = 1 to r - 1 do
+      mark.(x) <- false;
+      key.(x) <- Array.unsafe_get dm (root + idx.(x))
+    done;
+    let total = ref 0 in
+    for _ = 1 to r - 1 do
+      let pick = ref (-1) and best = ref max_int in
+      for x = 1 to r - 1 do
+        if (not mark.(x)) && key.(x) < !best then begin
+          best := key.(x);
+          pick := x
+        end
+      done;
+      let x = !pick in
+      mark.(x) <- true;
+      total := !total + key.(x);
+      let base = idx.(x) * t in
+      for y = 1 to r - 1 do
+        if not mark.(y) then begin
+          let d = Array.unsafe_get dm (base + idx.(y)) in
+          if d < key.(y) then key.(y) <- d
         end
       done
     done;
-    let best = ref max_int in
-    for j = 0 to t - 1 do
-      if dp.(full).(j) < !best then best := dp.(full).(j)
-    done;
-    !best
+    !total
   end
 
+(* Held-Karp on the arena: set-major flat table, dp.(set*t + last).
+   Fallback for the rare instances where branch-and-bound degenerates. *)
+let held_karp_core (s : Scratch.t) t ~has_start =
+  let full = (1 lsl t) - 1 in
+  Scratch.ensure_dp s ((full + 1) * t);
+  let dm = s.dm and d0 = s.d0 and dp = s.dp in
+  Array.fill dp 0 ((full + 1) * t) max_int;
+  for j = 0 to t - 1 do
+    dp.(((1 lsl j) * t) + j) <- (if has_start then d0.(j) else 0)
+  done;
+  for set = 1 to full do
+    let row = set * t in
+    for last = 0 to t - 1 do
+      let cur = Array.unsafe_get dp (row + last) in
+      if cur < max_int && set land (1 lsl last) <> 0 then begin
+        let base = last * t in
+        for next = 0 to t - 1 do
+          if set land (1 lsl next) = 0 then begin
+            let cell = ((set lor (1 lsl next)) * t) + next in
+            let cand = cur + Array.unsafe_get dm (base + next) in
+            if cand < Array.unsafe_get dp cell then
+              Array.unsafe_set dp cell cand
+          end
+        done
+      end
+    done
+  done;
+  let best = ref max_int in
+  for j = 0 to t - 1 do
+    if dp.((full * t) + j) < !best then best := dp.((full * t) + j)
+  done;
+  !best
+
+(* Expansion budget before abandoning branch-and-bound for the DP: each
+   expansion costs O(t^2), so the cap keeps the worst case within a
+   small constant of one Held-Karp run. *)
+let bb_budget = 20_000
+
+exception Budget
+
+(* [upper] must be the length of a known feasible walk (it is the
+   initial incumbent): the search only records strict improvements, so
+   the result is exact precisely because [upper] is achievable. *)
+let branch_and_bound (s : Scratch.t) t ~has_start ~upper =
+  let dm = s.dm and d0 = s.d0 in
+  let full = (1 lsl t) - 1 in
+  let best = ref upper in
+  let expanded = ref 0 in
+  let rec go depth mask cur g =
+    if mask = full then begin
+      if g < !best then best := g
+    end
+    else begin
+      incr expanded;
+      if !expanded > bb_budget then raise Budget;
+      let cand = s.cand and ccost = s.ccost in
+      let base = depth * t in
+      let cnt = ref 0 and min_edge = ref max_int in
+      for j = 0 to t - 1 do
+        if mask land (1 lsl j) = 0 then begin
+          let c =
+            if cur >= 0 then Array.unsafe_get dm ((cur * t) + j)
+            else if has_start then d0.(j)
+            else 0
+          in
+          cand.(base + !cnt) <- j;
+          ccost.(base + !cnt) <- c;
+          incr cnt;
+          if c < !min_edge then min_edge := c
+        end
+      done;
+      let cnt = !cnt in
+      (* Admissible completion bound: cheapest edge into the remaining
+         set plus a spanning tree of it. *)
+      if g + !min_edge + mst_remaining s t mask < !best then begin
+        (* Nearest-first child order (insertion sort on the depth slice)
+           finds strong incumbents early and sharpens later pruning. *)
+        for a = 1 to cnt - 1 do
+          let cj = cand.(base + a) and cc = ccost.(base + a) in
+          let b = ref (a - 1) in
+          while !b >= 0 && ccost.(base + !b) > cc do
+            cand.(base + !b + 1) <- cand.(base + !b);
+            ccost.(base + !b + 1) <- ccost.(base + !b);
+            decr b
+          done;
+          cand.(base + !b + 1) <- cj;
+          ccost.(base + !b + 1) <- cc
+        done;
+        for a = 0 to cnt - 1 do
+          let j = cand.(base + a) in
+          let c = ccost.(base + a) in
+          if g + c < !best then go (depth + 1) (mask lor (1 lsl j)) j (g + c)
+        done
+      end
+    end
+  in
+  (try go 0 0 (-1) 0 with Budget -> best := held_karp_core s t ~has_start);
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic bounds                                                   *)
+(* ------------------------------------------------------------------ *)
+
 let nearest_neighbor m ~start terminals =
-  let terms = Array.of_list (dedup terminals) in
+  let terms = sort_uniq_array terminals in
   let t = Array.length terms in
   let visited = Array.make t false in
   let order = ref [] and total = ref 0 and cur = ref start in
@@ -136,3 +337,77 @@ let upper_bound m ?start terminals =
     let _, nn = nearest_neighbor m ~start:nn_start terminals in
     let _, pre = mst_preorder m ?start terminals in
     min nn pre
+
+(* ------------------------------------------------------------------ *)
+(* Exact entry points                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let exact_within m ?start ~lower ~upper terminals =
+  let terms = sort_uniq_array terminals in
+  let t = Array.length terms in
+  if t = 0 then 0
+  else if t > max_exact_terminals then
+    invalid_arg "Tsp.exact_path_length: too many terminals"
+  else if lower >= upper then upper
+  else begin
+    let s = domain_scratch () in
+    let has_start = load_scratch s m ~start terms in
+    branch_and_bound s t ~has_start ~upper
+  end
+
+let exact_path_length m ?start terminals =
+  let terms = dedup terminals in
+  match terms with
+  | [] -> 0
+  | _ ->
+    if List.length terms > max_exact_terminals then
+      invalid_arg "Tsp.exact_path_length: too many terminals";
+    let lower = lower_bound m ?start terms in
+    let upper = upper_bound m ?start terms in
+    exact_within m ?start ~lower ~upper terms
+
+(* Transcribed seed implementation (full Held-Karp DP, fresh matrices):
+   the test reference the branch-and-bound oracle is pinned against. *)
+let held_karp_path_length m ?start terminals =
+  let terms = Array.of_list (dedup terminals) in
+  let t = Array.length terms in
+  if t = 0 then 0
+  else if t > max_exact_terminals then
+    invalid_arg "Tsp.held_karp_path_length: too many terminals"
+  else begin
+    let dm = Array.make (t * t) 0 in
+    for i = 0 to t - 1 do
+      for j = 0 to t - 1 do
+        dm.((i * t) + j) <- Metric.dist m terms.(i) terms.(j)
+      done
+    done;
+    let full = (1 lsl t) - 1 in
+    let dp = Array.make_matrix (full + 1) t max_int in
+    for j = 0 to t - 1 do
+      dp.(1 lsl j).(j) <-
+        (match start with None -> 0 | Some s -> Metric.dist m s terms.(j))
+    done;
+    for set = 1 to full do
+      let row = Array.unsafe_get dp set in
+      for last = 0 to t - 1 do
+        let cur = Array.unsafe_get row last in
+        if cur < max_int && set land (1 lsl last) <> 0 then begin
+          let base = last * t in
+          for next = 0 to t - 1 do
+            if set land (1 lsl next) = 0 then begin
+              let nset = set lor (1 lsl next) in
+              let cand = cur + Array.unsafe_get dm (base + next) in
+              let nrow = Array.unsafe_get dp nset in
+              if cand < Array.unsafe_get nrow next then
+                Array.unsafe_set nrow next cand
+            end
+          done
+        end
+      done
+    done;
+    let best = ref max_int in
+    for j = 0 to t - 1 do
+      if dp.(full).(j) < !best then best := dp.(full).(j)
+    done;
+    !best
+  end

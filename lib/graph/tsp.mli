@@ -4,12 +4,26 @@
     make through the nodes that request it (Sections 1.1 and 8).  Under a
     shortest-path metric, the shortest such walk equals the shortest
     Hamiltonian path on the terminal set in the metric closure.  This
-    module provides an exact solver for small terminal sets (Held-Karp) and
-    certified lower/upper bounds for larger ones. *)
+    module provides certified lower/upper bounds and an exact solver for
+    small terminal sets.
+
+    The exact solver is cheap-first: callers that already hold matching
+    lower and upper bounds pay nothing ({!exact_within} returns
+    immediately), and otherwise a branch-and-bound search prunes with the
+    admissible MST-of-the-remainder heuristic, falling back to the
+    Held-Karp dynamic program only when pruning degenerates.  All exact
+    searches run on a per-domain scratch arena (flat arrays, grown once,
+    reused across calls), so the per-object loop of
+    [Lower_bound.compute] allocates nothing after warm-up. *)
 
 val max_exact_terminals : int
-(** Largest terminal count accepted by {!exact_path_length} (15: the DP is
-    O(2^t t^2)). *)
+(** Largest terminal count accepted by {!exact_path_length} (15: the
+    Held-Karp fallback is O(2^t t^2)). *)
+
+val dedup : int list -> int list
+(** Sorted terminal list with duplicates merged ([Int.compare] on a flat
+    array internally — the hot dedup path makes no polymorphic-compare
+    calls). *)
 
 val exact_path_length : Metric.t -> ?start:int -> int list -> int
 (** [exact_path_length m ?start terminals] is the length of a shortest
@@ -17,6 +31,21 @@ val exact_path_length : Metric.t -> ?start:int -> int list -> int
     (which need not be a terminal).  Duplicates are merged.  Returns 0 for
     an empty or singleton set (with no [start]).  Raises
     [Invalid_argument] beyond {!max_exact_terminals} terminals. *)
+
+val exact_within :
+  Metric.t -> ?start:int -> lower:int -> upper:int -> int list -> int
+(** [exact_within m ?start ~lower ~upper terminals] is
+    {!exact_path_length} for a caller that has already computed bounds:
+    [lower] must be a valid lower bound (e.g. {!lower_bound}) and [upper]
+    the length of a {e known feasible} walk (e.g. {!upper_bound} — it
+    seeds the branch-and-bound incumbent, so a non-achievable value would
+    be unsound).  When [lower = upper] the answer is free. *)
+
+val held_karp_path_length : Metric.t -> ?start:int -> int list -> int
+(** The transcribed seed implementation (full Held-Karp DP over subsets,
+    fresh matrices): kept as the test reference that pins
+    {!exact_path_length}'s branch-and-bound to the exact optimum.  Same
+    contract as {!exact_path_length}. *)
 
 val nearest_neighbor : Metric.t -> start:int -> int list -> int list * int
 (** Greedy visiting order from [start] (not included in the returned

@@ -1,20 +1,25 @@
 type bounds = { lower : int; upper : int; exact : int option }
 
+(* Cheap-first: the MST lower bound and NN/preorder upper bound cost
+   O(t^2) distance reads; when they coincide the exact optimum is free.
+   Only genuinely ambiguous sets pay for the branch-and-bound search —
+   which then starts from the bounds just computed instead of
+   recomputing them. *)
 let bounds m ?home requesters =
-  let terms = List.sort_uniq compare requesters in
+  let terms = Tsp.dedup requesters in
   match terms with
   | [] -> { lower = 0; upper = 0; exact = Some 0 }
   | _ ->
     let lower = Tsp.lower_bound m ?start:home terms in
     let upper = Tsp.upper_bound m ?start:home terms in
-    let exact =
-      if List.length terms <= Tsp.max_exact_terminals then
-        Some (Tsp.exact_path_length m ?start:home terms)
-      else None
-    in
-    let lower = match exact with Some e -> max lower e | None -> lower in
-    let upper = match exact with Some e -> min upper e | None -> upper in
-    { lower; upper; exact }
+    if lower = upper then { lower; upper; exact = Some lower }
+    else if List.length terms <= Tsp.max_exact_terminals then begin
+      let e = Tsp.exact_within m ?start:home ~lower ~upper terms in
+      (* The exact value collapses both bounds, exactly as clamping the
+         heuristic bounds against it would. *)
+      { lower = e; upper = e; exact = Some e }
+    end
+    else { lower; upper; exact = None }
 
 let best_lower b = match b.exact with Some e -> e | None -> b.lower
 let best_upper b = match b.exact with Some e -> e | None -> b.upper

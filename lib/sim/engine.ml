@@ -6,7 +6,9 @@ type priority =
   | By_schedule of Schedule.t
   | Custom of (int -> int)
 
-let run ?(priority = Node_order) metric inst =
+exception Cut
+
+let run_bounded ?(priority = Node_order) ~cutoff metric inst =
   let rank =
     match priority with
     | Node_order -> fun v -> v
@@ -22,24 +24,35 @@ let run ?(priority = Node_order) metric inst =
   let release = Array.make w 0 in
   let pos = Array.init w (Instance.home inst) in
   let sched = Schedule.create ~n:(Instance.n inst) in
-  List.iter
-    (fun v ->
-      match Instance.txn_at inst v with
-      | None -> ()
-      | Some objs ->
-        let ready =
-          Array.fold_left
-            (fun acc o ->
-              max acc (release.(o) + Dtm_graph.Metric.dist metric pos.(o) v))
-            1 objs
-        in
-        Schedule.set sched ~node:v ~time:ready;
-        Array.iter
-          (fun o ->
-            release.(o) <- ready;
-            pos.(o) <- v)
-          objs)
-    order;
-  sched
+  try
+    List.iter
+      (fun v ->
+        match Instance.txn_at inst v with
+        | None -> ()
+        | Some objs ->
+          let ready =
+            Array.fold_left
+              (fun acc o ->
+                max acc (release.(o) + Dtm_graph.Metric.dist metric pos.(o) v))
+              1 objs
+          in
+          (* The makespan is the max of the ready times, so once one
+             transaction reaches [cutoff] the whole run cannot come in
+             under it — abandon the rest of the order. *)
+          if ready >= cutoff then raise Cut;
+          Schedule.set sched ~node:v ~time:ready;
+          Array.iter
+            (fun o ->
+              release.(o) <- ready;
+              pos.(o) <- v)
+            objs)
+      order;
+    Some sched
+  with Cut -> None
+
+let run ?priority metric inst =
+  match run_bounded ?priority ~cutoff:max_int metric inst with
+  | Some sched -> sched
+  | None -> assert false (* ready times are < max_int *)
 
 let compact metric inst sched = run ~priority:(By_schedule sched) metric inst

@@ -24,6 +24,19 @@ val run :
   Dtm_core.Instance.t ->
   Dtm_core.Schedule.t
 
+val run_bounded :
+  ?priority:priority ->
+  cutoff:int ->
+  Dtm_graph.Metric.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t option
+(** [run_bounded ~cutoff m inst] is [run m inst] when the resulting
+    makespan is < [cutoff], and [None] otherwise — detected as soon as
+    one transaction's ready time reaches [cutoff], so a doomed order
+    costs only a prefix of the engine pass.  The branch-and-bound of
+    {!Optimal.exhaustive} uses this to discard permutations that cannot
+    beat the incumbent. *)
+
 val compact :
   Dtm_graph.Metric.t ->
   Dtm_core.Instance.t ->

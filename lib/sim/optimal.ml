@@ -3,29 +3,49 @@ module Schedule = Dtm_core.Schedule
 
 let max_transactions = 8
 
-let rec permutations = function
-  | [] -> [ [] ]
-  | l ->
-    List.concat_map
-      (fun x ->
-        let rest = List.filter (fun y -> y <> x) l in
-        List.map (fun p -> x :: p) (permutations rest))
-      l
-
+(* Heap's algorithm over an int array of transaction nodes: every
+   permutation visited by one swap each, no list materialization.  Each
+   order runs through the engine with the incumbent makespan as cutoff,
+   so hopeless orders are abandoned after a prefix; priorities are an
+   O(1) rank-array lookup instead of the seed's O(n) [List.assoc]. *)
 let exhaustive metric inst =
-  let nodes = Array.to_list (Instance.txn_nodes inst) in
-  if List.length nodes > max_transactions then
+  let nodes = Array.copy (Instance.txn_nodes inst) in
+  let t = Array.length nodes in
+  if t > max_transactions then
     invalid_arg "Optimal.exhaustive: too many transactions";
-  let best = ref None in
-  List.iter
-    (fun perm ->
-      let rank = List.mapi (fun i v -> (v, i)) perm in
-      let priority v = List.assoc v rank in
-      let sched = Engine.run ~priority:(Engine.Custom priority) metric inst in
-      match !best with
-      | Some b when Schedule.makespan b <= Schedule.makespan sched -> ()
-      | _ -> best := Some sched)
-    (permutations nodes);
+  let rank = Array.make (max 1 (Instance.n inst)) 0 in
+  let priority v = rank.(v) in
+  let best = ref None and best_mk = ref max_int in
+  let try_order () =
+    Array.iteri (fun i v -> rank.(v) <- i) nodes;
+    match
+      Engine.run_bounded ~priority:(Engine.Custom priority) ~cutoff:!best_mk
+        metric inst
+    with
+    | None -> ()
+    | Some sched ->
+      let mk = Schedule.makespan sched in
+      if mk < !best_mk then begin
+        best := Some sched;
+        best_mk := mk
+      end
+  in
+  let swap i j =
+    let tmp = nodes.(i) in
+    nodes.(i) <- nodes.(j);
+    nodes.(j) <- tmp
+  in
+  let rec heap k =
+    if k <= 1 then try_order ()
+    else begin
+      for i = 0 to k - 2 do
+        heap (k - 1);
+        if k land 1 = 0 then swap i (k - 1) else swap 0 (k - 1)
+      done;
+      heap (k - 1)
+    end
+  in
+  heap t;
   match !best with
   | Some s -> s
   | None -> Schedule.create ~n:(Instance.n inst)

@@ -8,7 +8,9 @@
      - Engine.compact never lengthens a schedule (and stays feasible),
      - every generated topology metric passes Metric_lint,
      - the parallel measurement stack (Dtm_util.Pool) is byte-identical
-       to sequential at any -j.
+       to sequential at any -j,
+     - the branch-and-bound walk oracle equals the transcribed Held-Karp
+       reference, and the lower-bound engines are jobs-invariant.
 
    Every property draws one integer seed and derives size parameters
    per topology from it with Prng, so each QCheck case exercises all
@@ -346,6 +348,53 @@ let prop_coloring_matches_seed =
                 ])
             [ Dtm_core.Coloring.Compact; Dtm_core.Coloring.Slotted ]))
 
+(* P11: the branch-and-bound walk oracle equals the transcribed
+   Held-Karp reference on random terminal subsets of all seven
+   topologies, with and without an anchored start — and the cheap
+   bounds bracket it. *)
+let prop_walk_oracle_exact =
+  qtest "Tsp branch-and-bound = Held-Karp reference on all 7 topologies"
+    seed_gen (fun seed ->
+      let rng = Prng.create ~seed in
+      let module Metric = Dtm_graph.Metric in
+      let module Tsp = Dtm_graph.Tsp in
+      List.for_all
+        (fun topo ->
+          let m = Topology.metric topo in
+          let n = Metric.size m in
+          let k = Prng.int_in_range rng ~lo:2 ~hi:(min 10 n) in
+          let terms = Array.to_list (Prng.sample_subset rng ~k ~n) in
+          let start =
+            if Prng.int rng 2 = 0 then None else Some (Prng.int rng n)
+          in
+          let exact = Tsp.exact_path_length m ?start terms in
+          let reference = Tsp.held_karp_path_length m ?start terms in
+          let lower = Tsp.lower_bound m ?start terms in
+          let upper = Tsp.upper_bound m ?start terms in
+          exact = reference && lower <= exact && exact <= upper)
+        (seven_topologies rng))
+
+(* P12: the parallel per-object fan-out of the lower-bound engines is
+   structurally identical at jobs 1 (sequential path) and jobs 4
+   (dedicated pool), on an instance large enough to clear the
+   parallelism floors. *)
+let prop_lower_bound_parallel_deterministic =
+  qtest ~count:10 "Lower_bound/Rw_lower_bound identical at jobs 1 and 4"
+    seed_gen (fun seed ->
+      let rng = Prng.create ~seed in
+      let topo = Topology.Grid { rows = 6; cols = 7 } in
+      let metric = Topology.metric topo in
+      let inst =
+        Dtm_workload.Uniform.instance ~rng ~n:(Topology.n topo)
+          ~num_objects:8 ~k:3 ()
+      in
+      let seq = Dtm_core.Lower_bound.compute ~jobs:1 metric inst in
+      let par = Dtm_core.Lower_bound.compute ~jobs:4 metric inst in
+      let rw = Dtm_core.Rw_instance.all_write inst in
+      let rw_seq = Dtm_core.Rw_lower_bound.compute ~jobs:1 metric rw in
+      let rw_par = Dtm_core.Rw_lower_bound.compute ~jobs:4 metric rw in
+      seq = par && rw_seq = rw_par)
+
 let () =
   Alcotest.run "dtm_props"
     [
@@ -354,11 +403,16 @@ let () =
       ("compaction", [ prop_compact_never_lengthens ]);
       ("lints", [ prop_metrics_pass_lint ]);
       ( "determinism",
-        [ prop_measurements_parallel_deterministic; prop_sweep_ordered ] );
+        [
+          prop_measurements_parallel_deterministic;
+          prop_sweep_ordered;
+          prop_lower_bound_parallel_deterministic;
+        ] );
       ( "kernels",
         [
           prop_flat_matches_oracle;
           prop_dependency_matches_seed;
           prop_coloring_matches_seed;
+          prop_walk_oracle_exact;
         ] );
     ]

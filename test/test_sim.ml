@@ -207,6 +207,26 @@ let test_engine_custom_priority () =
   (* Node 4 has the highest priority so it runs at step 1. *)
   Alcotest.(check (option int)) "node 4 first" (Some 1) (Schedule.time s 4)
 
+let test_engine_run_bounded () =
+  let full = Engine.run line5_m small_inst in
+  let mk = Schedule.makespan full in
+  (* A cutoff at the makespan itself must trip, one above must not. *)
+  Alcotest.(check bool) "cutoff = makespan cuts" true
+    (Engine.run_bounded ~cutoff:mk line5_m small_inst = None);
+  (match Engine.run_bounded ~cutoff:(mk + 1) line5_m small_inst with
+  | None -> Alcotest.fail "cutoff above makespan must not cut"
+  | Some s -> Alcotest.(check int) "same makespan" mk (Schedule.makespan s));
+  (* The unbounded run is the cutoff:max_int special case. *)
+  match Engine.run_bounded ~cutoff:max_int line5_m small_inst with
+  | None -> Alcotest.fail "max_int cutoff must not cut"
+  | Some s ->
+    List.iter
+      (fun v ->
+        Alcotest.(check (option int))
+          (Printf.sprintf "time of node %d" v)
+          (Schedule.time full v) (Schedule.time s v))
+      (Schedule.scheduled_nodes full)
+
 (* ------------------------------------------------------------------ *)
 (* Gantt                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -301,6 +321,43 @@ let prop_optimal_sandwich =
       let greedy = Schedule.makespan (Dtm_core.Greedy.schedule metric inst) in
       let ring = Schedule.makespan (Dtm_sched.Ring_sched.schedule ~n inst) in
       lb <= opt && opt <= greedy && opt <= ring)
+
+(* Transcribed seed Optimal.exhaustive: materialized permutation lists,
+   assoc-list priorities, full (uncut) engine runs.  Pins the in-place
+   Heap's enumeration + incumbent-cutoff rewrite to the same optimum. *)
+let seed_ref_optimal_makespan metric inst =
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+  in
+  let nodes = Array.to_list (Instance.txn_nodes inst) in
+  List.fold_left
+    (fun best order ->
+      let prio = List.mapi (fun i v -> (v, i)) order in
+      let sched =
+        Engine.run
+          ~priority:(Engine.Custom (fun v -> List.assoc v prio))
+          metric inst
+      in
+      min best (Schedule.makespan sched))
+    max_int (permutations nodes)
+
+let prop_optimal_matches_seed =
+  qtest ~count:25 "Optimal.makespan = seed exhaustive reference"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let n = 4 + Prng.int rng 3 in
+      let inst =
+        Dtm_workload.Uniform.instance ~rng ~n ~num_objects:2 ~k:2 ()
+      in
+      let metric = Dtm_topology.Ring.metric n in
+      Optimal.makespan metric inst = seed_ref_optimal_makespan metric inst)
 
 (* ------------------------------------------------------------------ *)
 (* Congestion                                                         *)
@@ -439,6 +496,7 @@ let () =
           prop_engine_feasible;
           prop_compact_never_longer;
           Alcotest.test_case "custom priority" `Quick test_engine_custom_priority;
+          Alcotest.test_case "run_bounded cutoff" `Quick test_engine_run_bounded;
         ] );
       ( "gantt",
         [
@@ -453,6 +511,7 @@ let () =
           Alcotest.test_case "cap enforced" `Quick test_optimal_cap;
           Alcotest.test_case "beats a bad order" `Quick test_optimal_beats_bad_order;
           prop_optimal_sandwich;
+          prop_optimal_matches_seed;
         ] );
       ( "congestion",
         [
