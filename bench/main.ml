@@ -67,6 +67,14 @@ let cluster_dep = Dtm_core.Dependency.build cluster_metric cluster_inst
 
 let grid_sched = Dtm_sched.Grid_sched.schedule ~rows:grid_side ~cols:grid_side grid_inst
 
+(* Warm shared routers: the steady-state kernels measure pure replay /
+   congestion cost; the [_cold] kernel keeps the per-call Dijkstra price
+   visible. *)
+let grid_router =
+  let r = Dtm_sim.Router.create grid_graph in
+  Dtm_sim.Router.warm_all r;
+  r
+
 let stage = Staged.stage
 
 (* One test per experiment: the cost of the theorem's scheduler. *)
@@ -139,16 +147,22 @@ let star_graph = Dtm_topology.Star.graph star_p
 let star_metric = Dtm_topology.Star.metric star_p
 let star_priority = Dtm_sim.Engine.run star_metric star_inst
 
+let star_router =
+  let r = Dtm_sim.Router.create star_graph in
+  Dtm_sim.Router.warm_all r;
+  r
+
 let extension_tests =
   Test.make_grouped ~name:"extensions"
     [
       Test.make ~name:"e12_ring_sched" (stage (fun () ->
           Dtm_sched.Ring_sched.schedule ~n:ring_n ring_inst));
       Test.make ~name:"e9_congestion_cap1" (stage (fun () ->
-          Dtm_sim.Congestion.run ~capacity:1 star_graph star_inst
-            ~priority:star_priority));
+          Dtm_sim.Congestion.run ~router:star_router ~capacity:1 star_graph
+            star_inst ~priority:star_priority));
       Test.make ~name:"e9_congestion_unbounded" (stage (fun () ->
-          Dtm_sim.Congestion.run star_graph star_inst ~priority:star_priority));
+          Dtm_sim.Congestion.run ~router:star_router star_graph star_inst
+            ~priority:star_priority));
       Test.make ~name:"e11_optimal_7txn" (stage (fun () ->
           Dtm_sim.Optimal.makespan (Dtm_topology.Clique.metric 7) tiny_inst));
       Test.make ~name:"e10_nearest_first" (stage (fun () ->
@@ -178,6 +192,8 @@ let substrate_tests =
       Test.make ~name:"validator" (stage (fun () ->
           Dtm_core.Validator.is_feasible grid_metric grid_inst grid_sched));
       Test.make ~name:"replay_grid" (stage (fun () ->
+          Dtm_sim.Replay.run ~router:grid_router grid_graph grid_inst grid_sched));
+      Test.make ~name:"replay_grid_cold" (stage (fun () ->
           Dtm_sim.Replay.run grid_graph grid_inst grid_sched));
       Test.make ~name:"online_engine" (stage (fun () ->
           Dtm_sim.Engine.run grid_metric grid_inst));

@@ -189,8 +189,15 @@ let schedule_cmd =
       print_newline ();
       print_string (Dtm_sim.Gantt.object_journeys metric inst sched)
     end;
+    (* Bind the graph once: replay and congestion share one router (the
+       [?router] argument requires physical equality with its graph). *)
+    let graph = lazy (Topology.graph topo) in
+    let router = lazy (Dtm_sim.Router.create (Lazy.force graph)) in
     if replay then begin
-      let r = Dtm_sim.Replay.run (Topology.graph topo) inst sched in
+      let r =
+        Dtm_sim.Replay.run ~router:(Lazy.force router) (Lazy.force graph) inst
+          sched
+      in
       Printf.printf "replay:    ok=%b messages=%d hops=%d idle=%d events=%d\n"
         r.Dtm_sim.Replay.ok r.Dtm_sim.Replay.messages r.Dtm_sim.Replay.hops
         r.Dtm_sim.Replay.total_wait
@@ -199,7 +206,10 @@ let schedule_cmd =
     match capacity with
     | None -> ()
     | Some c ->
-      let r = Dtm_sim.Congestion.run ~capacity:c (Topology.graph topo) inst ~priority:sched in
+      let r =
+        Dtm_sim.Congestion.run ~router:(Lazy.force router) ~capacity:c
+          (Lazy.force graph) inst ~priority:sched
+      in
       Printf.printf
         "congestion (cap %d): makespan=%d delayed_hops=%d max_queue=%d\n" c
         r.Dtm_sim.Congestion.makespan r.Dtm_sim.Congestion.delayed_hops

@@ -490,6 +490,11 @@ let e9_congestion ~seeds =
     (fun topo ->
       let n = Topology.n topo in
       let g = Topology.graph topo and metric = Topology.metric topo in
+      (* One warmed, frozen (domain-safe) router per topology, shared by
+         every seed's congestion run across the pool's domains. *)
+      let router = Dtm_sim.Router.create g in
+      Dtm_sim.Router.warm_all router;
+      let router = Dtm_sim.Router.freeze router in
       let runs capacity =
         Dtm_util.Pool.run
           (fun seed ->
@@ -501,8 +506,9 @@ let e9_congestion ~seeds =
             let priority = Dtm_sim.Engine.run metric inst in
             let r =
               match capacity with
-              | None -> Dtm_sim.Congestion.run g inst ~priority
-              | Some c -> Dtm_sim.Congestion.run ~capacity:c g inst ~priority
+              | None -> Dtm_sim.Congestion.run ~router g inst ~priority
+              | Some c ->
+                Dtm_sim.Congestion.run ~router ~capacity:c g inst ~priority
             in
             ( float_of_int r.Dtm_sim.Congestion.makespan,
               float_of_int r.Dtm_sim.Congestion.max_queue ))

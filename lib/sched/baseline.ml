@@ -12,28 +12,105 @@ let random_order ~seed metric inst =
   let order = Dtm_util.Prng.shuffled_copy rng (Instance.txn_nodes inst) in
   in_order order metric inst
 
+(* Quadratic nearest-neighbour tour; reference semantics, used when the
+   bucketed scan's reachability precondition fails. *)
+let nearest_tour_scan metric nodes =
+  let m = Array.length nodes in
+  let visited = Array.make m false in
+  let order = Array.make m nodes.(0) in
+  visited.(0) <- true;
+  for i = 1 to m - 1 do
+    let cur = order.(i - 1) in
+    let pick = ref (-1) and best = ref max_int in
+    for j = 0 to m - 1 do
+      if not visited.(j) then begin
+        let d = Dtm_graph.Metric.dist metric cur nodes.(j) in
+        if d < !best then begin
+          best := d;
+          pick := j
+        end
+      end
+    done;
+    visited.(!pick) <- true;
+    order.(i) <- nodes.(!pick)
+  done;
+  order
+
+(* Bucketed nearest-neighbour tour.  Candidates are bucketed statically
+   by their distance [ds.(j)] from the anchor [nodes.(0)]; by the
+   triangle inequality, dist(cur, nodes.(j)) >= |ds.(j) - ds(cur)|, so a
+   candidate in ring [r] around the current node's bucket can never beat
+   a best below [r].  Scanning rings outwards and stopping once
+   [best <= r] visits only the candidates near the tour's frontier
+   instead of all remaining ones.  Ties break towards the smallest
+   candidate index, exactly like the reference scan. *)
+let nearest_tour_bucketed metric nodes ds dmax =
+  let m = Array.length nodes in
+  (* Per-distance buckets of candidate indices, swap-removed on visit. *)
+  let blen = Array.make (dmax + 1) 0 in
+  Array.iter (fun d -> blen.(d) <- blen.(d) + 1) ds;
+  let bucket = Array.init (dmax + 1) (fun d -> Array.make blen.(d) 0) in
+  let bpos = Array.make m 0 in
+  Array.fill blen 0 (dmax + 1) 0;
+  for j = 0 to m - 1 do
+    let d = ds.(j) in
+    bucket.(d).(blen.(d)) <- j;
+    bpos.(j) <- blen.(d);
+    blen.(d) <- blen.(d) + 1
+  done;
+  let remove j =
+    let d = ds.(j) in
+    let last = blen.(d) - 1 in
+    let k = bpos.(j) in
+    let moved = bucket.(d).(last) in
+    bucket.(d).(k) <- moved;
+    bpos.(moved) <- k;
+    blen.(d) <- last
+  in
+  let order = Array.make m nodes.(0) in
+  remove 0;
+  let cur_j = ref 0 in
+  for i = 1 to m - 1 do
+    let cur = nodes.(!cur_j) in
+    let dc = ds.(!cur_j) in
+    let pick = ref (-1) and best = ref max_int in
+    let scan d =
+      if d >= 0 && d <= dmax then
+        for k = 0 to blen.(d) - 1 do
+          let j = bucket.(d).(k) in
+          let dist = Dtm_graph.Metric.dist metric cur nodes.(j) in
+          if dist < !best || (dist = !best && j < !pick) then begin
+            best := dist;
+            pick := j
+          end
+        done
+    in
+    let r = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      scan (dc - !r);
+      if !r > 0 then scan (dc + !r);
+      if !pick >= 0 && !best <= !r then continue_ := false
+      else if dc - !r < 0 && dc + !r > dmax then continue_ := false
+      else incr r
+    done;
+    remove !pick;
+    order.(i) <- nodes.(!pick);
+    cur_j := !pick
+  done;
+  order
+
 let nearest_first metric inst =
   let nodes = Instance.txn_nodes inst in
   let m = Array.length nodes in
   if m = 0 then in_order [||] metric inst
   else begin
-    let visited = Array.make m false in
-    let order = Array.make m nodes.(0) in
-    visited.(0) <- true;
-    for i = 1 to m - 1 do
-      let cur = order.(i - 1) in
-      let pick = ref (-1) and best = ref max_int in
-      for j = 0 to m - 1 do
-        if not visited.(j) then begin
-          let d = Dtm_graph.Metric.dist metric cur nodes.(j) in
-          if d < !best then begin
-            best := d;
-            pick := j
-          end
-        end
-      done;
-      visited.(!pick) <- true;
-      order.(i) <- nodes.(!pick)
-    done;
+    let ds = Array.map (fun v -> Dtm_graph.Metric.dist metric nodes.(0) v) nodes in
+    let order =
+      if Array.exists (fun d -> d = max_int) ds then
+        (* Disconnected transaction set: the ring bound is meaningless. *)
+        nearest_tour_scan metric nodes
+      else nearest_tour_bucketed metric nodes ds (Array.fold_left max 0 ds)
+    in
     in_order order metric inst
   end

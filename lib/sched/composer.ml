@@ -112,9 +112,45 @@ let commit t assignments =
           t.obj_pos.(o) <- v)
       objs
 
+(* Singleton fast path: a lone pending transaction always colors 1 (its
+   sub-instance has no conflicts), so [commit t [(v, 1)]] reduces to a
+   direct placement over just the transaction's own objects — no
+   sub-instance, dependency graph, coloring pass, or hashtables.  The
+   serial baselines ([Baseline.in_order]) issue one group per
+   transaction, so this path carries their whole composer cost. *)
+let commit_single t v =
+  match Instance.txn_at t.inst v with
+  | None -> assert false (* pending_group filtered *)
+  | Some objs ->
+    let base = t.cursor in
+    let gap = ref 0 in
+    Array.iter
+      (fun o ->
+        let need =
+          t.obj_time.(o) + Metric.dist t.metric t.obj_pos.(o) v - (base + 1)
+        in
+        if need > !gap then gap := need)
+      objs;
+    let time = base + max 0 !gap + 1 in
+    Schedule.set t.sched ~node:v ~time;
+    t.scheduled.(v) <- true;
+    if time > t.cursor then t.cursor <- time;
+    Array.iter
+      (fun o ->
+        t.obj_time.(o) <- time;
+        t.obj_pos.(o) <- v)
+      objs
+
 let run_greedy_group ?strategy ?order t nodes =
   let group = pending_group t nodes in
-  if group <> [] then begin
+  match group with
+  | [] -> ()
+  | [ v ] ->
+    ignore strategy;
+    ignore order;
+    commit_single t v
+  | _ ->
+    begin
     (* Color the conflicts inside the group with the Section 2.3 greedy
        scheme; colors become times relative to the group start. *)
     let sub =

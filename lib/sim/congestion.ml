@@ -9,64 +9,124 @@ type result = {
   delayed_hops : int;
 }
 
-(* Directed edges are encoded as the int key [tail * n + head] (n = node
-   count of the graph): the per-step queue and admission tables hash
-   immediate ints instead of boxed (int * int) tuples. *)
-type loc =
-  | At of int
-  | Queued of { edge : int } (* encoded directed edge *)
-  | Crossing of { arrive : int; dest : int }
+(* Directed edges are identified by their CSR index in the graph (entry
+   [j] is the edge tail->nbr.(j), weight wt.(j)); [mate.(j)] is the CSR
+   index of the opposite direction, and min j mate.(j) is the canonical
+   id the shared admission bound is counted under.
 
-type obj_state = {
-  mutable loc : loc;
-  mutable targets : int list; (* head = current target requester *)
-  mutable path : int list; (* remaining nodes towards the target *)
-}
+   All per-object and per-edge state lives in flat int arrays: object
+   location is (kind, a, b) with kind 0 = At a, 1 = Queued on edge a,
+   2 = Crossing arriving at step a towards b; the per-edge FIFOs are
+   intrusive lists threaded through [q_next] (an object sits in at most
+   one queue).  The step loop therefore allocates nothing. *)
 
-let run ?(capacity = max_int) graph inst ~priority =
+let k_at = 0
+let k_queued = 1
+let k_crossing = 2
+
+let run ?router ?(capacity = max_int) graph inst ~priority =
   if capacity < 1 then invalid_arg "Congestion.run: capacity < 1";
-  let router = Router.create graph in
-  let n = Instance.n inst in
-  let g_n = Dtm_graph.Graph.n graph in
-  let encode tail head = (tail * g_n) + head in
-  let undirected key =
-    let tail = key / g_n and head = key mod g_n in
-    if tail < head then key else encode head tail
+  let router =
+    match router with
+    | Some r ->
+      if not (Router.graph r == graph) then
+        invalid_arg "Congestion.run: router was built for a different graph";
+      r
+    | None -> Router.create graph
   in
+  let n = Instance.n inst in
+  let off, nbr, wt = Dtm_graph.Graph.csr graph in
+  let ndir = Array.length nbr in
+  (* CSR index of the directed edge tail->head. *)
+  let edge_id tail head =
+    let hi = off.(tail + 1) in
+    let rec scan j =
+      if j >= hi then assert false
+      else if Array.unsafe_get nbr j = head then j
+      else scan (j + 1)
+    in
+    scan off.(tail)
+  in
+  let mate = Array.make ndir 0 in
+  for tail = 0 to Dtm_graph.Graph.n graph - 1 do
+    for j = off.(tail) to off.(tail + 1) - 1 do
+      mate.(j) <- edge_id nbr.(j) tail
+    done
+  done;
   let w = Instance.num_objects inst in
   Array.iter
     (fun v ->
       if Schedule.time priority v = None then
         invalid_arg "Congestion.run: priority leaves a transaction unscheduled")
     (Instance.txn_nodes inst);
-  let objs =
+  (* Object state. *)
+  let loc_kind = Array.make (max w 1) k_at in
+  let loc_a = Array.make (max w 1) 0 in
+  let loc_b = Array.make (max w 1) 0 in
+  let targets =
     Array.init w (fun o ->
-        {
-          loc = At (Instance.home inst o);
-          targets =
-            Schedule.object_order priority ~requesters:(Instance.requesters inst o);
-          path = [];
-        })
+        Schedule.object_order priority ~requesters:(Instance.requesters inst o))
   in
+  let path_buf = Array.make (max w 1) [||] in
+  let path_pos = Array.make (max w 1) 0 in
+  let path_len = Array.make (max w 1) 0 in
+  for o = 0 to w - 1 do
+    loc_a.(o) <- Instance.home inst o
+  done;
   let commit = Schedule.create ~n in
   let done_ = Array.make n false in
   let remaining = ref (Instance.num_txns inst) in
-  (* FIFO queue per directed edge: (object, enqueue step).  The admission
-     bound is shared between the two directions of an edge. *)
-  let queues : (int, (int * int) Queue.t) Hashtbl.t = Hashtbl.create 64 in
-  let edge_order : int list ref = ref [] in
-  let queue_of edge =
-    match Hashtbl.find_opt queues edge with
-    | Some q -> q
-    | None ->
-      let q = Queue.create () in
-      Hashtbl.replace queues edge q;
-      edge_order := edge :: !edge_order;
-      q
-  in
+  (* FIFO queue per directed edge, intrusive through [q_next]; entries
+     carry their enqueue step in [q_since].  The admission bound is
+     shared between the two directions of an edge. *)
+  let q_head = Array.make ndir (-1) in
+  let q_tail = Array.make ndir (-1) in
+  let q_len = Array.make ndir 0 in
+  let q_next = Array.make (max w 1) (-1) in
+  let q_since = Array.make (max w 1) 0 in
+  (* Edges are admitted in order of their first-ever enqueue. *)
+  let order = Array.make ndir 0 in
+  let order_count = ref 0 in
+  let ordered = Array.make ndir false in
+  let admitted_stamp = Array.make ndir (-1) in
+  let admitted_count = Array.make ndir 0 in
   let enqueue o edge now =
-    objs.(o).loc <- Queued { edge };
-    Queue.add (o, now) (queue_of edge)
+    loc_kind.(o) <- k_queued;
+    loc_a.(o) <- edge;
+    q_next.(o) <- -1;
+    q_since.(o) <- now;
+    if q_tail.(edge) < 0 then q_head.(edge) <- o else q_next.(q_tail.(edge)) <- o;
+    q_tail.(edge) <- o;
+    q_len.(edge) <- q_len.(edge) + 1;
+    if not ordered.(edge) then begin
+      ordered.(edge) <- true;
+      order.(!order_count) <- edge;
+      incr order_count
+    end
+  in
+  (* Replan: the chain towards [target] from the router's shortest-path
+     tree rooted at the object's current node, stored as the nodes after
+     it (ending at [target]) in the object's path buffer. *)
+  let replan o v target =
+    let s = Router.source router v in
+    if s.Router.dist.(target) = max_int then
+      invalid_arg "Router.route: unreachable";
+    let parent = s.Router.parent in
+    let hops = ref 0 and x = ref target in
+    while !x <> v do
+      incr hops;
+      x := Array.unsafe_get parent !x
+    done;
+    let hops = !hops in
+    if Array.length path_buf.(o) < hops then path_buf.(o) <- Array.make hops 0;
+    let buf = path_buf.(o) in
+    let x = ref target in
+    for i = hops - 1 downto 0 do
+      buf.(i) <- !x;
+      x := Array.unsafe_get parent !x
+    done;
+    path_pos.(o) <- 0;
+    path_len.(o) <- hops
   in
   let messages = ref 0 and max_queue = ref 0 and delayed = ref 0 in
   let makespan = ref 0 in
@@ -80,12 +140,12 @@ let run ?(capacity = max_int) graph inst ~priority =
     if !t > step_cap then failwith "Congestion.run: step cap exceeded";
     let now = !t in
     (* 1. Receive: complete crossings. *)
-    Array.iter
-      (fun s ->
-        match s.loc with
-        | Crossing { arrive; dest } when arrive = now -> s.loc <- At dest
-        | At _ | Queued _ | Crossing _ -> ())
-      objs;
+    for o = 0 to w - 1 do
+      if loc_kind.(o) = k_crossing && loc_a.(o) = now then begin
+        loc_kind.(o) <- k_at;
+        loc_a.(o) <- loc_b.(o)
+      end
+    done;
     (* 2. Execute: a transaction commits when every object it needs sits
        at its node with that node as the object's current target. *)
     Array.iter
@@ -97,9 +157,9 @@ let run ?(capacity = max_int) graph inst ~priority =
             let ready =
               Array.for_all
                 (fun o ->
-                  match (objs.(o).loc, objs.(o).targets) with
-                  | At x, target :: _ -> x = v && target = v
-                  | (At _ | Queued _ | Crossing _), _ -> false)
+                  loc_kind.(o) = k_at
+                  && loc_a.(o) = v
+                  && match targets.(o) with target :: _ -> target = v | [] -> false)
                 needed
             in
             if ready then begin
@@ -109,64 +169,59 @@ let run ?(capacity = max_int) graph inst ~priority =
               if now > !makespan then makespan := now;
               Array.iter
                 (fun o ->
-                  objs.(o).targets <- List.tl objs.(o).targets;
-                  objs.(o).path <- [])
+                  targets.(o) <- List.tl targets.(o);
+                  path_pos.(o) <- 0;
+                  path_len.(o) <- 0)
                 needed
             end
         end)
       (Instance.txn_nodes inst);
     (* 3. Forward: stationary objects with a remote target enqueue their
        next hop (committed objects forward in the same step). *)
-    Array.iteri
-      (fun o s ->
-        match (s.loc, s.targets) with
-        | At v, target :: _ when v <> target -> (
-          match s.path with
-          | hop :: _ -> enqueue o (encode v hop) now
-          | [] -> (
-            match Router.route router ~src:v ~dst:target with
-            | _ :: (hop :: _ as rest) ->
-              s.path <- rest;
-              enqueue o (encode v hop) now
-            | _ -> assert false))
-        | (At _ | Queued _ | Crossing _), _ -> ())
-      objs;
+    for o = 0 to w - 1 do
+      if loc_kind.(o) = k_at then begin
+        match targets.(o) with
+        | target :: _ when loc_a.(o) <> target ->
+          let v = loc_a.(o) in
+          if path_pos.(o) >= path_len.(o) then replan o v target;
+          let hop = path_buf.(o).(path_pos.(o)) in
+          enqueue o (edge_id v hop) now
+        | _ -> ()
+      end
+    done;
     (* 4. Admit: each undirected edge lets at most [capacity] queued
        objects start crossing this step, FIFO with a deterministic
        direction interleave (lower endpoint first). *)
-    let admitted = Hashtbl.create 16 in
-    List.iter
-      (fun edge ->
-        let q = queue_of edge in
-        if !max_queue < Queue.length q then max_queue := Queue.length q;
-        let key = undirected edge in
-        let used () =
-          match Hashtbl.find_opt admitted key with Some c -> c | None -> 0
-        in
-        let continue = ref true in
-        while !continue && (not (Queue.is_empty q)) && used () < capacity do
-          let o, since = Queue.pop q in
-          (match objs.(o).loc with
-          | Queued { edge = e } when e = edge ->
-            let tail = edge / g_n and head = edge mod g_n in
-            let weight =
-              match Dtm_graph.Graph.edge_weight graph tail head with
-              | Some x -> x
-              | None -> assert false
-            in
-            objs.(o).loc <- Crossing { arrive = now + weight; dest = head };
-            (match objs.(o).path with
-            | h :: rest when h = head -> objs.(o).path <- rest
-            | _ -> assert false);
-            messages := !messages + weight;
-            if since < now then incr delayed;
-            Hashtbl.replace admitted key (used () + 1)
-          | At _ | Queued _ | Crossing _ ->
-            (* Stale entry (the object re-planned); drop it. *)
-            ());
-          if used () >= capacity then continue := false
-        done)
-      (List.rev !edge_order)
+    for oi = 0 to !order_count - 1 do
+      let edge = order.(oi) in
+      if !max_queue < q_len.(edge) then max_queue := q_len.(edge);
+      let key = if edge < mate.(edge) then edge else mate.(edge) in
+      if admitted_stamp.(key) <> now then begin
+        admitted_stamp.(key) <- now;
+        admitted_count.(key) <- 0
+      end;
+      while q_head.(edge) >= 0 && admitted_count.(key) < capacity do
+        let o = q_head.(edge) in
+        q_head.(edge) <- q_next.(o);
+        if q_head.(edge) < 0 then q_tail.(edge) <- -1;
+        q_len.(edge) <- q_len.(edge) - 1;
+        q_next.(o) <- -1;
+        if loc_kind.(o) = k_queued && loc_a.(o) = edge then begin
+          let weight = Array.unsafe_get wt edge in
+          loc_kind.(o) <- k_crossing;
+          loc_a.(o) <- now + weight;
+          loc_b.(o) <- Array.unsafe_get nbr edge;
+          (if path_pos.(o) < path_len.(o)
+              && path_buf.(o).(path_pos.(o)) = loc_b.(o)
+           then path_pos.(o) <- path_pos.(o) + 1
+           else assert false);
+          messages := !messages + weight;
+          if q_since.(o) < now then incr delayed;
+          admitted_count.(key) <- admitted_count.(key) + 1
+        end
+        (* else: stale entry (the object re-planned); drop it. *)
+      done
+    done
   done;
   {
     makespan = !makespan;

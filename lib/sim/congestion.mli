@@ -25,6 +25,7 @@ type result = {
 }
 
 val run :
+  ?router:Router.t ->
   ?capacity:int ->
   Dtm_graph.Graph.t ->
   Dtm_core.Instance.t ->
@@ -34,4 +35,9 @@ val run :
     object's requesters in the order induced by [priority] (its scheduled
     times; ties by node id).  [capacity] >= 1 is the per-edge admission
     bound per step (default: unbounded).  Raises [Invalid_argument] if
-    [priority] leaves a transaction unscheduled or [capacity < 1]. *)
+    [priority] leaves a transaction unscheduled or [capacity < 1].
+
+    [?router] reuses a caller-owned {!Router.t} built from the same [g]
+    value (physical equality), e.g. one warmed and {!Router.freeze}d
+    snapshot shared by every seed of an experiment sweep; the result is
+    identical either way. *)

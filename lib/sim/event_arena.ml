@@ -1,0 +1,51 @@
+(* Flat event accumulator: a struct-of-arrays that the replay engine
+   appends into instead of consing [Event.t] lists.  The arrays are grown
+   geometrically and reused across runs ([clear] just resets the count),
+   so steady-state emission allocates nothing.  Phases use the same
+   encoding as [Event.phase] (0 arrive, 1 execute, 2 depart); fields a
+   constructor lacks are stored as 0, which reproduces the structural
+   tie-break of [Event.compare_chronological] when sorting. *)
+
+type t = {
+  mutable time : int array;
+  mutable phase : int array;
+  mutable obj : int array;
+  mutable node : int array;
+  mutable dest : int array;
+  mutable count : int;
+}
+
+let create () =
+  { time = [||]; phase = [||]; obj = [||]; node = [||]; dest = [||]; count = 0 }
+
+let clear t = t.count <- 0
+let length t = t.count
+
+let grow t =
+  let cap = max 256 (2 * Array.length t.time) in
+  let g a =
+    let b = Array.make cap 0 in
+    Array.blit a 0 b 0 t.count;
+    b
+  in
+  t.time <- g t.time;
+  t.phase <- g t.phase;
+  t.obj <- g t.obj;
+  t.node <- g t.node;
+  t.dest <- g t.dest
+
+let emit t ~phase ~obj ~node ~dest ~time =
+  if t.count = Array.length t.time then grow t;
+  let i = t.count in
+  Array.unsafe_set t.time i time;
+  Array.unsafe_set t.phase i phase;
+  Array.unsafe_set t.obj i obj;
+  Array.unsafe_set t.node i node;
+  Array.unsafe_set t.dest i dest;
+  t.count <- i + 1
+
+let emit_depart t ~obj ~node ~dest ~time = emit t ~phase:2 ~obj ~node ~dest ~time
+let emit_arrive t ~obj ~node ~time = emit t ~phase:0 ~obj ~node ~dest:0 ~time
+let emit_execute t ~node ~time = emit t ~phase:1 ~obj:0 ~node ~dest:0 ~time
+
+let raw t = (t.time, t.phase, t.obj, t.node, t.dest)

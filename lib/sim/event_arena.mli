@@ -1,0 +1,29 @@
+(** Flat, reusable event accumulator for the simulation substrate.
+
+    A struct-of-arrays buffer the replay engine appends events into
+    instead of consing [Event.t] lists: grown geometrically, reset with
+    {!clear}, and turned into a sorted {!Trace.t} by [Trace.of_arena].
+    Keep one per domain (e.g. in a [Domain.DLS] scratch) so steady-state
+    replay emission allocates nothing. *)
+
+type t
+
+val create : unit -> t
+
+val clear : t -> unit
+(** Reset the count; capacity is kept for reuse. *)
+
+val length : t -> int
+
+val emit_depart : t -> obj:int -> node:int -> dest:int -> time:int -> unit
+val emit_arrive : t -> obj:int -> node:int -> time:int -> unit
+val emit_execute : t -> node:int -> time:int -> unit
+
+(**/**)
+
+val raw : t -> int array * int array * int array * int array * int array
+(** [time, phase, obj, node, dest] backing arrays; only the first
+    {!length} entries are live.  Phases encode as in [Event.phase]
+    (0 arrive, 1 execute, 2 depart); absent fields are 0. *)
+
+(**/**)

@@ -11,60 +11,91 @@ type result = {
   trace : Trace.t;
 }
 
-let run graph inst sched =
-  let router = Router.create graph in
+(* Per-domain scratch: the event arena and the path buffer are grown once
+   and reused across runs, so a steady-state replay with a warm shared
+   router allocates nothing on the hop-by-hop path (the trace snapshot
+   and result record are the only per-run allocations). *)
+type scratch = { arena : Event_arena.t; mutable path : int array }
+
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { arena = Event_arena.create (); path = [||] })
+
+let run ?router graph inst sched =
+  let router =
+    match router with
+    | Some r ->
+      if not (Router.graph r == graph) then
+        invalid_arg "Replay.run: router was built for a different graph";
+      r
+    | None -> Router.create graph
+  in
+  let sc = Domain.DLS.get scratch_key in
+  let g_n = Dtm_graph.Graph.n graph in
+  if Array.length sc.path < g_n then sc.path <- Array.make (max g_n 1) 0;
+  let path = sc.path in
+  let arena = sc.arena in
+  Event_arena.clear arena;
   let errors = ref [] in
   let error fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
-  let events = ref [] in
-  let emit e = events := e :: !events in
   let messages = ref 0 and hops = ref 0 and total_wait = ref 0 in
   (* Transactions must all be scheduled. *)
   Array.iter
     (fun v ->
       match Schedule.time sched v with
-      | Some t -> emit (Event.Execute { node = v; time = t })
+      | Some t -> Event_arena.emit_execute arena ~node:v ~time:t
       | None -> error "transaction at node %d is unscheduled" v)
     (Instance.txn_nodes inst);
+  (* Hop-by-hop along the router's shortest path, leaving at the end of
+     step [release]; returns the arrival step.  The chain is written into
+     a suffix of the scratch buffer (parent pointers give it back to
+     front), and each hop's weight is the distance difference of its
+     endpoints along the tree — no edge scan, no path list. *)
+  let move o src dst release =
+    let s = Router.source router src in
+    let dist = s.Router.dist and parent = s.Router.parent in
+    if dist.(dst) = max_int then invalid_arg "Router.route: unreachable";
+    let i = ref (g_n - 1) in
+    let v = ref dst in
+    while !v <> src do
+      path.(!i) <- !v;
+      decr i;
+      v := Array.unsafe_get parent !v
+    done;
+    path.(!i) <- src;
+    let t = ref release in
+    for j = !i to g_n - 2 do
+      let a = Array.unsafe_get path j and b = Array.unsafe_get path (j + 1) in
+      let w = Array.unsafe_get dist b - Array.unsafe_get dist a in
+      Event_arena.emit_depart arena ~obj:o ~node:a ~dest:b ~time:!t;
+      Event_arena.emit_arrive arena ~obj:o ~node:b ~time:(!t + w);
+      messages := !messages + w;
+      incr hops;
+      t := !t + w
+    done;
+    !t
+  in
   (* Per-object replay along its visit order. *)
   for o = 0 to Instance.num_objects inst - 1 do
     let reqs = Instance.requesters inst o in
     let all_scheduled = Array.for_all (fun v -> Schedule.time sched v <> None) reqs in
     if Array.length reqs > 0 && all_scheduled then begin
       let order = Schedule.object_order sched ~requesters:reqs in
-      let move src dst release =
-        (* Hop-by-hop along a shortest path, leaving at the end of step
-           [release]. *)
-        let path = Router.route router ~src ~dst in
-        let rec go t = function
-          | a :: (b :: _ as rest) ->
-            let w =
-              match Dtm_graph.Graph.edge_weight graph a b with
-              | Some w -> w
-              | None -> assert false
-            in
-            emit (Event.Depart { obj = o; node = a; dest = b; time = t });
-            emit (Event.Arrive { obj = o; node = b; time = t + w });
-            messages := !messages + w;
-            incr hops;
-            go (t + w) rest
-          | _ -> t
-        in
-        go release path
-      in
-      let visit (pos, release) v =
-        let t = Schedule.time_exn sched v in
-        let arrival = if v = pos then release else move pos v release in
-        if arrival > t then
-          error "object %d reaches node %d at step %d but it executes at %d" o v
-            arrival t
-        else if t < 1 then error "object %d used at invalid step %d" o t
-        else total_wait := !total_wait + (t - max arrival 0);
-        (v, t)
-      in
-      ignore (List.fold_left visit (Instance.home inst o, 0) order)
+      let pos = ref (Instance.home inst o) and release = ref 0 in
+      List.iter
+        (fun v ->
+          let t = Schedule.time_exn sched v in
+          let arrival = if v = !pos then !release else move o !pos v !release in
+          if arrival > t then
+            error "object %d reaches node %d at step %d but it executes at %d" o v
+              arrival t
+          else if t < 1 then error "object %d used at invalid step %d" o t
+          else total_wait := !total_wait + (t - max arrival 0);
+          pos := v;
+          release := t)
+        order
     end
   done;
-  let trace = Trace.of_events !events in
+  let trace = Trace.of_arena arena in
   {
     ok = !errors = [];
     errors = List.rev !errors;

@@ -17,9 +17,20 @@ type result = {
   trace : Trace.t;
 }
 
-val run : Dtm_graph.Graph.t -> Dtm_core.Instance.t -> Dtm_core.Schedule.t -> result
+val run :
+  ?router:Router.t ->
+  Dtm_graph.Graph.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t ->
+  result
 (** [run g inst sched] replays [sched].  [ok = false] (with explanatory
     [errors]) when an object cannot reach a transaction in time or a
     transaction is unscheduled — i.e. exactly when
     {!Dtm_core.Validator.check} fails against the graph's shortest-path
-    metric. *)
+    metric.
+
+    [?router] reuses a caller-owned {!Router.t} (it must have been
+    created from the same [g] value, enforced by physical equality) so
+    the per-source shortest-path cache survives across replays on the
+    same graph; without it a fresh router is built per call.  The result
+    is identical either way. *)

@@ -1,17 +1,54 @@
+(* Shortest-path routing with an explicit lifecycle.
+
+   A router owns one lazily filled per-source Dijkstra cache for a fixed
+   graph.  Callers that replay many schedules on the same graph create
+   the router once and thread it through [Replay.run]/[Congestion.run]
+   via their [?router] parameters, so the shortest-path trees are paid
+   for once instead of per call.
+
+   The cache is a plain [source option array] filled in place, which is
+   NOT safe to share across domains.  [freeze] snapshots the cache into
+   an immutable router: lookups on a frozen router never write, so the
+   snapshot can be captured by closures running on a [Dtm_util.Pool]
+   (publication to the workers is ordered by the pool's queue lock).
+   Sources missing from a frozen router are recomputed on every call —
+   [warm]/[warm_all] before freezing to avoid that. *)
+
 type source = { dist : int array; parent : int array }
 
-type t = { graph : Dtm_graph.Graph.t; cache : (int, source) Hashtbl.t }
+type t = {
+  graph : Dtm_graph.Graph.t;
+  sources : source option array;
+  frozen : bool;
+}
 
-let create graph = { graph; cache = Hashtbl.create 64 }
+let create graph =
+  {
+    graph;
+    sources = Array.make (Dtm_graph.Graph.n graph) None;
+    frozen = false;
+  }
+
+let graph t = t.graph
+let is_frozen t = t.frozen
 
 let source t src =
-  match Hashtbl.find_opt t.cache src with
+  match t.sources.(src) with
   | Some s -> s
   | None ->
     let dist, parent = Dtm_graph.Dijkstra.distances_and_parents t.graph ~src in
     let s = { dist; parent } in
-    Hashtbl.replace t.cache src s;
+    if not t.frozen then t.sources.(src) <- Some s;
     s
+
+let warm t srcs = Array.iter (fun src -> ignore (source t src)) srcs
+
+let warm_all t =
+  for src = 0 to Array.length t.sources - 1 do
+    ignore (source t src)
+  done
+
+let freeze t = { t with sources = Array.copy t.sources; frozen = true }
 
 let route t ~src ~dst =
   let s = source t src in
@@ -24,4 +61,9 @@ let distance t ~src ~dst =
   if s.dist.(dst) = max_int then invalid_arg "Router.distance: unreachable";
   s.dist.(dst)
 
-let hops t ~src ~dst = List.length (route t ~src ~dst) - 1
+(* Count edges on the parent chain directly: no intermediate path list. *)
+let hops t ~src ~dst =
+  let s = source t src in
+  if s.dist.(dst) = max_int then invalid_arg "Router.hops: unreachable";
+  let rec count v acc = if v = src then acc else count s.parent.(v) (acc + 1) in
+  count dst 0

@@ -3,11 +3,36 @@
     The paper's model sends objects along shortest paths (Section 2.1);
     the simulator uses this module to expand metric-level moves into the
     hop-by-hop node sequences the network would really carry.  Routes are
-    computed with Dijkstra and cached per source. *)
+    computed with Dijkstra and cached per source.
+
+    A router has an explicit lifecycle: [create] one per graph, reuse it
+    across any number of {!Replay.run}/{!Congestion.run} calls (their
+    [?router] parameters) so the per-source cache survives between
+    replays, and {!freeze} it into an immutable snapshot before sharing
+    it across [Dtm_util.Pool] domains — the mutable cache itself is not
+    domain-safe. *)
 
 type t
 
 val create : Dtm_graph.Graph.t -> t
+
+val graph : t -> Dtm_graph.Graph.t
+(** The graph the router was built for.  [Replay.run]/[Congestion.run]
+    require (physically) the same graph value they are given. *)
+
+val warm : t -> int array -> unit
+(** Precompute the shortest-path trees of the given sources. *)
+
+val warm_all : t -> unit
+(** Precompute every source's tree ([n] Dijkstra runs). *)
+
+val freeze : t -> t
+(** Immutable snapshot of the cache as warmed so far, safe to share
+    across pool domains.  Sources missing from the snapshot are computed
+    on demand but never cached, so warm first.  The original router is
+    unaffected and may keep caching. *)
+
+val is_frozen : t -> bool
 
 val route : t -> src:int -> dst:int -> int list
 (** Node sequence from [src] to [dst], both inclusive ([src] alone when
@@ -17,4 +42,16 @@ val distance : t -> src:int -> dst:int -> int
 (** Weighted length of {!route}. *)
 
 val hops : t -> src:int -> dst:int -> int
-(** Number of edges of {!route}. *)
+(** Number of edges of {!route}, counted on the parent chain without
+    materializing the path. *)
+
+(**/**)
+
+type source = private { dist : int array; parent : int array }
+
+val source : t -> int -> source
+(** Shortest-path tree rooted at the given source.  The arrays are owned
+    by the router and must not be mutated; simulator internals walk them
+    directly so the hot path allocates nothing. *)
+
+(**/**)

@@ -1,12 +1,19 @@
 (** Chronological execution traces with invariant checking.
 
     The replay and online engines emit traces; tests assert the
-    single-copy and exactly-once invariants on them. *)
+    single-copy and exactly-once invariants on them.  Internally a trace
+    is a flat struct-of-arrays, so building one from a replay's event
+    arena costs a handful of array allocations instead of a consed,
+    sorted list. *)
 
 type t
 
 val of_events : Event.t list -> t
 (** Sorts the events chronologically. *)
+
+val of_arena : Event_arena.t -> t
+(** Sorted snapshot of the arena's events; the arena can be reused
+    afterwards. *)
 
 val events : t -> Event.t list
 

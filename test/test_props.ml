@@ -395,6 +395,115 @@ let prop_lower_bound_parallel_deterministic =
       let rw_par = Dtm_core.Rw_lower_bound.compute ~jobs:4 metric rw in
       seq = par && rw_seq = rw_par)
 
+(* P13: replay through a caller-owned router — warm, reused, or frozen —
+   is observationally identical to a fresh-router replay on all seven
+   topologies: same result record and byte-identical trace events. *)
+let prop_replay_shared_router_identical =
+  qtest ~count:20 "Replay.run ?router = fresh router on all 7 topologies"
+    seed_gen (fun seed ->
+      for_all_topologies seed (fun ~seed topo inst ->
+          let g = Topology.graph topo in
+          let sched = Dtm_sched.Auto.schedule ~seed topo inst in
+          let fresh = Dtm_sim.Replay.run g inst sched in
+          let router = Dtm_sim.Router.create g in
+          let warm1 = Dtm_sim.Replay.run ~router g inst sched in
+          let warm2 = Dtm_sim.Replay.run ~router g inst sched in
+          let frozen =
+            Dtm_sim.Replay.run ~router:(Dtm_sim.Router.freeze router) g inst
+              sched
+          in
+          let same (a : Dtm_sim.Replay.result) (b : Dtm_sim.Replay.result) =
+            a.Dtm_sim.Replay.ok = b.Dtm_sim.Replay.ok
+            && a.Dtm_sim.Replay.errors = b.Dtm_sim.Replay.errors
+            && a.Dtm_sim.Replay.makespan = b.Dtm_sim.Replay.makespan
+            && a.Dtm_sim.Replay.messages = b.Dtm_sim.Replay.messages
+            && a.Dtm_sim.Replay.hops = b.Dtm_sim.Replay.hops
+            && a.Dtm_sim.Replay.total_wait = b.Dtm_sim.Replay.total_wait
+            && Dtm_sim.Trace.events a.Dtm_sim.Replay.trace
+               = Dtm_sim.Trace.events b.Dtm_sim.Replay.trace
+          in
+          same fresh warm1 && same fresh warm2 && same fresh frozen))
+
+(* P14: a frozen router shared across Pool domains keeps replay
+   deterministic — the merged per-seed outputs are identical at jobs 1
+   and jobs 4. *)
+let prop_replay_pool_deterministic =
+  qtest ~count:10 "Pool-parallel replay with frozen router, jobs 1 = jobs 4"
+    seed_gen (fun seed ->
+      let rng = Prng.create ~seed in
+      let topo = List.nth (seven_topologies rng) (seed mod 7) in
+      let g = Topology.graph topo in
+      let router = Dtm_sim.Router.create g in
+      Dtm_sim.Router.warm_all router;
+      let router = Dtm_sim.Router.freeze router in
+      let replay_digest s =
+        let rng = Prng.create ~seed:s in
+        let inst = instance_on rng topo in
+        let sched = Dtm_sched.Auto.schedule ~seed:s topo inst in
+        let r = Dtm_sim.Replay.run ~router g inst sched in
+        ( r.Dtm_sim.Replay.ok,
+          r.Dtm_sim.Replay.messages,
+          r.Dtm_sim.Replay.hops,
+          r.Dtm_sim.Replay.total_wait,
+          Dtm_sim.Trace.events r.Dtm_sim.Replay.trace )
+      in
+      let seeds = List.init 8 (fun i -> seed + i) in
+      Pool.set_default_jobs 1;
+      let seq = Pool.run replay_digest seeds in
+      Pool.set_default_jobs 4;
+      let par = Pool.run replay_digest seeds in
+      Pool.set_default_jobs 2;
+      seq = par)
+
+(* Reference (pre-optimization) nearest-neighbour tour, transcribed from
+   the seed Baseline.nearest_first: full O(m^2) visited scan with strict
+   improvement (ties -> smallest index). *)
+let seed_ref_nearest_tour metric nodes =
+  let m = Array.length nodes in
+  let visited = Array.make m false in
+  let order = Array.make m nodes.(0) in
+  visited.(0) <- true;
+  for i = 1 to m - 1 do
+    let cur = order.(i - 1) in
+    let pick = ref (-1) and best = ref max_int in
+    for j = 0 to m - 1 do
+      if not visited.(j) then begin
+        let d = Dtm_graph.Metric.dist metric cur nodes.(j) in
+        if d < !best then begin
+          best := d;
+          pick := j
+        end
+      end
+    done;
+    visited.(!pick) <- true;
+    order.(i) <- nodes.(!pick)
+  done;
+  order
+
+(* P15: the bucketed expanding-ring scan inside Baseline.nearest_first
+   produces exactly the seed tour — checked through the resulting
+   schedule, which is a function of the visit order alone. *)
+let prop_nearest_first_matches_seed =
+  qtest "Baseline.nearest_first = seed O(m^2) reference on all 7 topologies"
+    seed_gen (fun seed ->
+      for_all_topologies seed (fun ~seed:_ topo inst ->
+          let metric = Topology.metric topo in
+          let nodes = Dtm_core.Instance.txn_nodes inst in
+          if Array.length nodes = 0 then true
+          else begin
+            let order = seed_ref_nearest_tour metric nodes in
+            let composer = Dtm_sched.Composer.create metric inst in
+            Array.iter
+              (fun v -> Dtm_sched.Composer.run_greedy_group composer [ v ])
+              order;
+            let reference = Dtm_sched.Composer.schedule composer in
+            let fast = Dtm_sched.Baseline.nearest_first metric inst in
+            List.for_all
+              (fun v -> Schedule.time reference v = Schedule.time fast v)
+              (Schedule.scheduled_nodes reference)
+            && Schedule.makespan reference = Schedule.makespan fast
+          end))
+
 let () =
   Alcotest.run "dtm_props"
     [
@@ -407,6 +516,7 @@ let () =
           prop_measurements_parallel_deterministic;
           prop_sweep_ordered;
           prop_lower_bound_parallel_deterministic;
+          prop_replay_pool_deterministic;
         ] );
       ( "kernels",
         [
@@ -414,5 +524,7 @@ let () =
           prop_dependency_matches_seed;
           prop_coloring_matches_seed;
           prop_walk_oracle_exact;
+          prop_replay_shared_router_identical;
+          prop_nearest_first_matches_seed;
         ] );
     ]

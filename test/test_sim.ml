@@ -46,6 +46,35 @@ let test_router_unreachable () =
   Alcotest.check_raises "unreachable" (Invalid_argument "Router.route: unreachable")
     (fun () -> ignore (Router.route r ~src:0 ~dst:2))
 
+let test_router_freeze () =
+  let r = Router.create line5_g in
+  Router.warm r [| 0; 2 |];
+  let f = Router.freeze r in
+  Alcotest.(check bool) "snapshot frozen" true (Router.is_frozen f);
+  Alcotest.(check bool) "original still live" false (Router.is_frozen r);
+  (* Warmed and unwarmed sources answer identically through the
+     snapshot; the unwarmed one is computed on demand, uncached. *)
+  for src = 0 to 4 do
+    for dst = 0 to 4 do
+      Alcotest.(check (list int))
+        (Printf.sprintf "route %d->%d" src dst)
+        (Router.route r ~src ~dst) (Router.route f ~src ~dst);
+      Alcotest.(check int)
+        (Printf.sprintf "hops %d->%d" src dst)
+        (Router.hops r ~src ~dst) (Router.hops f ~src ~dst)
+    done
+  done
+
+let test_router_hops_weighted () =
+  (* hops counts edges, not weight: 0-1-3 is 2 hops of total weight 2,
+     while distance to the lone far node stays weighted. *)
+  let g = Dtm_graph.Graph.of_edges ~n:4 [ (0, 1, 1); (1, 3, 1); (2, 3, 7) ] in
+  let r = Router.create g in
+  Alcotest.(check int) "two hops" 2 (Router.hops r ~src:0 ~dst:3);
+  Alcotest.(check int) "three hops" 3 (Router.hops r ~src:0 ~dst:2);
+  Alcotest.(check int) "weighted distance" 9 (Router.distance r ~src:0 ~dst:2);
+  Alcotest.(check int) "zero hops to self" 0 (Router.hops r ~src:2 ~dst:2)
+
 (* ------------------------------------------------------------------ *)
 (* Events and traces                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -120,6 +149,69 @@ let test_replay_messages_match_cost () =
   Alcotest.(check int) "messages = communication cost"
     (Cost.communication line5_m small_inst feasible_sched)
     r.Replay.messages
+
+let check_replay_results_equal label (a : Replay.result) (b : Replay.result) =
+  Alcotest.(check bool) (label ^ ": ok") a.Replay.ok b.Replay.ok;
+  Alcotest.(check (list string)) (label ^ ": errors") a.Replay.errors b.Replay.errors;
+  Alcotest.(check int) (label ^ ": makespan") a.Replay.makespan b.Replay.makespan;
+  Alcotest.(check int) (label ^ ": messages") a.Replay.messages b.Replay.messages;
+  Alcotest.(check int) (label ^ ": hops") a.Replay.hops b.Replay.hops;
+  Alcotest.(check int) (label ^ ": wait") a.Replay.total_wait b.Replay.total_wait;
+  Alcotest.(check bool) (label ^ ": trace") true
+    (Trace.events a.Replay.trace = Trace.events b.Replay.trace)
+
+let test_replay_shared_router () =
+  let router = Router.create line5_g in
+  let fresh = Replay.run line5_g small_inst feasible_sched in
+  (* Two runs through the same router: the first warms the cache, the
+     second hits it; both must equal the fresh-router run. *)
+  let warm1 = Replay.run ~router line5_g small_inst feasible_sched in
+  let warm2 = Replay.run ~router line5_g small_inst feasible_sched in
+  check_replay_results_equal "first shared" fresh warm1;
+  check_replay_results_equal "second shared" fresh warm2;
+  (* A frozen snapshot answers identically too. *)
+  let frozen = Router.freeze router in
+  check_replay_results_equal "frozen" fresh
+    (Replay.run ~router:frozen line5_g small_inst feasible_sched)
+
+let test_replay_rejects_foreign_router () =
+  let other = Dtm_topology.Line.graph 5 in
+  let router = Router.create other in
+  Alcotest.check_raises "foreign graph"
+    (Invalid_argument "Replay.run: router was built for a different graph")
+    (fun () -> ignore (Replay.run ~router line5_g small_inst feasible_sched))
+
+let test_replay_warm_allocation () =
+  (* Steady state: with a warm router and warmed-up scratch, a replay's
+     allocations are a small constant (trace snapshot + result record),
+     not proportional to consed per-hop lists.  Compare against the cold
+     path, which rebuilds the Dijkstra cache every call. *)
+  let p = { Dtm_topology.Star.rays = 6; ray_len = 15 } in
+  let g = Dtm_topology.Star.graph p in
+  let n = 1 + (p.Dtm_topology.Star.rays * p.Dtm_topology.Star.ray_len) in
+  let rng = Prng.create ~seed:77 in
+  let inst = Dtm_workload.Uniform.instance ~rng ~n ~num_objects:22 ~k:2 () in
+  let sched = Engine.run (Dtm_topology.Star.metric p) inst in
+  let router = Router.create g in
+  ignore (Replay.run ~router g inst sched);
+  let words f =
+    let before = Gc.minor_words () in
+    ignore (Sys.opaque_identity (f ()));
+    Gc.minor_words () -. before
+  in
+  let warm = words (fun () -> Replay.run ~router g inst sched) in
+  let cold = words (fun () -> Replay.run g inst sched) in
+  let events = Dtm_sim.Trace.length (Replay.run ~router g inst sched).Replay.trace in
+  (* The trace snapshot (a handful of words per event) plus a small
+     constant is the only per-run allocation: no per-hop lists. *)
+  let bound = (12.0 *. float_of_int events) +. 2048.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm replay allocation bounded (%.0f words, %d events)"
+       warm events)
+    true (warm < bound);
+  Alcotest.(check bool)
+    (Printf.sprintf "warm allocates less than cold (%.0f vs %.0f)" warm cold)
+    true (warm < cold)
 
 (* Replay agrees with the metric-level validator on every topology, for
    schedules produced by the matching paper algorithm. *)
@@ -427,10 +519,43 @@ let test_congestion_queues_under_pressure () =
   Alcotest.(check bool) "completes" true (r.Congestion.makespan >= n);
   Alcotest.(check bool) "max_queue observed" true (r.Congestion.max_queue >= 1)
 
+let test_congestion_shared_router () =
+  let g, _, inst, priority = congested_setup 37 in
+  let fresh = Congestion.run ~capacity:2 g inst ~priority in
+  let router = Router.create g in
+  Router.warm_all router;
+  let shared = Congestion.run ~router ~capacity:2 g inst ~priority in
+  let frozen =
+    Congestion.run ~router:(Router.freeze router) ~capacity:2 g inst ~priority
+  in
+  List.iter
+    (fun (label, r) ->
+      Alcotest.(check int) (label ^ ": makespan") fresh.Congestion.makespan
+        r.Congestion.makespan;
+      Alcotest.(check int) (label ^ ": messages") fresh.Congestion.messages
+        r.Congestion.messages;
+      Alcotest.(check int) (label ^ ": max_queue") fresh.Congestion.max_queue
+        r.Congestion.max_queue;
+      Alcotest.(check int) (label ^ ": delayed") fresh.Congestion.delayed_hops
+        r.Congestion.delayed_hops;
+      List.iter
+        (fun v ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "%s: commit of %d" label v)
+            (Schedule.time fresh.Congestion.commit_times v)
+            (Schedule.time r.Congestion.commit_times v))
+        (Schedule.scheduled_nodes fresh.Congestion.commit_times))
+    [ ("shared", shared); ("frozen", frozen) ]
+
 let test_congestion_rejects_bad_args () =
   let g, _, inst, priority = congested_setup 36 in
   Alcotest.check_raises "capacity" (Invalid_argument "Congestion.run: capacity < 1")
     (fun () -> ignore (Congestion.run ~capacity:0 g inst ~priority));
+  let other = Dtm_topology.Star.graph { Dtm_topology.Star.rays = 5; ray_len = 4 } in
+  Alcotest.check_raises "foreign router"
+    (Invalid_argument "Congestion.run: router was built for a different graph")
+    (fun () ->
+      ignore (Congestion.run ~router:(Router.create other) g inst ~priority));
   let missing = Schedule.create ~n:(Instance.n inst) in
   Alcotest.check_raises "unscheduled"
     (Invalid_argument "Congestion.run: priority leaves a transaction unscheduled")
@@ -473,6 +598,8 @@ let () =
           Alcotest.test_case "route" `Quick test_router_route;
           Alcotest.test_case "weighted" `Quick test_router_weighted;
           Alcotest.test_case "unreachable" `Quick test_router_unreachable;
+          Alcotest.test_case "freeze" `Quick test_router_freeze;
+          Alcotest.test_case "hops weighted" `Quick test_router_hops_weighted;
         ] );
       ( "trace",
         [
@@ -487,6 +614,9 @@ let () =
           Alcotest.test_case "catches infeasible" `Quick test_replay_catches_infeasible;
           Alcotest.test_case "catches unscheduled" `Quick test_replay_catches_unscheduled;
           Alcotest.test_case "messages = cost" `Quick test_replay_messages_match_cost;
+          Alcotest.test_case "shared router" `Quick test_replay_shared_router;
+          Alcotest.test_case "foreign router" `Quick test_replay_rejects_foreign_router;
+          Alcotest.test_case "warm allocation" `Quick test_replay_warm_allocation;
           prop_replay_validates_auto_schedules;
           prop_replay_agrees_with_validator;
         ] );
@@ -524,6 +654,7 @@ let () =
             test_congestion_messages_invariant;
           Alcotest.test_case "queues under pressure" `Quick
             test_congestion_queues_under_pressure;
+          Alcotest.test_case "shared router" `Quick test_congestion_shared_router;
           Alcotest.test_case "rejects bad args" `Quick test_congestion_rejects_bad_args;
           prop_congestion_unbounded_equals_engine;
           prop_congestion_cap1_feasible;
