@@ -49,6 +49,8 @@ let gated =
     "dtm/ablations/cluster_approach2";
     "dtm/ablations/grid_xi_half";
     "dtm/ablations/grid_xi_double";
+    "dtm/verify/trace_lint";
+    "dtm/verify/model_check_small";
   ]
 
 (* ------------------------------------------------------------------ *)

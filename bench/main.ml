@@ -201,9 +201,33 @@ let substrate_tests =
           Dtm_sched.Baseline.sequential clique_metric clique_inst));
     ]
 
+(* Verifier kernels: the DTM11x lints over a precomputed replay trace
+   (the audit every experiment row now pays), and the small-scope model
+   checker on the 7-transaction instance e11 already uses. *)
+let grid_trace =
+  (Dtm_sim.Replay.run ~router:grid_router grid_graph grid_inst grid_sched)
+    .Dtm_sim.Replay.trace
+
+let verify_tests =
+  Test.make_grouped ~name:"verify"
+    [
+      Test.make ~name:"trace_lint" (stage (fun () ->
+          Dtm_analysis.Trace_lint.check ~graph:grid_graph ~metric:grid_metric
+            grid_inst ~commits:grid_sched grid_trace));
+      Test.make ~name:"model_check_small" (stage (fun () ->
+          Dtm_analysis.Model_check.optimum (Dtm_topology.Clique.metric 7)
+            tiny_inst));
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"dtm"
-    [ experiment_tests; ablation_tests; extension_tests; substrate_tests ]
+    [
+      experiment_tests;
+      ablation_tests;
+      extension_tests;
+      substrate_tests;
+      verify_tests;
+    ]
 
 let bench_limit = 2000
 

@@ -492,6 +492,143 @@ let analyze_cmd =
       $ scheduler_arg $ inst_file_arg $ sched_file_arg $ json_arg $ no_cert_arg
       $ codes_arg $ jobs_arg)
 
+let verify_cmd =
+  let module Analysis = Dtm_analysis in
+  let run topo w k seed seeds workload capacity json codes jobs =
+    apply_jobs jobs;
+    if codes then begin
+      print_endline "diagnostic codes (dtm verify):";
+      List.iter
+        (fun c ->
+          Printf.printf "  %s %-24s %-8s %s\n" (Analysis.Code.id c)
+            (Analysis.Code.title c)
+            (Analysis.Severity.to_string (Analysis.Code.default_severity c))
+            (Analysis.Code.describe c))
+        Analysis.Code.all;
+      exit 0
+    end;
+    let topo =
+      match topo with
+      | Some t -> t
+      | None ->
+        prerr_endline "dtm verify: a topology is required (or use --codes)";
+        exit 124
+    in
+    if seeds < 1 then begin
+      prerr_endline "dtm verify: --seeds must be >= 1";
+      exit 124
+    end;
+    if capacity < 1 then begin
+      prerr_endline "dtm verify: --capacity must be >= 1";
+      exit 124
+    end;
+    let seed_list = List.init seeds (fun i -> seed + i) in
+    (* One end-to-end audit per seed, fanned over the shared pool; the
+       pool merges in submission order and each audit's passes merge in
+       a fixed order, so the report is byte-identical for any -j. *)
+    let outcomes =
+      Dtm_util.Pool.run
+        (fun seed ->
+          let inst = make_instance topo ~w ~k ~seed ~workload in
+          let sched = Dtm_sched.Auto.schedule ~seed topo inst in
+          (seed, Analysis.Verify.run ~capacity topo inst sched))
+        seed_list
+    in
+    let report =
+      List.fold_left
+        (fun acc (_, o) -> Analysis.Report.merge acc o.Analysis.Verify.report)
+        Analysis.Report.empty outcomes
+    in
+    if json then begin
+      let seed_json (s, o) =
+        Analysis.Json.Obj
+          [
+            ("seed", Analysis.Json.Int s);
+            ("makespan", Analysis.Json.Int o.Analysis.Verify.makespan);
+            ("lower", Analysis.Json.Int o.Analysis.Verify.lower);
+            ("replay_events", Analysis.Json.Int o.Analysis.Verify.replay_events);
+            ( "congestion_makespan",
+              Analysis.Json.Int o.Analysis.Verify.congestion_makespan );
+            ( "congestion_events",
+              Analysis.Json.Int o.Analysis.Verify.congestion_events );
+            ( "optimum",
+              match o.Analysis.Verify.optimum with
+              | Some v -> Analysis.Json.Int v
+              | None -> Analysis.Json.Null );
+          ]
+      in
+      let extra =
+        [
+          ("topology", Analysis.Json.String (Topology.to_string topo));
+          ("scheduler", Analysis.Json.String (Dtm_sched.Auto.name topo));
+          ("capacity", Analysis.Json.Int capacity);
+          ("seeds", Analysis.Json.List (List.map seed_json outcomes));
+        ]
+      in
+      print_endline (Analysis.Json.to_string (Analysis.Report.to_json ~extra report))
+    end
+    else begin
+      Printf.printf "topology:  %s\n" (Topology.describe topo);
+      Printf.printf "scheduler: %s\n" (Dtm_sched.Auto.name topo);
+      Printf.printf "workload:  %d objects, k = %d, seeds %d..%d\n" w k seed
+        (seed + seeds - 1);
+      Printf.printf "passes:    static, replay, congestion (cap %d), model\n"
+        capacity;
+      List.iter
+        (fun (s, o) ->
+          Printf.printf
+            "seed %d: makespan=%d lower=%d ratio=%.2f replay_events=%d \
+             congestion_makespan=%d congestion_events=%d optimum=%s\n"
+            s o.Analysis.Verify.makespan o.Analysis.Verify.lower
+            (Dtm_core.Lower_bound.ratio ~makespan:o.Analysis.Verify.makespan
+               ~lower:o.Analysis.Verify.lower)
+            o.Analysis.Verify.replay_events o.Analysis.Verify.congestion_makespan
+            o.Analysis.Verify.congestion_events
+            (match o.Analysis.Verify.optimum with
+            | Some v -> string_of_int v
+            | None -> "-"))
+        outcomes;
+      print_string (Analysis.Report.render report)
+    end;
+    exit (Analysis.Report.exit_code report)
+  in
+  let topo_opt_arg =
+    Arg.(
+      value
+      & opt (some topo_conv) None
+      & info [ "t"; "topology" ] ~docv:"TOPO"
+          ~doc:"Topology to verify (see $(b,dtm topologies)).")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Number of consecutive seeds to audit, starting at --seed.")
+  in
+  let verify_capacity_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "capacity" ] ~docv:"C"
+          ~doc:"Per-edge admission bound used by the congestion pass.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let codes_arg =
+    Arg.(value & flag & info [ "codes" ] ~doc:"List all diagnostic codes and exit.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Audit the whole pipeline on generated workloads: static analysis, \
+          a trace-linted replay, a trace-linted bounded-capacity congestion \
+          run, and the small-scope model checker against the certified \
+          lower bound.  Exits non-zero when any error-severity finding is \
+          reported.")
+    Term.(
+      const run $ topo_opt_arg $ objects_arg $ k_arg $ seed_arg $ seeds_arg
+      $ workload_arg $ verify_capacity_arg $ json_arg $ codes_arg $ jobs_arg)
+
 let topologies_cmd =
   let run () =
     print_endline "supported topologies (with example parameters):";
@@ -516,6 +653,7 @@ let () =
             lower_bound_cmd;
             validate_cmd;
             analyze_cmd;
+            verify_cmd;
             online_cmd;
             topologies_cmd;
           ]))

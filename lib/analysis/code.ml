@@ -14,6 +14,16 @@ type t =
   | Step_conflict
   | Capacity_mismatch
   | Shiftable_start
+  | Trace_teleport
+  | Trace_bad_hop
+  | Trace_capacity_exceeded
+  | Trace_premature_commit
+  | Trace_cost_mismatch
+  | Trace_unserializable
+  | Model_suboptimal
+  | Model_infeasible
+  | Model_unsound_bound
+  | Model_scope_exceeded
   | Certificate_violation
   | Certificate_unavailable
 
@@ -34,6 +44,16 @@ let all =
     Step_conflict;
     Capacity_mismatch;
     Shiftable_start;
+    Trace_teleport;
+    Trace_bad_hop;
+    Trace_capacity_exceeded;
+    Trace_premature_commit;
+    Trace_cost_mismatch;
+    Trace_unserializable;
+    Model_suboptimal;
+    Model_infeasible;
+    Model_unsound_bound;
+    Model_scope_exceeded;
     Certificate_violation;
     Certificate_unavailable;
   ]
@@ -54,6 +74,16 @@ let id = function
   | Step_conflict -> "DTM105"
   | Capacity_mismatch -> "DTM106"
   | Shiftable_start -> "DTM107"
+  | Trace_teleport -> "DTM110"
+  | Trace_bad_hop -> "DTM111"
+  | Trace_capacity_exceeded -> "DTM112"
+  | Trace_premature_commit -> "DTM113"
+  | Trace_cost_mismatch -> "DTM114"
+  | Trace_unserializable -> "DTM115"
+  | Model_suboptimal -> "DTM120"
+  | Model_infeasible -> "DTM121"
+  | Model_unsound_bound -> "DTM122"
+  | Model_scope_exceeded -> "DTM123"
   | Certificate_violation -> "DTM201"
   | Certificate_unavailable -> "DTM202"
 
@@ -63,12 +93,16 @@ let default_severity = function
   | Unreachable_home | Metric_asymmetry | Metric_degenerate
   | Triangle_violation | Unscheduled_txn | Phantom_entry | Early_first_use
   | Motion_infeasible | Step_conflict | Capacity_mismatch
-  | Certificate_violation ->
+  | Trace_teleport | Trace_bad_hop | Trace_capacity_exceeded
+  | Trace_premature_commit | Trace_cost_mismatch | Trace_unserializable
+  | Model_infeasible | Model_unsound_bound | Certificate_violation ->
     Severity.Error
   | Empty_instance | Unrequested_object | Hub_overload
   | Certificate_unavailable ->
     Severity.Warning
-  | Home_not_at_requester | Shiftable_start -> Severity.Info
+  | Home_not_at_requester | Shiftable_start | Model_suboptimal
+  | Model_scope_exceeded ->
+    Severity.Info
 
 let title = function
   | Unreachable_home -> "unreachable-home"
@@ -86,6 +120,16 @@ let title = function
   | Step_conflict -> "step-conflict"
   | Capacity_mismatch -> "capacity-mismatch"
   | Shiftable_start -> "shiftable-start"
+  | Trace_teleport -> "trace-teleport"
+  | Trace_bad_hop -> "trace-bad-hop"
+  | Trace_capacity_exceeded -> "trace-capacity-exceeded"
+  | Trace_premature_commit -> "trace-premature-commit"
+  | Trace_cost_mismatch -> "trace-cost-mismatch"
+  | Trace_unserializable -> "trace-unserializable"
+  | Model_suboptimal -> "model-suboptimal"
+  | Model_infeasible -> "model-infeasible"
+  | Model_unsound_bound -> "model-unsound-bound"
+  | Model_scope_exceeded -> "model-scope-exceeded"
   | Certificate_violation -> "certificate-violation"
   | Certificate_unavailable -> "certificate-unavailable"
 
@@ -123,6 +167,37 @@ let describe = function
   | Shiftable_start ->
     "every release and arrival constraint has positive slack, so the \
      whole schedule can be shifted earlier"
+  | Trace_teleport ->
+    "an execution trace moves an object discontinuously: it departs from \
+     a node it does not occupy, arrives without a matching departure, or \
+     is used away from its current position"
+  | Trace_bad_hop ->
+    "a traced hop does not follow the communication graph: the endpoints \
+     are not adjacent or the flight time differs from the edge weight"
+  | Trace_capacity_exceeded ->
+    "more simultaneous traversals were traced on one link than its \
+     capacity admits"
+  | Trace_premature_commit ->
+    "a transaction executes before every object it requests has \
+     physically arrived at its node"
+  | Trace_cost_mismatch ->
+    "the distance travelled in the trace disagrees with the metric-level \
+     Cost arithmetic for the same commit order"
+  | Trace_unserializable ->
+    "the traced commit order is not conflict-serializable: conflicting \
+     transactions share a step or the precedence relation has a cycle"
+  | Model_suboptimal ->
+    "exhaustive state-space search found a strictly shorter feasible \
+     schedule than the one under audit"
+  | Model_infeasible ->
+    "the schedule is not reachable in the synchronous-execution state \
+     space: some commit happens before its objects can be serviced"
+  | Model_unsound_bound ->
+    "a claimed lower bound exceeds the true optimum found by exhaustive \
+     search, so the bound is unsound"
+  | Model_scope_exceeded ->
+    "the instance is too large for exhaustive model checking, so optimality \
+     was not verified"
   | Certificate_violation ->
     "the makespan exceeds the theorem bound claimed for this scheduler \
      and topology"

@@ -5,7 +5,9 @@
     it.  Codes are grouped by the hundreds digit:
 
     - [DTM0xx] — instance / topology / metric lints;
-    - [DTM1xx] — static schedule analysis;
+    - [DTM10x] — static schedule analysis;
+    - [DTM11x] — execution-trace lints (motion, capacity, commit order);
+    - [DTM12x] — small-scope model checking;
     - [DTM2xx] — approximation-certificate checking.
 
     The default severity of a code reflects what it falsifies: [Error]
@@ -55,6 +57,44 @@ type t =
       (** DTM107: every constraint has slack >= s > 0, so the whole
           schedule can run [s] steps earlier — the makespan is not
           tight. *)
+  | Trace_teleport
+      (** DTM110: an execution trace moves an object discontinuously —
+          it departs from a node it does not occupy, arrives without a
+          matching departure, or is used away from its position. *)
+  | Trace_bad_hop
+      (** DTM111: a traced hop is not an edge of the communication
+          graph, or its flight time differs from the edge weight. *)
+  | Trace_capacity_exceeded
+      (** DTM112: more simultaneous traversals on one link than its
+          capacity admits (checked when a capacity is given; [Replay]
+          traces are deliberately unbounded). *)
+  | Trace_premature_commit
+      (** DTM113: a transaction executes before every object it
+          requests has physically arrived at its node. *)
+  | Trace_cost_mismatch
+      (** DTM114: the per-object distance travelled in the trace
+          disagrees with [Cost.per_object_travel] for the same commit
+          order — the simulator and the metric arithmetic diverge. *)
+  | Trace_unserializable
+      (** DTM115: the traced commit order is not conflict-serializable:
+          two conflicting transactions share a step, or the per-object
+          precedence relation has a cycle. *)
+  | Model_suboptimal
+      (** DTM120: exhaustive search found a strictly shorter feasible
+          schedule — the one under audit is not optimal (informational:
+          approximation algorithms are allowed to be off by their
+          factor). *)
+  | Model_infeasible
+      (** DTM121: the schedule is not reachable in the synchronous
+          state space — some commit fires before its objects can be
+          serviced, or two conflicting commits share a slot. *)
+  | Model_unsound_bound
+      (** DTM122: a claimed lower bound exceeds the true optimum found
+          by exhaustive search — the bound is unsound. *)
+  | Model_scope_exceeded
+      (** DTM123: the instance exceeds the model checker's exhaustive
+          scope (more than {!Model_check.max_transactions} txns), so
+          optimality was not verified. *)
   | Certificate_violation
       (** DTM201: a schedule's makespan exceeds the theorem bound its
           scheduler claims — a bug in the scheduler (or the bound). *)

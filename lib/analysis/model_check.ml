@@ -1,0 +1,199 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+module Metric = Dtm_graph.Metric
+
+let max_transactions = 8
+
+(* A state of the synchronous execution is (committed set, per-object
+   position + release step).  Committing v from a state is deterministic
+   given the choice of v, so the reachable space is the set of commit
+   orders — but unlike [Optimal.exhaustive]'s permutation walk, the
+   search below explores it as a DAG keyed by (mask, positions) with
+   Pareto dominance over (releases, running makespan), which collapses
+   permutations that leave the objects in the same place. *)
+let optimum metric inst =
+  let txns = Instance.txn_nodes inst in
+  let k = Array.length txns in
+  if k > max_transactions then
+    invalid_arg "Model_check.optimum: too many transactions";
+  if k = 0 then 0
+  else begin
+    (* Track only requested objects, densely re-indexed. *)
+    let w = Instance.num_objects inst in
+    let tracked = Array.make w (-1) in
+    let m = ref 0 in
+    for o = 0 to w - 1 do
+      if Array.length (Instance.requesters inst o) > 0 then begin
+        tracked.(o) <- !m;
+        incr m
+      end
+    done;
+    let m = !m in
+    let needed =
+      Array.map
+        (fun v ->
+          match Instance.txn_at inst v with
+          | None -> [||]
+          | Some objs -> Array.map (fun o -> tracked.(o)) objs)
+        txns
+    in
+    let home = Array.make m 0 in
+    for o = 0 to w - 1 do
+      if tracked.(o) >= 0 then home.(tracked.(o)) <- Instance.home inst o
+    done;
+    let full = (1 lsl k) - 1 in
+    let best = ref max_int in
+    (* Pareto memo: per (mask, positions), the undominated (releases,
+       makespan) pairs seen so far. *)
+    let memo : (int * int array, (int array * int) list) Hashtbl.t =
+      Hashtbl.create 1024
+    in
+    let dominated key rel cur =
+      match Hashtbl.find_opt memo key with
+      | None -> false
+      | Some entries ->
+        List.exists
+          (fun (r, c) ->
+            c <= cur
+            &&
+            let ok = ref true in
+            for i = 0 to m - 1 do
+              if r.(i) > rel.(i) then ok := false
+            done;
+            !ok)
+          entries
+    in
+    let record key rel cur =
+      let entries =
+        match Hashtbl.find_opt memo key with None -> [] | Some e -> e
+      in
+      let kept =
+        List.filter
+          (fun (r, c) ->
+            not
+              (cur <= c
+              &&
+              let ok = ref true in
+              for i = 0 to m - 1 do
+                if rel.(i) > r.(i) then ok := false
+              done;
+              !ok))
+          entries
+      in
+      Hashtbl.replace memo key ((Array.copy rel, cur) :: kept)
+    in
+    let rec go mask pos rel cur =
+      if cur < !best then
+        if mask = full then best := cur
+        else begin
+          let key = (mask, pos) in
+          if not (dominated key rel cur) then begin
+            record key rel cur;
+            for ti = 0 to k - 1 do
+              if mask land (1 lsl ti) = 0 then begin
+                let v = txns.(ti) in
+                let t = ref 1 in
+                Array.iter
+                  (fun i ->
+                    let a = rel.(i) + Metric.dist metric pos.(i) v in
+                    if a > !t then t := a)
+                  needed.(ti);
+                let t = !t in
+                let pos' = Array.copy pos and rel' = Array.copy rel in
+                Array.iter
+                  (fun i ->
+                    pos'.(i) <- v;
+                    rel'.(i) <- t)
+                  needed.(ti);
+                go (mask lor (1 lsl ti)) pos' rel' (max cur t)
+              end
+            done
+          end
+        end
+    in
+    go 0 home (Array.make m 0) 0;
+    !best
+  end
+
+let diag code ?obj ?node ?step fmt =
+  Printf.ksprintf
+    (fun msg -> Diagnostic.make ~loc:(Location.make ?obj ?node ?step ()) code msg)
+    fmt
+
+let certify ?lower metric inst sched =
+  let k = Instance.num_txns inst in
+  if k > max_transactions then
+    ( None,
+      [
+        diag Code.Model_scope_exceeded
+          "%d transactions exceed the exhaustive scope bound of %d; \
+           optimality not verified"
+          k max_transactions;
+      ] )
+  else begin
+    let opt = optimum metric inst in
+    let findings = ref [] in
+    let add d = findings := d :: !findings in
+    (* Reachability: replay the schedule as model transitions in commit
+       order.  A commit before its objects can be serviced — including
+       a conflicting commit sharing the slot of the previous user, whose
+       release then exceeds the slot — is not a reachable execution. *)
+    let txns = Instance.txn_nodes inst in
+    let unscheduled = ref false in
+    Array.iter
+      (fun v ->
+        if Schedule.time sched v = None then begin
+          unscheduled := true;
+          add
+            (diag Code.Model_infeasible ~node:v
+               "transaction at node %d has no commit step, so the schedule \
+                is not an execution"
+               v)
+        end)
+      txns;
+    if not !unscheduled then begin
+      let order = Array.copy txns in
+      Array.sort
+        (fun a b ->
+          let c = compare (Schedule.time_exn sched a) (Schedule.time_exn sched b) in
+          if c <> 0 then c else compare a b)
+        order;
+      let w = Instance.num_objects inst in
+      let pos = Array.init (max w 1) (fun o -> if o < w then Instance.home inst o else 0) in
+      let rel = Array.make (max w 1) 0 in
+      Array.iter
+        (fun v ->
+          let t = Schedule.time_exn sched v in
+          (match Instance.txn_at inst v with
+          | None -> ()
+          | Some objs ->
+            Array.iter
+              (fun o ->
+                let a = rel.(o) + Metric.dist metric pos.(o) v in
+                if a > t || t < 1 then
+                  add
+                    (diag Code.Model_infeasible ~obj:o ~node:v ~step:t
+                       "node %d commits at step %d but object %d cannot be \
+                        serviced before step %d"
+                       v t o (max a 1));
+                pos.(o) <- v;
+                rel.(o) <- max t a)
+              objs))
+        order;
+      let feasible =
+        not (List.exists (fun d -> d.Diagnostic.code = Code.Model_infeasible) !findings)
+      in
+      let mk = Schedule.makespan sched in
+      if feasible && mk > opt then
+        add
+          (diag Code.Model_suboptimal ~step:mk
+             "makespan %d is feasible but exhaustive search finds %d" mk opt)
+    end;
+    (match lower with
+    | Some l when l > opt ->
+      add
+        (diag Code.Model_unsound_bound
+           "claimed lower bound %d exceeds the true optimum %d" l opt)
+    | _ -> ());
+    (Some opt, List.rev !findings)
+  end

@@ -1,0 +1,42 @@
+(** DTM12x: small-scope exhaustive model checking.
+
+    For instances with at most {!max_transactions} transactions the
+    synchronous-execution state space is small enough to enumerate: a
+    state is (set of committed transactions, per-object position and
+    release step), and committing transaction [v] from a state takes
+    until [max 1 (max over its objects of release + dist(position, v))]
+    — the earliest step every object can have been serviced, exactly the
+    list-scheduling semantics of [Engine].  Exhausting the space gives
+    the {e true} optimal makespan, independently of the permutation
+    search in [Optimal.exhaustive] (the two are cross-validated in the
+    test suite), and certifies any schedule against it:
+
+    - DTM121 [model-infeasible] (error): the schedule is not a reachable
+      execution — a commit fires before its objects can be serviced, or
+      two transactions sharing an object commit in the same slot;
+    - DTM120 [model-suboptimal] (info): the schedule is feasible but a
+      strictly shorter execution exists;
+    - DTM122 [model-unsound-bound] (error): a claimed lower bound
+      exceeds the true optimum;
+    - DTM123 [model-scope-exceeded] (info): too many transactions to
+      enumerate, nothing was checked. *)
+
+val max_transactions : int
+(** Scope bound (8): beyond this the search is skipped. *)
+
+val optimum : Dtm_graph.Metric.t -> Dtm_core.Instance.t -> int
+(** True optimal makespan by exhaustive reachable-state search with
+    dominance pruning.  0 for an empty instance.  Raises
+    [Invalid_argument] when the instance has more than
+    {!max_transactions} transactions. *)
+
+val certify :
+  ?lower:int ->
+  Dtm_graph.Metric.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t ->
+  int option * Diagnostic.t list
+(** [certify metric inst sched] is [(optimum, findings)].  [optimum] is
+    [None] (with a DTM123 finding) when the instance exceeds the scope
+    bound, otherwise the true optimal makespan.  [lower], when given, is
+    additionally checked for soundness against the optimum (DTM122). *)

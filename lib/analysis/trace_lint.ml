@@ -1,0 +1,221 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+module Graph = Dtm_graph.Graph
+module Metric = Dtm_graph.Metric
+module Trace = Dtm_sim.Trace
+
+(* One chronological walk drives DTM110-113 and accumulates per-object
+   travel for DTM114; DTM115 works on the commit times afterwards.
+   Findings are collected per code and concatenated in code order, each
+   list chronological. *)
+
+let check ?capacity ~graph ~metric inst ~commits trace =
+  let n = Graph.n graph in
+  let w = Instance.num_objects inst in
+  let count, time, phase, obj, node, dest = Trace.raw trace in
+  let teleport = ref [] and bad_hop = ref [] in
+  let cap_exceeded = ref [] and premature = ref [] in
+  let add acc d = acc := d :: !acc in
+  let diagf acc code ?obj ?node ?step fmt =
+    Printf.ksprintf
+      (fun msg ->
+        add acc (Diagnostic.make ~loc:(Location.make ?obj ?node ?step ()) code msg))
+      fmt
+  in
+  (* Per-object motion state: current position, and when in flight the
+     departure node/time and destination. *)
+  let pos = Array.init (max w 1) (fun o -> if o < w then Instance.home inst o else 0) in
+  let flying = Array.make (max w 1) false in
+  let fdep_node = Array.make (max w 1) 0 in
+  let fdep_time = Array.make (max w 1) 0 in
+  let fdest = Array.make (max w 1) 0 in
+  let travelled = Array.make (max w 1) 0 in
+  (* Departures per undirected edge per step, for the capacity audit. *)
+  let dep_counts = Hashtbl.create 64 in
+  let leg_weight u v =
+    match Graph.edge_weight graph u v with
+    | Some wt -> wt
+    | None -> Metric.dist metric u v
+  in
+  for i = 0 to count - 1 do
+    let t = time.(i) in
+    match phase.(i) with
+    | 0 ->
+      (* Arrive. *)
+      let o = obj.(i) and v = node.(i) in
+      if o < 0 || o >= w || v < 0 || v >= n then
+        diagf teleport Code.Trace_teleport ~step:t
+          "arrival of unknown object %d or node %d" o v
+      else if not flying.(o) then
+        diagf teleport Code.Trace_teleport ~obj:o ~node:v ~step:t
+          "object %d arrives at node %d without departing" o v
+      else begin
+        if v <> fdest.(o) then
+          diagf teleport Code.Trace_teleport ~obj:o ~node:v ~step:t
+            "object %d departed toward node %d but arrives at node %d"
+            o fdest.(o) v
+        else begin
+          let u = fdep_node.(o) in
+          (match Graph.edge_weight graph u v with
+          | None ->
+            diagf bad_hop Code.Trace_bad_hop ~obj:o ~node:v ~step:t
+              "object %d hops %d -> %d, not an edge of the graph" o u v
+          | Some wt ->
+            if t - fdep_time.(o) <> wt then
+              diagf bad_hop Code.Trace_bad_hop ~obj:o ~node:v ~step:t
+                "object %d crosses %d -> %d in %d steps, edge weight is %d"
+                o u v (t - fdep_time.(o)) wt);
+          travelled.(o) <- travelled.(o) + leg_weight u v
+        end;
+        flying.(o) <- false;
+        pos.(o) <- v
+      end
+    | 1 ->
+      (* Execute. *)
+      let v = node.(i) in
+      if v >= 0 && v < n then begin
+        match Instance.txn_at inst v with
+        | None -> ()
+        | Some needed ->
+          Array.iter
+            (fun o ->
+              if flying.(o) then
+                diagf premature Code.Trace_premature_commit ~obj:o ~node:v
+                  ~step:t
+                  "node %d executes at step %d while object %d is still in \
+                   flight"
+                  v t o
+              else if pos.(o) <> v then
+                diagf premature Code.Trace_premature_commit ~obj:o ~node:v
+                  ~step:t
+                  "node %d executes at step %d but object %d is at node %d"
+                  v t o pos.(o))
+            needed
+      end
+    | _ ->
+      (* Depart. *)
+      let o = obj.(i) and u = node.(i) and d = dest.(i) in
+      if o < 0 || o >= w || u < 0 || u >= n || d < 0 || d >= n then
+        diagf teleport Code.Trace_teleport ~step:t
+          "departure of unknown object %d or nodes %d -> %d" o u d
+      else begin
+        if flying.(o) then
+          diagf teleport Code.Trace_teleport ~obj:o ~node:u ~step:t
+            "object %d departs from node %d while still in flight" o u
+        else if pos.(o) <> u then
+          diagf teleport Code.Trace_teleport ~obj:o ~node:u ~step:t
+            "object %d departs from node %d but is at node %d" o u pos.(o);
+        flying.(o) <- true;
+        fdep_node.(o) <- u;
+        fdep_time.(o) <- t;
+        fdest.(o) <- d;
+        (match capacity with
+        | None -> ()
+        | Some cap ->
+          let key = (min u d, max u d, t) in
+          let c = 1 + (try Hashtbl.find dep_counts key with Not_found -> 0) in
+          Hashtbl.replace dep_counts key c;
+          if c = cap + 1 then
+            diagf cap_exceeded Code.Trace_capacity_exceeded ~node:u ~step:t
+              "edge %d-%d admits more than %d objects at step %d"
+              (min u d) (max u d) cap t)
+      end
+  done;
+  Array.iteri
+    (fun o fl ->
+      if fl && o < w then
+        diagf teleport Code.Trace_teleport ~obj:o ~node:fdep_node.(o)
+          ~step:fdep_time.(o)
+          "object %d departs from node %d and never arrives" o fdep_node.(o))
+    flying;
+  (* DTM114/115 need the full commit order. *)
+  let cost_mismatch = ref [] and unserializable = ref [] in
+  let all_committed =
+    Array.for_all
+      (fun v -> Schedule.time commits v <> None)
+      (Instance.txn_nodes inst)
+  in
+  if all_committed && Instance.num_txns inst > 0 then begin
+    let expected = Dtm_core.Cost.per_object_travel metric inst commits in
+    for o = 0 to w - 1 do
+      if Array.length (Instance.requesters inst o) > 0
+         && travelled.(o) <> expected.(o)
+      then
+        diagf cost_mismatch Code.Trace_cost_mismatch ~obj:o
+          "object %d travels distance %d in the trace, Cost arithmetic \
+           gives %d"
+          o travelled.(o) expected.(o)
+    done;
+    (* Conflict-serializability: per object, users must occupy distinct
+       steps; the per-object precedence edges (earlier user -> later
+       user) must compose into an acyclic relation.  With distinct steps
+       the relation embeds in time order, so we only run the explicit
+       cycle check when no step is shared. *)
+    let ties = ref false in
+    let edges = ref [] in
+    for o = 0 to w - 1 do
+      let reqs = Array.copy (Instance.requesters inst o) in
+      Array.sort
+        (fun a b ->
+          let c = compare (Schedule.time_exn commits a) (Schedule.time_exn commits b) in
+          if c <> 0 then c else compare a b)
+        reqs;
+      for i = 0 to Array.length reqs - 2 do
+        let a = reqs.(i) and b = reqs.(i + 1) in
+        if Schedule.time_exn commits a = Schedule.time_exn commits b then begin
+          ties := true;
+          diagf unserializable Code.Trace_unserializable ~obj:o ~node:b
+            ~step:(Schedule.time_exn commits a)
+            "conflicting transactions at nodes %d and %d both commit at \
+             step %d over object %d"
+            a b (Schedule.time_exn commits a) o
+        end
+        else edges := (a, b) :: !edges
+      done
+    done;
+    if not !ties then begin
+      (* Kahn's algorithm over the precedence edges. *)
+      let indeg = Hashtbl.create 16 and out = Hashtbl.create 16 in
+      let bump t k d =
+        Hashtbl.replace t k (d + (try Hashtbl.find t k with Not_found -> 0))
+      in
+      List.iter
+        (fun (a, b) ->
+          bump indeg b 1;
+          if not (Hashtbl.mem indeg a) then Hashtbl.replace indeg a 0;
+          Hashtbl.replace out a (b :: (try Hashtbl.find out a with Not_found -> [])))
+        !edges;
+      let queue = Queue.create () in
+      Hashtbl.iter (fun v d -> if d = 0 then Queue.add v queue) indeg;
+      let removed = ref 0 in
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        incr removed;
+        List.iter
+          (fun b ->
+            let d = Hashtbl.find indeg b - 1 in
+            Hashtbl.replace indeg b d;
+            if d = 0 then Queue.add b queue)
+          (try Hashtbl.find out v with Not_found -> [])
+      done;
+      if !removed < Hashtbl.length indeg then begin
+        let witness = ref (-1) in
+        Hashtbl.iter
+          (fun v d ->
+            if d > 0 && (!witness < 0 || v < !witness) then witness := v)
+          indeg;
+        diagf unserializable Code.Trace_unserializable ~node:!witness
+          "the commit precedence relation has a cycle through node %d"
+          !witness
+      end
+    end
+  end;
+  List.concat
+    [
+      List.rev !teleport;
+      List.rev !bad_hop;
+      List.rev !cap_exceeded;
+      List.rev !premature;
+      List.rev !cost_mismatch;
+      List.rev !unserializable;
+    ]

@@ -1,0 +1,82 @@
+module Topology = Dtm_topology.Topology
+module Schedule = Dtm_core.Schedule
+
+type t = {
+  report : Report.t;
+  makespan : int;
+  lower : int;
+  replay_events : int;
+  congestion_makespan : int;
+  congestion_events : int;
+  optimum : int option;
+}
+
+(* Each pass returns its findings plus the numbers the caller reports;
+   the variant keeps [Pool.run]'s result list typed. *)
+type pass_out =
+  | Static of Report.t
+  | Replayed of int * Diagnostic.t list
+  | Congested of int * int * Diagnostic.t list
+  | Modeled of int * int option * Diagnostic.t list
+
+let run ?jobs ?(capacity = 1) topo inst sched =
+  let metric = Topology.metric topo in
+  let graph = Topology.graph topo in
+  let certificate =
+    Certificate.make ~scheduler:(Dtm_sched.Auto.name topo) topo inst sched
+  in
+  let passes =
+    [
+      (fun () -> Static (Analyze.run ?jobs ~schedule:sched ~certificate topo inst));
+      (fun () ->
+        let r = Dtm_sim.Replay.run graph inst sched in
+        let findings =
+          Trace_lint.check ~graph ~metric inst ~commits:sched r.Dtm_sim.Replay.trace
+        in
+        Replayed (Dtm_sim.Trace.length r.Dtm_sim.Replay.trace, findings));
+      (fun () ->
+        let c = Dtm_sim.Congestion.run ~capacity graph inst ~priority:sched in
+        let findings =
+          Trace_lint.check ~capacity ~graph ~metric inst
+            ~commits:c.Dtm_sim.Congestion.commit_times c.Dtm_sim.Congestion.trace
+        in
+        Congested
+          ( c.Dtm_sim.Congestion.makespan,
+            Dtm_sim.Trace.length c.Dtm_sim.Congestion.trace,
+            findings ));
+      (fun () ->
+        let lower = Dtm_core.Lower_bound.certified ?jobs metric inst in
+        let optimum, findings = Model_check.certify ~lower metric inst sched in
+        Modeled (lower, optimum, findings));
+    ]
+  in
+  let outs = Dtm_util.Pool.run (fun f -> f ()) passes in
+  let report = ref Report.empty in
+  let lower = ref 0 and replay_events = ref 0 in
+  let congestion_makespan = ref 0 and congestion_events = ref 0 in
+  let optimum = ref None in
+  List.iter
+    (fun out ->
+      match out with
+      | Static r -> report := Report.merge !report r
+      | Replayed (events, findings) ->
+        replay_events := events;
+        report := Report.merge !report (Report.of_diagnostics findings)
+      | Congested (mk, events, findings) ->
+        congestion_makespan := mk;
+        congestion_events := events;
+        report := Report.merge !report (Report.of_diagnostics findings)
+      | Modeled (lb, opt, findings) ->
+        lower := lb;
+        optimum := opt;
+        report := Report.merge !report (Report.of_diagnostics findings))
+    outs;
+  {
+    report = !report;
+    makespan = Schedule.makespan sched;
+    lower = !lower;
+    replay_events = !replay_events;
+    congestion_makespan = !congestion_makespan;
+    congestion_events = !congestion_events;
+    optimum = !optimum;
+  }

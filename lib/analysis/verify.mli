@@ -1,0 +1,40 @@
+(** The whole-pipeline correctness gate behind [dtm verify].
+
+    One call stacks every layer of checking the library has on a single
+    (topology, instance, schedule) triple:
+
+    + the static analyses of {!Analyze.run} (metric, instance, schedule
+      lints and the theorem certificate);
+    + a {!Dtm_sim.Replay} execution on the explicit graph, audited by
+      the DTM11x {!Trace_lint}s;
+    + a {!Dtm_sim.Congestion} execution under bounded capacity, audited
+      likewise including the per-edge capacity bound (DTM112);
+    + the DTM12x small-scope {!Model_check} against the certified lower
+      bound, when the instance is small enough.
+
+    The passes are independent and fan out on the shared domain pool
+    ([Dtm_util.Pool]), merged in the order above — the report is
+    byte-identical at any [-j]. *)
+
+type t = {
+  report : Report.t;
+  makespan : int;  (** of the schedule under audit *)
+  lower : int;  (** certified lower bound used for the model pass *)
+  replay_events : int;  (** length of the audited replay trace *)
+  congestion_makespan : int;  (** realized steps under bounded capacity *)
+  congestion_events : int;  (** length of the audited congestion trace *)
+  optimum : int option;  (** model checker's true optimum, when in scope *)
+}
+
+val run :
+  ?jobs:int ->
+  ?capacity:int ->
+  Dtm_topology.Topology.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t ->
+  t
+(** [run topo inst sched] audits [sched] end to end.  [capacity]
+    (default 1) bounds the congestion execution; [jobs] is forwarded to
+    the lower-bound engine.  The congestion run uses the schedule as its
+    priority order, so its commit times are audited against the same
+    conflict structure. *)

@@ -31,11 +31,13 @@ let e1_clique ~seeds =
   in
   let run n w k =
     let metric = Dtm_topology.Clique.metric n in
+    let audit = Runner.audit (Topology.Clique n) in
     let stats =
-      Runner.mean_ratio ~seeds
+      Runner.mean_ratio ~seeds ~audit
         ~gen:(fun rng -> Dtm_workload.Uniform.instance ~rng ~n ~num_objects:w ~k ())
         ~metric
         ~sched:(fun inst -> Dtm_sched.Clique_sched.schedule ~n inst)
+        ()
     in
     Table.add_row t
       ([ Table.cell_int n; Table.cell_int w; Table.cell_int k ] @ ratio_cells stats)
@@ -75,11 +77,13 @@ let e2_diameter ~seeds =
     let n = Topology.n topo in
     let metric = Topology.metric topo in
     let w = max 2 (n / 4) in
+    let audit = Runner.audit topo in
     let stats =
-      Runner.mean_ratio ~seeds
+      Runner.mean_ratio ~seeds ~audit
         ~gen:(fun rng -> Dtm_workload.Uniform.instance ~rng ~n ~num_objects:w ~k ())
         ~metric
         ~sched:(fun inst -> Dtm_sched.Diameter_sched.schedule metric inst)
+        ()
     in
     Table.add_row t
       ([
@@ -126,8 +130,11 @@ let e3_line ~seeds =
         Dtm_workload.Arbitrary.windowed ~rng ~n ~num_objects:n ~k:2 ~span:16
       in
       let ms =
-        Runner.sweep ~seeds ~gen ~metric ~sched:(fun inst ->
-            Dtm_sched.Line_sched.schedule ~n inst)
+        Runner.sweep ~seeds
+          ~audit:(Runner.audit (Topology.Line n))
+          ~gen ~metric
+          ~sched:(fun inst -> Dtm_sched.Line_sched.schedule ~n inst)
+          ()
       in
       (* Spans come from regenerating each seed's instance: [sweep] runs
          on the domain pool, so the scheduler closure must not mutate
@@ -178,12 +185,14 @@ let e4_grid ~seeds =
     let rows = side and cols = side in
     let metric = Dtm_topology.Grid.metric ~rows ~cols in
     let m = float_of_int (max side w) in
+    let audit = Runner.audit (Topology.Grid { rows; cols }) in
     let stats =
-      Runner.mean_ratio ~seeds
+      Runner.mean_ratio ~seeds ~audit
         ~gen:(fun rng ->
           Dtm_workload.Uniform.instance ~rng ~n:(rows * cols) ~num_objects:w ~k ())
         ~metric
         ~sched:(fun inst -> Dtm_sched.Grid_sched.schedule ~rows ~cols inst)
+        ()
     in
     Table.add_row t
       ([
@@ -233,9 +242,11 @@ let e5_cluster ~seeds =
         Dtm_workload.Arbitrary.cluster_spread ~rng p ~num_objects:(3 * 6) ~k:2
           ~sigma:4
       in
+      let audit = Runner.audit (Topology.Cluster p) in
       let collect approach =
-        Runner.mean_ratio ~seeds ~gen ~metric ~sched:(fun inst ->
-            Dtm_sched.Cluster_sched.schedule ~approach p inst)
+        Runner.mean_ratio ~seeds ~audit ~gen ~metric
+          ~sched:(fun inst -> Dtm_sched.Cluster_sched.schedule ~approach p inst)
+          ()
       in
       let r1, _, ok1 = collect Dtm_sched.Cluster_sched.Approach1 in
       let r2, _, ok2 = collect (Dtm_sched.Cluster_sched.Approach2 { seed = 9 }) in
@@ -294,9 +305,11 @@ let e6_star ~seeds =
       let gen rng =
         Dtm_workload.Uniform.instance ~rng ~n ~num_objects:(max 2 (n / 4)) ~k:2 ()
       in
+      let audit = Runner.audit (Topology.Star p) in
       let collect variant =
-        Runner.mean_ratio ~seeds ~gen ~metric ~sched:(fun inst ->
-            Dtm_sched.Star_sched.schedule ~variant p inst)
+        Runner.mean_ratio ~seeds ~audit ~gen ~metric
+          ~sched:(fun inst -> Dtm_sched.Star_sched.schedule ~variant p inst)
+          ()
       in
       let rg, _, okg = collect Dtm_sched.Star_sched.Greedy_periods in
       let rr, _, okr =
@@ -510,6 +523,18 @@ let e9_congestion ~seeds =
               | Some c ->
                 Dtm_sim.Congestion.run ~router ~capacity:c g inst ~priority
             in
+            (* Trace-audit gate: the realized execution must pass every
+               DTM11x lint, including the per-edge admission bound. *)
+            (match
+               Dtm_analysis.Trace_lint.check ?capacity ~graph:g ~metric inst
+                 ~commits:r.Dtm_sim.Congestion.commit_times
+                 r.Dtm_sim.Congestion.trace
+             with
+            | [] -> ()
+            | d :: _ ->
+              failwith
+                ("e9: congestion trace fails its audit: "
+                ^ Dtm_analysis.Diagnostic.render d));
             ( float_of_int r.Dtm_sim.Congestion.makespan,
               float_of_int r.Dtm_sim.Congestion.max_queue ))
           seeds
@@ -561,6 +586,12 @@ let e10_tradeoff ~seeds =
   let rows = 10 and cols = 10 in
   let n = rows * cols in
   let metric = Dtm_topology.Grid.metric ~rows ~cols in
+  let g = Topology.graph (Topology.Grid { rows; cols }) in
+  (* One warmed, frozen router for the whole sweep (the E9 pattern):
+     every seed of every scheduler replays on the shared snapshot. *)
+  let router = Dtm_sim.Router.create g in
+  Dtm_sim.Router.warm_all router;
+  let router = Dtm_sim.Router.freeze router in
   let schedulers =
     [
       ("grid subgrids (Thm 3)", fun inst -> Dtm_sched.Grid_sched.schedule ~rows ~cols inst);
@@ -584,9 +615,18 @@ let e10_tradeoff ~seeds =
                 ~parts:8
             in
             let s = sched inst in
+            (* Replay on the shared frozen router and audit the trace;
+               the feasible column now also certifies physical motion. *)
+            let r = Dtm_sim.Replay.run ~router g inst s in
+            let audited =
+              r.Dtm_sim.Replay.ok
+              && Dtm_analysis.Trace_lint.check ~graph:g ~metric inst ~commits:s
+                   r.Dtm_sim.Replay.trace
+                 = []
+            in
             ( float_of_int (Schedule.makespan s),
               float_of_int (Dtm_core.Cost.communication metric inst s),
-              Dtm_core.Validator.is_feasible metric inst s ))
+              Dtm_core.Validator.is_feasible metric inst s && audited ))
           seeds
       in
       Table.add_row t
@@ -650,6 +690,15 @@ let e11_lb_tightness ~seeds =
                 Dtm_workload.Uniform.instance ~rng ~n ~num_objects:3 ~k:2 ()
               in
               let opt = Dtm_sim.Optimal.makespan metric inst in
+              (* Cross-validate the two independent exhaustive searches:
+                 the model checker's state-space optimum must equal the
+                 permutation search's on every instance measured. *)
+              let mc = Dtm_analysis.Model_check.optimum metric inst in
+              if mc <> opt then
+                failwith
+                  (Printf.sprintf
+                     "e11: Model_check optimum %d <> Optimal.exhaustive %d" mc
+                     opt);
               let lb = Dtm_core.Lower_bound.certified metric inst in
               let greedy =
                 Schedule.makespan (Dtm_core.Greedy.schedule metric inst)
@@ -708,8 +757,11 @@ let e12_ring ~seeds =
         Dtm_workload.Arbitrary.windowed ~rng ~n ~num_objects:n ~k:2 ~span:16
       in
       let ms =
-        Runner.sweep ~seeds ~gen ~metric ~sched:(fun inst ->
-            Dtm_sched.Ring_sched.schedule ~n inst)
+        Runner.sweep ~seeds
+          ~audit:(Runner.audit (Topology.Ring n))
+          ~gen ~metric
+          ~sched:(fun inst -> Dtm_sched.Ring_sched.schedule ~n inst)
+          ()
       in
       let span =
         List.fold_left
@@ -756,6 +808,37 @@ let e13_replication ~seeds =
   in
   let n = 96 in
   let metric = Dtm_topology.Clique.metric n in
+  let g = Topology.graph (Topology.Clique n) in
+  (* One warmed, frozen router shared by every seed and write fraction
+     (the E9 pattern); it drives the master-copy replay audit below. *)
+  let router = Dtm_sim.Router.create g in
+  Dtm_sim.Router.warm_all router;
+  let router = Dtm_sim.Router.freeze router in
+  (* The master copy of each object migrates between its writers exactly
+     as in the base model, so the writers-only projection of an rw
+     instance must replay cleanly under the same schedule: that is the
+     trace-audit gate for this table. *)
+  let writers_projection rw =
+    let base = Dtm_core.Rw_instance.base rw in
+    let txns =
+      Array.to_list (Dtm_core.Instance.txn_nodes base)
+      |> List.filter_map (fun v ->
+             match Dtm_core.Instance.txn_at base v with
+             | None -> None
+             | Some objs ->
+               let written =
+                 Array.to_list objs
+                 |> List.filter (fun o ->
+                        Dtm_core.Rw_instance.is_write rw ~node:v ~obj:o)
+               in
+               if written = [] then None else Some (v, written))
+    in
+    if txns = [] then None
+    else
+      let w = Dtm_core.Instance.num_objects base in
+      let home = Array.init w (Dtm_core.Instance.home base) in
+      Some (Dtm_core.Instance.create ~n ~num_objects:w ~home ~txns)
+  in
   let measure write_fraction =
     let per_seed =
       Dtm_util.Pool.run
@@ -767,10 +850,20 @@ let e13_replication ~seeds =
           in
           let s = Dtm_core.Rw_greedy.schedule metric rw in
           let lb = Dtm_core.Rw_lower_bound.certified metric rw in
+          let audited =
+            match writers_projection rw with
+            | None -> true
+            | Some sub ->
+              let r = Dtm_sim.Replay.run ~router g sub s in
+              r.Dtm_sim.Replay.ok
+              && Dtm_analysis.Trace_lint.check ~graph:g ~metric sub ~commits:s
+                   r.Dtm_sim.Replay.trace
+                 = []
+          in
           ( float_of_int (Schedule.makespan s),
             float_of_int (Schedule.makespan s) /. float_of_int (max 1 lb),
             float_of_int (List.length (Dtm_core.Rw_greedy.conflict_pairs rw)),
-            Dtm_core.Rw_validator.is_feasible metric rw s ))
+            Dtm_core.Rw_validator.is_feasible metric rw s && audited ))
         seeds
     in
     let mean f = Dtm_util.Stats.mean (Array.of_list (List.map f per_seed)) in

@@ -7,7 +7,11 @@ type result = {
   messages : int;
   max_queue : int;
   delayed_hops : int;
+  trace : Trace.t;
 }
+
+(* Per-domain scratch arena for the event trace, reused across runs. *)
+let scratch_key = Domain.DLS.new_key (fun () -> Event_arena.create ())
 
 (* Directed edges are identified by their CSR index in the graph (entry
    [j] is the edge tail->nbr.(j), weight wt.(j)); [mate.(j)] is the CSR
@@ -48,11 +52,15 @@ let run ?router ?(capacity = max_int) graph inst ~priority =
     scan off.(tail)
   in
   let mate = Array.make ndir 0 in
+  let tails = Array.make (max ndir 1) 0 in
   for tail = 0 to Dtm_graph.Graph.n graph - 1 do
     for j = off.(tail) to off.(tail + 1) - 1 do
-      mate.(j) <- edge_id nbr.(j) tail
+      mate.(j) <- edge_id nbr.(j) tail;
+      tails.(j) <- tail
     done
   done;
+  let arena = Domain.DLS.get scratch_key in
+  Event_arena.clear arena;
   let w = Instance.num_objects inst in
   Array.iter
     (fun v ->
@@ -84,10 +92,33 @@ let run ?router ?(capacity = max_int) graph inst ~priority =
   let q_len = Array.make ndir 0 in
   let q_next = Array.make (max w 1) (-1) in
   let q_since = Array.make (max w 1) 0 in
-  (* Edges are admitted in order of their first-ever enqueue. *)
-  let order = Array.make ndir 0 in
-  let order_count = ref 0 in
+  (* Edges are admitted in order of their first-ever enqueue; [rank]
+     pins that order once per edge.  The admit phase walks only the
+     active set — edges with a non-empty queue, kept sorted by rank — so
+     each step skips every idle edge instead of scanning all [ndir]
+     directed edges ever touched.  Skipping is sound: an empty edge's
+     admit body could only reset the shared admission stamp, and a
+     fresh stamp with count 0 is indistinguishable from a reset one. *)
+  let rank = Array.make ndir 0 in
+  let rank_count = ref 0 in
   let ordered = Array.make ndir false in
+  let active = Array.make ndir 0 in
+  let active_count = ref 0 in
+  let in_active = Array.make ndir false in
+  let activate edge =
+    if not in_active.(edge) then begin
+      in_active.(edge) <- true;
+      (* Sorted insert; new edges usually rank near the end. *)
+      let r = rank.(edge) in
+      let i = ref !active_count in
+      while !i > 0 && rank.(active.(!i - 1)) > r do
+        active.(!i) <- active.(!i - 1);
+        decr i
+      done;
+      active.(!i) <- edge;
+      incr active_count
+    end
+  in
   let admitted_stamp = Array.make ndir (-1) in
   let admitted_count = Array.make ndir 0 in
   let enqueue o edge now =
@@ -100,9 +131,10 @@ let run ?router ?(capacity = max_int) graph inst ~priority =
     q_len.(edge) <- q_len.(edge) + 1;
     if not ordered.(edge) then begin
       ordered.(edge) <- true;
-      order.(!order_count) <- edge;
-      incr order_count
-    end
+      rank.(edge) <- !rank_count;
+      incr rank_count
+    end;
+    activate edge
   in
   (* Replan: the chain towards [target] from the router's shortest-path
      tree rooted at the object's current node, stored as the nodes after
@@ -166,6 +198,7 @@ let run ?router ?(capacity = max_int) graph inst ~priority =
               done_.(v) <- true;
               decr remaining;
               Schedule.set commit ~node:v ~time:now;
+              Event_arena.emit_execute arena ~node:v ~time:now;
               if now > !makespan then makespan := now;
               Array.iter
                 (fun o ->
@@ -192,8 +225,9 @@ let run ?router ?(capacity = max_int) graph inst ~priority =
     (* 4. Admit: each undirected edge lets at most [capacity] queued
        objects start crossing this step, FIFO with a deterministic
        direction interleave (lower endpoint first). *)
-    for oi = 0 to !order_count - 1 do
-      let edge = order.(oi) in
+    let nactive = !active_count in
+    for oi = 0 to nactive - 1 do
+      let edge = active.(oi) in
       if !max_queue < q_len.(edge) then max_queue := q_len.(edge);
       let key = if edge < mate.(edge) then edge else mate.(edge) in
       if admitted_stamp.(key) <> now then begin
@@ -211,6 +245,10 @@ let run ?router ?(capacity = max_int) graph inst ~priority =
           loc_kind.(o) <- k_crossing;
           loc_a.(o) <- now + weight;
           loc_b.(o) <- Array.unsafe_get nbr edge;
+          Event_arena.emit_depart arena ~obj:o ~node:tails.(edge)
+            ~dest:loc_b.(o) ~time:now;
+          Event_arena.emit_arrive arena ~obj:o ~node:loc_b.(o)
+            ~time:(now + weight);
           (if path_pos.(o) < path_len.(o)
               && path_buf.(o).(path_pos.(o)) = loc_b.(o)
            then path_pos.(o) <- path_pos.(o) + 1
@@ -221,7 +259,18 @@ let run ?router ?(capacity = max_int) graph inst ~priority =
         end
         (* else: stale entry (the object re-planned); drop it. *)
       done
-    done
+    done;
+    (* Compact: drop drained queues, preserving rank order. *)
+    let kept = ref 0 in
+    for oi = 0 to nactive - 1 do
+      let edge = active.(oi) in
+      if q_len.(edge) > 0 then begin
+        active.(!kept) <- edge;
+        incr kept
+      end
+      else in_active.(edge) <- false
+    done;
+    active_count := !kept
   done;
   {
     makespan = !makespan;
@@ -229,4 +278,5 @@ let run ?router ?(capacity = max_int) graph inst ~priority =
     messages = !messages;
     max_queue = !max_queue;
     delayed_hops = !delayed;
+    trace = Trace.of_arena arena;
   }

@@ -22,6 +22,10 @@ type result = {
   messages : int;  (** total weighted distance travelled *)
   max_queue : int;  (** worst backlog observed at any edge *)
   delayed_hops : int;  (** hop entries that had to wait at least a step *)
+  trace : Trace.t;
+      (** full event trace: one depart/arrive pair per admitted hop, one
+          execute per commit — auditable by the DTM11x trace lints,
+          including the per-edge capacity bound *)
 }
 
 val run :

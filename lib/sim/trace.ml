@@ -220,3 +220,5 @@ let pp fmt t =
   for i = 0 to t.count - 1 do
     Format.fprintf fmt "%a@." Event.pp (get t i)
   done
+
+let raw t = (t.count, t.time, t.phase, t.obj, t.node, t.dest)

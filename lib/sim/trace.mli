@@ -34,3 +34,14 @@ val check_executes_once : t -> (unit, string) result
 (** No node commits twice. *)
 
 val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val raw : t -> int * int array * int array * int array * int array * int array
+(** [(count, time, phase, obj, node, dest)] — the flat chronological
+    struct-of-arrays (phase 0 arrive, 1 execute, 2 depart; absent fields
+    are 0).  Owned by the trace: callers must not mutate.  Analyzer
+    internals (trace lints) walk the arrays directly so auditing a
+    million-event trace allocates nothing. *)
+
+(**/**)

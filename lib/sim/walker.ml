@@ -1,0 +1,96 @@
+module Instance = Dtm_core.Instance
+module Schedule = Dtm_core.Schedule
+module Graph = Dtm_graph.Graph
+module Metric = Dtm_graph.Metric
+
+type result = {
+  ok : bool;
+  errors : string list;
+  messages : int;
+  hops : int;
+  trace : Trace.t;
+}
+
+(* Per-domain scratch arena, reused across runs like Replay's. *)
+let scratch_key = Domain.DLS.new_key (fun () -> Event_arena.create ())
+
+let run graph metric inst sched =
+  if Metric.size metric <> Graph.n graph then
+    invalid_arg "Walker.run: metric size <> graph size";
+  let off, targets, weights = Graph.csr graph in
+  let arena = Domain.DLS.get scratch_key in
+  Event_arena.clear arena;
+  let errors = ref [] in
+  let error fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let messages = ref 0 and hops = ref 0 in
+  Array.iter
+    (fun v ->
+      match Schedule.time sched v with
+      | Some t -> Event_arena.emit_execute arena ~node:v ~time:t
+      | None -> error "transaction at node %d is unscheduled" v)
+    (Instance.txn_nodes inst);
+  (* One leg of object [o]: hop-by-hop from [src] to [dst], departing at
+     the end of step [release]; returns the arrival step.  Each hop picks
+     the first CSR neighbour on a shortest path, so the leg's total
+     weight is exactly [dist src dst] and progress is guaranteed (the
+     remaining distance drops by >= 1 per hop). *)
+  let move o src dst release =
+    let t = ref release and u = ref src and stuck = ref false in
+    while !u <> dst && not !stuck do
+      let rem = Metric.unsafe_dist metric !u dst in
+      let lo = off.(!u) and hi = off.(!u + 1) in
+      let next = ref (-1) and nw = ref 0 in
+      let i = ref lo in
+      while !next < 0 && !i < hi do
+        let v = Array.unsafe_get targets !i in
+        let w = Array.unsafe_get weights !i in
+        if w + Metric.unsafe_dist metric v dst = rem then begin
+          next := v;
+          nw := w
+        end;
+        incr i
+      done;
+      if !next < 0 then begin
+        error "object %d: no shortest-path hop from %d toward %d" o !u dst;
+        stuck := true
+      end
+      else begin
+        Event_arena.emit_depart arena ~obj:o ~node:!u ~dest:!next ~time:!t;
+        Event_arena.emit_arrive arena ~obj:o ~node:!next ~time:(!t + !nw);
+        messages := !messages + !nw;
+        incr hops;
+        t := !t + !nw;
+        u := !next
+      end
+    done;
+    !t
+  in
+  for o = 0 to Instance.num_objects inst - 1 do
+    let reqs = Instance.requesters inst o in
+    let all_scheduled =
+      Array.for_all (fun v -> Schedule.time sched v <> None) reqs
+    in
+    if Array.length reqs > 0 && all_scheduled then begin
+      let order = Schedule.object_order sched ~requesters:reqs in
+      let pos = ref (Instance.home inst o) and release = ref 0 in
+      List.iter
+        (fun v ->
+          let t = Schedule.time_exn sched v in
+          let arrival = if v = !pos then !release else move o !pos v !release in
+          if arrival > t then
+            error "object %d reaches node %d at step %d but it executes at %d"
+              o v arrival t
+          else if t < 1 then error "object %d used at invalid step %d" o t;
+          pos := v;
+          release := t)
+        order
+    end
+  done;
+  let trace = Trace.of_arena arena in
+  {
+    ok = !errors = [];
+    errors = List.rev !errors;
+    messages = !messages;
+    hops = !hops;
+    trace;
+  }

@@ -1,0 +1,39 @@
+(** Canonical hop-by-hop trace of a schedule, routed by the metric.
+
+    {!Replay} expands schedules with Dijkstra shortest-path trees —
+    exact, but each tree costs [O(m log n)] plus two [n]-element arrays,
+    which is prohibitive when an experiment sweep audits thousands of
+    replays on 4096-node graphs.  This module produces an equivalent
+    trace by greedy metric descent instead: from [u] toward [dst] it
+    takes the first CSR neighbour [v] with
+    [w(u,v) + dist(v,dst) = dist(u,dst)].  On a graph whose metric is
+    its shortest-path metric such a neighbour always exists, every walk
+    has exact metric length, and the whole trace costs
+    [O(hops * degree)] with no per-source state at all — cheap enough
+    to run under every [Runner.measure] call.
+
+    The emitted timing convention is exactly {!Replay}'s: an object
+    leaves at the end of the step that releases it, each hop of weight
+    [w] departs at [t] and arrives at [t + w], and the release advances
+    to the committing transaction's step. *)
+
+type result = {
+  ok : bool;
+  errors : string list;  (** empty iff [ok] *)
+  messages : int;  (** total weighted distance travelled *)
+  hops : int;  (** total edges traversed *)
+  trace : Trace.t;
+}
+
+val run :
+  Dtm_graph.Graph.t ->
+  Dtm_graph.Metric.t ->
+  Dtm_core.Instance.t ->
+  Dtm_core.Schedule.t ->
+  result
+(** [run g metric inst sched] walks every object along its scheduled
+    visit order.  [ok = false] when a transaction is unscheduled, an
+    object cannot reach its user in time, or the metric disagrees with
+    the graph (no descending neighbour) — the same failures
+    {!Replay.run} reports.  [metric] must be the shortest-path metric of
+    [g] and [Metric.size metric = Graph.n g]. *)

@@ -220,6 +220,40 @@ let test_analyze_corrupted_schedule () =
   in
   Alcotest.(check bool) "validator also rejects" true (code <> 0)
 
+let test_verify_clean () =
+  let code, out = run (cli ^ " verify -t line:6 -w 3 -k 2") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out
+    [
+      "passes:    static, replay, congestion (cap 1), model";
+      "seed 1: makespan=";
+      "optimum=";
+      "0 errors";
+    ]
+
+let test_verify_json () =
+  let code, out = run (cli ^ " verify -t grid:4x4 -w 6 -k 2 --seeds 2 --json") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out
+    [
+      "\"topology\": \"grid:4x4\"";
+      "\"capacity\": 1";
+      "\"replay_events\"";
+      "\"congestion_makespan\"";
+      "\"errors\": 0";
+    ]
+
+let test_verify_codes () =
+  let code, out = run (cli ^ " verify --codes") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out
+    [ "DTM110"; "DTM115"; "DTM123"; "trace-teleport"; "model-suboptimal" ]
+
+let test_verify_capacity () =
+  let code, out = run (cli ^ " verify -t ring:8 -w 4 -k 2 --capacity 2") in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out [ "congestion (cap 2)" ]
+
 let test_experiments_list () =
   let code, out = run (experiments ^ " --list") in
   Alcotest.(check int) "exit 0" 0 code;
@@ -257,6 +291,10 @@ let () =
           Alcotest.test_case "analyze --codes" `Quick test_analyze_codes;
           Alcotest.test_case "analyze corrupted schedule" `Quick
             test_analyze_corrupted_schedule;
+          Alcotest.test_case "verify clean" `Quick test_verify_clean;
+          Alcotest.test_case "verify --json" `Quick test_verify_json;
+          Alcotest.test_case "verify --codes" `Quick test_verify_codes;
+          Alcotest.test_case "verify --capacity" `Quick test_verify_capacity;
         ] );
       ( "experiments",
         [

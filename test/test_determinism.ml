@@ -45,6 +45,14 @@ let test_analyze_text () =
   check_identical "dtm analyze (text)" (fun j ->
       Printf.sprintf "%s analyze -t butterfly:3 -w 12 -k 3 -j %d" cli j)
 
+let test_verify_text () =
+  check_identical "dtm verify (text)" (fun j ->
+      Printf.sprintf "%s verify -t grid:4x4 -w 6 -k 2 --seeds 3 -j %d" cli j)
+
+let test_verify_json () =
+  check_identical "dtm verify --json" (fun j ->
+      Printf.sprintf "%s verify -t star:3x3 -w 4 -k 2 --seeds 2 --json -j %d" cli j)
+
 let () =
   Alcotest.run "dtm_determinism"
     [
@@ -54,5 +62,7 @@ let () =
           Alcotest.test_case "experiments csv" `Quick test_experiments_csv;
           Alcotest.test_case "analyze json" `Quick test_analyze_json;
           Alcotest.test_case "analyze text" `Quick test_analyze_text;
+          Alcotest.test_case "verify text" `Quick test_verify_text;
+          Alcotest.test_case "verify json" `Quick test_verify_json;
         ] );
     ]

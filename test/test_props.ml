@@ -129,6 +129,7 @@ let prop_measurements_parallel_deterministic =
             Dtm_workload.Uniform.instance ~rng ~n ~num_objects:w ~k:2 ())
           ~metric:(Topology.metric topo)
           ~sched:(fun inst -> Dtm_core.Greedy.schedule (Topology.metric topo) inst)
+          ()
       in
       Pool.set_default_jobs 1;
       let sequential = measure () in
@@ -150,7 +151,7 @@ let prop_sweep_ordered =
       in
       let sched inst = Dtm_core.Greedy.schedule metric inst in
       let seeds = List.init 5 (fun i -> seed + i) in
-      let swept = Dtm_expt.Runner.sweep ~seeds ~gen ~metric ~sched in
+      let swept = Dtm_expt.Runner.sweep ~seeds ~gen ~metric ~sched () in
       let sequential =
         List.map
           (fun s ->
@@ -504,6 +505,100 @@ let prop_nearest_first_matches_seed =
             && Schedule.makespan reference = Schedule.makespan fast
           end))
 
+(* P16: every execution trace the simulators produce — Dijkstra replay,
+   metric-descent walker, bounded-capacity congestion — passes the
+   DTM11x trace lints on all seven topologies, including the per-edge
+   capacity audit at the capacity the congestion run was given. *)
+let prop_traces_pass_lints =
+  qtest ~count:20 "replay/walker/congestion traces pass the DTM11x lints"
+    seed_gen (fun seed ->
+      for_all_topologies seed (fun ~seed topo inst ->
+          let metric = Topology.metric topo in
+          let g = Topology.graph topo in
+          let sched = Dtm_sched.Auto.schedule ~seed topo inst in
+          let clean ?capacity ~commits trace =
+            Dtm_analysis.Trace_lint.check ?capacity ~graph:g ~metric inst
+              ~commits trace
+            = []
+          in
+          let capacity = 1 + (seed mod 3) in
+          let r = Dtm_sim.Replay.run g inst sched in
+          let w = Dtm_sim.Walker.run g metric inst sched in
+          let c = Dtm_sim.Congestion.run ~capacity g inst ~priority:sched in
+          r.Dtm_sim.Replay.ok && w.Dtm_sim.Walker.ok
+          && clean ~commits:sched r.Dtm_sim.Replay.trace
+          && clean ~commits:sched w.Dtm_sim.Walker.trace
+          && clean ~capacity ~commits:c.Dtm_sim.Congestion.commit_times
+               c.Dtm_sim.Congestion.trace))
+
+(* P17: the model checker's reachable-state search and the permutation
+   search in Optimal.exhaustive find the same optimum on random small
+   instances (<= 7 transactions) of all seven topologies — 30 cases x 7
+   families = 210 cross-validations per run. *)
+let small_instance_on rng topo =
+  let n = Topology.n topo in
+  let t = 2 + Prng.int rng (min 6 (n - 1)) in
+  let nodes = Array.init n (fun i -> i) in
+  for i = 0 to t - 1 do
+    let j = i + Prng.int rng (n - i) in
+    let tmp = nodes.(i) in
+    nodes.(i) <- nodes.(j);
+    nodes.(j) <- tmp
+  done;
+  let w = 1 + Prng.int rng 3 in
+  let home = Array.init w (fun _ -> Prng.int rng n) in
+  let txns =
+    List.init t (fun i ->
+        let k = 1 + Prng.int rng w in
+        let objs = Array.init w (fun o -> o) in
+        for x = 0 to k - 1 do
+          let j = x + Prng.int rng (w - x) in
+          let tmp = objs.(x) in
+          objs.(x) <- objs.(j);
+          objs.(j) <- tmp
+        done;
+        (nodes.(i), Array.to_list (Array.sub objs 0 k)))
+  in
+  Dtm_core.Instance.create ~n ~num_objects:w ~home ~txns
+
+let prop_model_check_matches_exhaustive =
+  qtest "Model_check.optimum = Optimal.exhaustive on all 7 topologies"
+    seed_gen (fun seed ->
+      let rng = Prng.create ~seed in
+      List.for_all
+        (fun topo ->
+          let inst = small_instance_on rng topo in
+          let metric = Topology.metric topo in
+          Dtm_analysis.Model_check.optimum metric inst
+          = Dtm_sim.Optimal.makespan metric inst)
+        (seven_topologies rng))
+
+(* P18: the composed verifier is deterministic under the pool — the
+   rendered report and every outcome number are identical at -j 1 and
+   -j 4 (the CLI-level twin lives in test_determinism). *)
+let prop_verify_parallel_deterministic =
+  qtest ~count:5 "Verify.run identical at jobs 1 and 4" seed_gen (fun seed ->
+      let rng = Prng.create ~seed in
+      let topo = List.nth (seven_topologies rng) (seed mod 7) in
+      let inst = instance_on rng topo in
+      let sched = Dtm_sched.Auto.schedule ~seed topo inst in
+      let snap () =
+        let v = Dtm_analysis.Verify.run topo inst sched in
+        ( Dtm_analysis.Report.render v.Dtm_analysis.Verify.report,
+          v.Dtm_analysis.Verify.makespan,
+          v.Dtm_analysis.Verify.lower,
+          v.Dtm_analysis.Verify.replay_events,
+          v.Dtm_analysis.Verify.congestion_makespan,
+          v.Dtm_analysis.Verify.congestion_events,
+          v.Dtm_analysis.Verify.optimum )
+      in
+      Pool.set_default_jobs 1;
+      let sequential = snap () in
+      Pool.set_default_jobs 4;
+      let parallel = snap () in
+      Pool.set_default_jobs 2;
+      sequential = parallel)
+
 let () =
   Alcotest.run "dtm_props"
     [
@@ -517,7 +612,10 @@ let () =
           prop_sweep_ordered;
           prop_lower_bound_parallel_deterministic;
           prop_replay_pool_deterministic;
+          prop_verify_parallel_deterministic;
         ] );
+      ( "verifier",
+        [ prop_traces_pass_lints; prop_model_check_matches_exhaustive ] );
       ( "kernels",
         [
           prop_flat_matches_oracle;
