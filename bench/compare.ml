@@ -45,6 +45,8 @@ let gated =
     "dtm/extensions/e10_nearest_first";
     "dtm/extensions/e12_ring_sched";
     "dtm/extensions/e14_online_greedy_cm";
+    "dtm/online/steady_state_1m";
+    "dtm/online/stability_probe";
     "dtm/ablations/cluster_approach1";
     "dtm/ablations/cluster_approach2";
     "dtm/ablations/grid_xi_half";

@@ -180,6 +180,56 @@ let extension_tests =
             s ~homes));
     ]
 
+(* Open-system steady-state kernels (E16's inner loop): the
+   continual-arrival engine pulling a seeded injection source.  The
+   workload is deterministic, so even a single sample per quota gives a
+   stable reading. *)
+let steady_spec =
+  {
+    Dtm_workload.Injection.n = 32;
+    num_objects = 128;
+    k = 2;
+    rate = 1.0;
+    burst = 4;
+    dist = Dtm_workload.Injection.Zipf_objects 1.0;
+    seed = 7;
+  }
+
+let steady_metric = Dtm_topology.Clique.metric steady_spec.Dtm_workload.Injection.n
+let steady_homes = Dtm_workload.Injection.homes steady_spec
+
+let probe_spec =
+  {
+    steady_spec with
+    Dtm_workload.Injection.n = 16;
+    num_objects = 32;
+    rate = 0.4;
+    dist = Dtm_workload.Injection.Zipf_objects 1.1;
+  }
+
+let probe_metric = Dtm_topology.Clique.metric probe_spec.Dtm_workload.Injection.n
+let probe_homes = Dtm_workload.Injection.homes probe_spec
+
+let online_tests =
+  Test.make_grouped ~name:"online"
+    [
+      (* 10^6 transactions end to end: the frontier-only engine must
+         digest them in O(1) space and roughly a second. *)
+      Test.make ~name:"steady_state_1m" (stage (fun () ->
+          Dtm_online.Open_system.run
+            ~policy:(Dtm_online.Policy.Timestamp { preemption = true })
+            steady_metric
+            (Dtm_workload.Injection.source ~limit:1_000_000 steady_spec)
+            ~homes:steady_homes ~horizon:4_000_000));
+      (* One short-horizon bisection probe, as E16 issues ~250 of. *)
+      Test.make ~name:"stability_probe" (stage (fun () ->
+          Dtm_online.Open_system.run
+            ~policy:(Dtm_online.Policy.Window_greedy { window = 16; seed = 1 })
+            ~divergence_cap:400 probe_metric
+            (Dtm_workload.Injection.source probe_spec)
+            ~homes:probe_homes ~horizon:1_000));
+    ]
+
 (* Substrate and baselines. *)
 let substrate_tests =
   Test.make_grouped ~name:"substrate"
@@ -225,6 +275,7 @@ let all_tests =
       experiment_tests;
       ablation_tests;
       extension_tests;
+      online_tests;
       substrate_tests;
       verify_tests;
     ]

@@ -327,13 +327,16 @@ let online_cmd =
           ("greedy-cm", Dtm_online.Policy.Timestamp { preemption = true });
           ("nearest", Dtm_online.Policy.Nearest);
           ("random", Dtm_online.Policy.Random_grant 1);
+          ("window-greedy", Dtm_online.Policy.Window_greedy { window = 16; seed = 1 });
         ]
     in
     Arg.(
       value
       & opt policy_conv (Dtm_online.Policy.Timestamp { preemption = true })
       & info [ "policy" ] ~docv:"POLICY"
-          ~doc:"Contention manager: timestamp, greedy-cm, nearest, or random.")
+          ~doc:
+            "Contention manager: timestamp, greedy-cm, nearest, random, or \
+             window-greedy.")
   in
   Cmd.v
     (Cmd.info "online"
@@ -341,6 +344,128 @@ let online_cmd =
     Term.(
       const run $ topo_arg $ objects_arg $ k_arg $ seed_arg $ txns_arg $ gap_arg
       $ policy_arg)
+
+let serve_cmd =
+  let run topo w k seed rate burst dist policy horizon patience critical =
+    let n = Topology.n topo in
+    let metric = Topology.metric topo in
+    let spec =
+      { Dtm_workload.Injection.n; num_objects = w; k; rate; burst; dist; seed }
+    in
+    let homes = Dtm_workload.Injection.homes spec in
+    Printf.printf "topology:      %s\n" (Topology.describe topo);
+    Printf.printf "injection:     %s\n" (Dtm_workload.Injection.describe spec);
+    Printf.printf "policy:        %s\n" (Dtm_online.Policy.to_string policy);
+    let serve rate =
+      let src =
+        Dtm_workload.Injection.source { spec with Dtm_workload.Injection.rate }
+      in
+      Dtm_online.Open_system.run ~policy ~patience metric src ~homes ~horizon
+    in
+    let r = serve rate in
+    let module O = Dtm_online.Open_system in
+    Printf.printf "horizon:       %d steps\n" r.O.horizon;
+    Printf.printf "verdict:       %s\n" (O.verdict_to_string r.O.verdict);
+    Printf.printf "injected:      %d txns (committed %d)\n" r.O.injected
+      r.O.committed;
+    Printf.printf "queue:         final %d, peak %d, mean %.1f\n" r.O.final_queue
+      r.O.peak_queue r.O.mean_queue;
+    if r.O.committed > 0 then
+      Printf.printf "latency:       p50 %d, p99 %d, p999 %d, max %d steps\n"
+        r.O.latency_p50 r.O.latency_p99 r.O.latency_p999 r.O.max_latency;
+    Printf.printf "travel:        %d weighted units\n" r.O.total_travel;
+    Printf.printf "recoveries:    %d forced grants, %d preemptions\n"
+      r.O.forced_grants r.O.preemptions;
+    if critical then begin
+      let stable rho = (serve rho).O.verdict = O.Bounded in
+      let lo, hi =
+        O.critical_rate ~lo:(rate /. 16.0) ~hi:(rate *. 16.0) stable
+      in
+      Printf.printf "critical rate: rho* in [%.4f, %.4f] txns/step\n" lo hi
+    end
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt float 0.3
+      & info [ "rate" ] ~docv:"RHO" ~doc:"Injection rate (transactions per step).")
+  in
+  let burst_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "burst" ] ~docv:"B"
+          ~doc:"Token-bucket burstiness: arrivals clump into batches of ~B.")
+  in
+  let dist_arg =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "uniform" ] -> Ok Dtm_workload.Injection.Uniform_objects
+      | [ "zipf"; e ] -> (
+        match float_of_string_opt e with
+        | Some e when e >= 0.0 -> Ok (Dtm_workload.Injection.Zipf_objects e)
+        | _ -> Error (`Msg "zipf wants a non-negative exponent, e.g. zipf:1.1"))
+      | [ "hot"; p ] -> (
+        match float_of_string_opt p with
+        | Some p when p >= 0.0 && p <= 1.0 ->
+          Ok (Dtm_workload.Injection.Hot_objects p)
+        | _ -> Error (`Msg "hot wants a probability, e.g. hot:0.8"))
+      | _ -> Error (`Msg "expected uniform, zipf:EXPONENT, or hot:PROB")
+    in
+    let print ppf d =
+      Format.pp_print_string ppf (Dtm_workload.Injection.dist_to_string d)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Dtm_workload.Injection.Uniform_objects
+      & info [ "dist" ] ~docv:"DIST"
+          ~doc:"Object popularity: uniform, zipf:EXPONENT, or hot:PROB.")
+  in
+  let policy_arg =
+    let policy_conv =
+      Arg.enum
+        [
+          ("timestamp", Dtm_online.Policy.Timestamp { preemption = false });
+          ("greedy-cm", Dtm_online.Policy.Timestamp { preemption = true });
+          ("nearest", Dtm_online.Policy.Nearest);
+          ("random", Dtm_online.Policy.Random_grant 1);
+          ("window-greedy", Dtm_online.Policy.Window_greedy { window = 16; seed = 1 });
+        ]
+    in
+    Arg.(
+      value
+      & opt policy_conv (Dtm_online.Policy.Timestamp { preemption = true })
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Contention manager: timestamp, greedy-cm, nearest, random, or \
+             window-greedy.")
+  in
+  let horizon_arg =
+    Arg.(
+      value
+      & opt int 20_000
+      & info [ "horizon" ] ~docv:"STEPS" ~doc:"Steps to simulate.")
+  in
+  let patience_arg =
+    Arg.(
+      value
+      & opt int 50
+      & info [ "patience" ] ~docv:"STEPS"
+          ~doc:"Idle steps before the deadlock watchdog intervenes.")
+  in
+  let critical_arg =
+    Arg.(
+      value & flag
+      & info [ "critical" ]
+          ~doc:"Also binary-search the critical rate rho* for this policy.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a continual-arrival open-system workload and judge stability.")
+    Term.(
+      const run $ topo_arg $ objects_arg $ k_arg $ seed_arg $ rate_arg
+      $ burst_arg $ dist_arg $ policy_arg $ horizon_arg $ patience_arg
+      $ critical_arg)
 
 let analyze_cmd =
   let module Analysis = Dtm_analysis in
@@ -655,5 +780,6 @@ let () =
             analyze_cmd;
             verify_cmd;
             online_cmd;
+            serve_cmd;
             topologies_cmd;
           ]))

@@ -57,3 +57,8 @@ val e14_online : seeds:int list -> result
 val e15_scaling : seeds:int list -> result
 (** Release hygiene: empirical wall-clock growth exponents of the main
     schedulers. *)
+
+val e16_stability : seeds:int list -> result
+(** Open-system extension (arXiv 2208.07359 direction): continual
+    arrivals at rate rho; per-topology critical rates rho*, stability
+    verdicts, and exact latency percentiles per contention manager. *)

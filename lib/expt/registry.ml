@@ -136,6 +136,13 @@ let all =
       csv = Some (csv_of_experiment Experiments.e15_scaling);
     };
     {
+      id = "e16";
+      title = "Open-system stability (continual arrivals)";
+      claim = "age-based policies sustain the highest critical rate rho*";
+      run = of_experiment Experiments.e16_stability;
+      csv = Some (csv_of_experiment Experiments.e16_stability);
+    };
+    {
       id = "f1";
       title = "Figure 1: line decomposition";
       claim = "n = 32 line, l = 8, alternating S1/S2 subgraphs";

@@ -1,0 +1,392 @@
+module Prng = Dtm_util.Prng
+
+type verdict = Bounded | Diverging
+
+let verdict_to_string = function
+  | Bounded -> "bounded"
+  | Diverging -> "diverging"
+
+type report = {
+  horizon : int;
+  injected : int;
+  committed : int;
+  final_queue : int;
+  peak_queue : int;
+  mean_queue : float;
+  latency_p50 : int;
+  latency_p99 : int;
+  latency_p999 : int;
+  max_latency : int;
+  total_travel : int;
+  forced_grants : int;
+  preemptions : int;
+  verdict : verdict;
+}
+
+type txn = {
+  id : int;
+  node : int;
+  objects : int array;
+  arrival : int;
+  mutable missing : int; (* requested objects not yet delivered to us *)
+  mutable live : bool;
+}
+
+type obj = {
+  mutable pos : int;
+  mutable holder : txn option;
+  mutable dest : int;
+  mutable transit_until : int; (* 0 = landed *)
+  mutable waiters : txn list; (* newest first; dead entries compacted lazily *)
+  mutable dirty : bool; (* queued for grant consideration this step *)
+}
+
+let older a b =
+  match compare a.arrival b.arrival with 0 -> compare a.id b.id | c -> c
+
+let run ?(policy = Policy.Timestamp { preemption = false }) ?(patience = 50)
+    ?(latency_window = 65536) ?(divergence_cap = 10_000) ?probe ?on_commit
+    metric src ~homes ~horizon =
+  if Array.length homes <> Stream.source_num_objects src then
+    invalid_arg "Open_system.run: homes size mismatch";
+  if patience < 1 then invalid_arg "Open_system.run: patience < 1";
+  if horizon < 1 then invalid_arg "Open_system.run: horizon < 1";
+  if divergence_cap < 1 then invalid_arg "Open_system.run: divergence_cap < 1";
+  let rng =
+    match policy with
+    | Policy.Random_grant seed -> Prng.create ~seed
+    | Policy.Timestamp _ | Policy.Nearest | Policy.Window_greedy _ ->
+      Prng.create ~seed:0
+  in
+  let objs =
+    Array.map
+      (fun h ->
+        {
+          pos = h;
+          holder = None;
+          dest = h;
+          transit_until = 0;
+          waiters = [];
+          dirty = false;
+        })
+      homes
+  in
+  (* Deliveries bucketed by step in a growable circular calendar, so a
+     step never scans the object table: slot (t mod size) holds the
+     objects landing at step t, and the buffer grows (rarely) past the
+     longest transit delay ever scheduled. *)
+  let bsize = ref 128 in
+  let buckets = ref (Array.make !bsize []) in
+  let grow_buckets needed =
+    let size = ref !bsize in
+    while !size < needed do
+      size := !size * 2
+    done;
+    let nb = Array.make !size [] in
+    Array.iter
+      (List.iter (fun ((t, _) as e) -> nb.(t mod !size) <- e :: nb.(t mod !size)))
+      !buckets;
+    bsize := !size;
+    buckets := nb
+  in
+  let schedule_delivery ~now t oid =
+    if t - now + 1 >= !bsize then grow_buckets (t - now + 2);
+    let slot = t mod !bsize in
+    !buckets.(slot) <- (t, oid) :: !buckets.(slot)
+  in
+  let injected = ref 0 in
+  let committed = ref 0 in
+  let live = ref 0 in
+  let travel = ref 0 and forced = ref 0 and preempted = ref 0 in
+  let latq = Dtm_util.Stats.Window.create latency_window in
+  let max_latency = ref 0 in
+  let peak_queue = ref 0 in
+  let queue_sum = ref 0.0 in
+  (* Segment sums for the stability verdict: planned-horizon thirds. *)
+  let t1 = horizon / 3 and t2 = 2 * horizon / 3 in
+  let sum_mid = ref 0.0 and sum_last = ref 0.0 in
+  let live_queue : txn Queue.t = Queue.create () in
+  let dirty_list = ref [] in
+  let mark_dirty oid =
+    let o = objs.(oid) in
+    if not o.dirty then begin
+      o.dirty <- true;
+      dirty_list := oid :: !dirty_list
+    end
+  in
+  let send o oid ~to_ now =
+    let d = Dtm_graph.Metric.dist metric o.pos to_.node in
+    o.holder <- Some to_;
+    o.dest <- to_.node;
+    let t = now + max 1 d in
+    o.transit_until <- t;
+    travel := !travel + d;
+    schedule_delivery ~now t oid
+  in
+  let holds o t = match o.holder with Some h -> h.id = t.id | None -> false in
+  let choose o candidates =
+    match candidates with
+    | [] -> None
+    | _ -> (
+      match policy with
+      | Policy.Timestamp _ ->
+        List.fold_left
+          (fun acc c ->
+            match acc with
+            | None -> Some c
+            | Some b -> if older c b < 0 then Some c else acc)
+          None candidates
+      | Policy.Nearest ->
+        let dist c = Dtm_graph.Metric.dist metric o.pos c.node in
+        List.fold_left
+          (fun acc c ->
+            match acc with
+            | None -> Some c
+            | Some b ->
+              if dist c < dist b || (dist c = dist b && older c b < 0) then
+                Some c
+              else acc)
+          None candidates
+      | Policy.Random_grant _ -> Some (Prng.choose_list rng candidates)
+      | Policy.Window_greedy { window; seed } ->
+        let key c =
+          let w = Policy.window_index ~window ~arrival:c.arrival in
+          (w, Policy.window_priority ~seed ~window_id:w ~id:c.id)
+        in
+        List.fold_left
+          (fun acc c ->
+            match acc with
+            | None -> Some c
+            | Some b ->
+              let kc = key c and kb = key b in
+              if kc < kb || (kc = kb && older c b < 0) then Some c else acc)
+          None candidates)
+  in
+  let to_commit = ref [] in
+  let deliver now oid =
+    let o = objs.(oid) in
+    o.pos <- o.dest;
+    o.transit_until <- 0;
+    (match o.holder with
+    | Some h when h.live && o.pos = h.node ->
+      h.missing <- h.missing - 1;
+      if h.missing = 0 then to_commit := h :: !to_commit
+    | _ -> ());
+    (* A landed object is a fresh grant/steal opportunity: waiters that
+       registered while it was in flight were skipped then. *)
+    mark_dirty oid;
+    ignore now
+  in
+  let next_id = ref 0 in
+  let pending = ref (Stream.pull src) in
+  let last_progress = ref 0 in
+  let steps_done = ref 0 in
+  let diverged = ref false in
+  let finished = ref false in
+  let step = ref 0 in
+  while (not !finished) && !step < horizon do
+    incr step;
+    let now = !step in
+    (* 1. Inject every transaction whose arrival step has come. *)
+    let rec inject () =
+      match !pending with
+      | Some st when st.Stream.arrival <= now ->
+        let r =
+          {
+            id = !next_id;
+            node = st.Stream.node;
+            objects = Array.of_list st.Stream.objects;
+            arrival = st.Stream.arrival;
+            missing = List.length st.Stream.objects;
+            live = true;
+          }
+        in
+        incr next_id;
+        incr injected;
+        incr live;
+        Queue.push r live_queue;
+        Array.iter
+          (fun oid ->
+            objs.(oid).waiters <- r :: objs.(oid).waiters;
+            mark_dirty oid)
+          r.objects;
+        (* Injection is NOT progress: under continual arrivals it would
+           reset the watchdog forever and a wedged grant state would
+           never recover.  Only deliveries and commits count. *)
+        pending := Stream.pull src;
+        inject ()
+      | _ -> ()
+    in
+    inject ();
+    (* 2. Deliver this step's bucket. *)
+    let slot = now mod !bsize in
+    (match !buckets.(slot) with
+    | [] -> ()
+    | entries ->
+      !buckets.(slot) <- [];
+      List.iter (fun (t, oid) -> if t = now then deliver now oid) entries;
+      last_progress := now);
+    (* 3. Commit (ascending id for a deterministic latency sample order). *)
+    (match !to_commit with
+    | [] -> ()
+    | ready ->
+      to_commit := [];
+      let ready = List.sort (fun a b -> compare a.id b.id) ready in
+      List.iter
+        (fun txn ->
+          txn.live <- false;
+          decr live;
+          incr committed;
+          let latency = now - txn.arrival + 1 in
+          Dtm_util.Stats.Window.add latq latency;
+          if latency > !max_latency then max_latency := latency;
+          (match on_commit with
+          | Some f -> f ~id:txn.id ~node:txn.node ~step:now
+          | None -> ());
+          Array.iter
+            (fun oid ->
+              let o = objs.(oid) in
+              if holds o txn then begin
+                o.holder <- None;
+                mark_dirty oid
+              end)
+            txn.objects;
+          last_progress := now)
+        ready);
+    (* 4. Grant dirty objects (ascending object id). *)
+    (match !dirty_list with
+    | [] -> ()
+    | ds ->
+      dirty_list := [];
+      let ds = List.sort Int.compare ds in
+      List.iter
+        (fun oid ->
+          let o = objs.(oid) in
+          o.dirty <- false;
+          if o.transit_until = 0 then begin
+            o.waiters <- List.filter (fun t -> t.live) o.waiters;
+            match o.holder with
+            | None -> (
+              match choose o o.waiters with
+              | Some c -> send o oid ~to_:c now
+              | None -> ())
+            | Some holder -> (
+              match policy with
+              | Policy.Timestamp { preemption = true } -> (
+                let ws =
+                  List.filter
+                    (fun c -> c.id <> holder.id && older c holder < 0)
+                    o.waiters
+                in
+                match choose o ws with
+                | Some c ->
+                  (* The object sits delivered at the holder: stealing
+                     it re-opens that request. *)
+                  holder.missing <- holder.missing + 1;
+                  incr preempted;
+                  send o oid ~to_:c now
+                | None -> ())
+              | _ -> ())
+          end)
+        ds);
+    (* 5. Drain committed entries from the age queue eagerly — otherwise
+       every transaction ever injected stays reachable through it and a
+       10^6-transaction run retains the whole history instead of the
+       frontier.  (The watchdog below also skips dead entries, but only
+       when it fires.) *)
+    while
+      (not (Queue.is_empty live_queue)) && not (Queue.peek live_queue).live
+    do
+      ignore (Queue.pop live_queue)
+    done;
+    (* 6. Watchdog: force-grant the oldest live transaction's objects
+       after [patience] idle steps. *)
+    if now - !last_progress > patience then begin
+      let rec oldest () =
+        if Queue.is_empty live_queue then None
+        else begin
+          let f = Queue.peek live_queue in
+          if f.live then Some f
+          else begin
+            ignore (Queue.pop live_queue);
+            oldest ()
+          end
+        end
+      in
+      match oldest () with
+      | None -> last_progress := now
+      | Some star ->
+        Array.iter
+          (fun oid ->
+            let o = objs.(oid) in
+            if o.transit_until = 0 && not (holds o star) then begin
+              (match o.holder with
+              | Some h -> h.missing <- h.missing + 1
+              | None -> ());
+              incr forced;
+              send o oid ~to_:star now
+            end)
+          star.objects;
+        last_progress := now
+    end;
+    (* 7. Sample the queue; verdict bookkeeping; early exits. *)
+    let q = !live in
+    if q > !peak_queue then peak_queue := q;
+    queue_sum := !queue_sum +. float_of_int q;
+    if now > t2 then sum_last := !sum_last +. float_of_int q
+    else if now > t1 then sum_mid := !sum_mid +. float_of_int q;
+    (match probe with
+    | Some f -> f ~step:now ~injected:!injected ~committed:!committed ~queue:q
+    | None -> ());
+    steps_done := now;
+    if q > divergence_cap then begin
+      diverged := true;
+      finished := true
+    end
+    else if !pending = None && q = 0 then finished := true
+  done;
+  let hsteps = !steps_done in
+  let verdict =
+    if !diverged then Diverging
+    else if hsteps < horizon then Bounded (* drained a finite source *)
+    else begin
+      let mean_mid = !sum_mid /. float_of_int (max 1 (t2 - t1)) in
+      let mean_last = !sum_last /. float_of_int (max 1 (horizon - t2)) in
+      if mean_last <= (1.35 *. mean_mid) +. 4.0 then Bounded else Diverging
+    end
+  in
+  let pct p =
+    if Dtm_util.Stats.Window.length latq = 0 then -1
+    else Dtm_util.Stats.Window.percentile latq p
+  in
+  {
+    horizon = hsteps;
+    injected = !injected;
+    committed = !committed;
+    final_queue = !live;
+    peak_queue = !peak_queue;
+    mean_queue = (if hsteps = 0 then 0.0 else !queue_sum /. float_of_int hsteps);
+    latency_p50 = pct 50.0;
+    latency_p99 = pct 99.0;
+    latency_p999 = pct 99.9;
+    max_latency = !max_latency;
+    total_travel = !travel;
+    forced_grants = !forced;
+    preemptions = !preempted;
+    verdict;
+  }
+
+let critical_rate ?(iters = 7) ~lo ~hi stable =
+  if not (lo > 0.0 && lo < hi) then
+    invalid_arg "Open_system.critical_rate: need 0 < lo < hi";
+  if iters < 1 then invalid_arg "Open_system.critical_rate: iters < 1";
+  if not (stable lo) then (lo, lo)
+  else if stable hi then (hi, hi)
+  else begin
+    let lo = ref lo and hi = ref hi in
+    for _ = 1 to iters do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if stable mid then lo := mid else hi := mid
+    done;
+    (!lo, !hi)
+  end

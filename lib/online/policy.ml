@@ -2,9 +2,31 @@ type t =
   | Timestamp of { preemption : bool }
   | Nearest
   | Random_grant of int
+  | Window_greedy of { window : int; seed : int }
 
 let to_string = function
   | Timestamp { preemption = true } -> "timestamp+preemption (Greedy CM)"
   | Timestamp { preemption = false } -> "timestamp"
   | Nearest -> "nearest"
   | Random_grant _ -> "random"
+  | Window_greedy _ -> "window-greedy"
+
+let window_index ~window ~arrival =
+  if window < 1 then invalid_arg "Policy.window_index: window < 1";
+  (arrival - 1) / window
+
+(* SplitMix64-style finalizer: a stateless, platform-independent mixer so
+   window priorities are reproducible without threading a Prng through
+   the executor.  Only the low 62 bits survive [land max_int]; that is
+   plenty for a tie-break. *)
+let mix64 x =
+  let x = Int64.of_int x in
+  let x = Int64.logxor x (Int64.shift_right_logical x 30) in
+  let x = Int64.mul x 0xbf58476d1ce4e5b9L in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  let x = Int64.mul x 0x94d049bb133111ebL in
+  let x = Int64.logxor x (Int64.shift_right_logical x 31) in
+  Int64.to_int x land max_int
+
+let window_priority ~seed ~window_id ~id =
+  mix64 (seed lxor mix64 (window_id lxor mix64 id))

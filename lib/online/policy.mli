@@ -16,5 +16,24 @@ type t =
       (** the waiter closest to the object's current position (ties by
           age) — locality-seeking, but deadlock-prone without recovery. *)
   | Random_grant of int  (** uniformly random waiter, seeded. *)
+  | Window_greedy of { window : int; seed : int }
+      (** the window-based greedy contention manager (Sharma-Busch,
+          arXiv 1002.4182): time is sliced into windows of [window]
+          steps; transactions from earlier windows always win, and
+          within one window each transaction carries a pseudo-random
+          priority derived from [seed].  Randomized priorities break the
+          adversarial chains that starve plain timestamp ordering, while
+          the window floor still bounds how long anyone waits.
+          Non-preemptive; relies on the executor's watchdog for deadlock
+          recovery.  Requires [window >= 1]. *)
 
 val to_string : t -> string
+
+val window_index : window:int -> arrival:int -> int
+(** The window an arrival step falls into ([(arrival - 1) / window]).
+    Raises [Invalid_argument] when [window < 1]. *)
+
+val window_priority : seed:int -> window_id:int -> id:int -> int
+(** Deterministic per-(transaction, window) priority: a stateless
+    SplitMix64-style hash, non-negative, identical across runs and
+    platforms.  Lower wins. *)

@@ -14,7 +14,13 @@
     waiting transaction (the abort-and-retry of real TMs, counted in
     [forced_grants]).  The preemptive timestamp policy (Greedy CM)
     instead steals objects from younger holders as it goes and needs no
-    recovery. *)
+    recovery.
+
+    Transaction records are pulled from the stream lazily — a record is
+    allocated when its node issues it, so at most [Stream.n] records are
+    live at any moment regardless of stream length.  For continual
+    arrivals at an injection rate (the open-system model), use
+    {!Open_system} instead. *)
 
 type stats = {
   makespan : int;  (** last commit step *)

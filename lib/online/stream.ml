@@ -63,6 +63,68 @@ let uniform ~rng ~n ~num_objects ~k ~txns_per_node ~mean_gap =
   done;
   create ~n ~num_objects (List.rev !all)
 
+type source = {
+  src_n : int;
+  src_num_objects : int;
+  src_pull : unit -> txn option;
+}
+
+let make_source ~n ~num_objects pull =
+  if n < 1 then invalid_arg "Stream.make_source: n < 1";
+  if num_objects < 1 then invalid_arg "Stream.make_source: num_objects < 1";
+  { src_n = n; src_num_objects = num_objects; src_pull = pull }
+
+let source_n s = s.src_n
+let source_num_objects s = s.src_num_objects
+let pull s = s.src_pull ()
+
+let to_source t =
+  (* Merge the per-node queues by (arrival, node) without materializing
+     the global list: each queue is already arrival-sorted, so an O(n)
+     head scan per pull suffices. *)
+  let heads = Array.copy t.queues in
+  let pull () =
+    let best = ref (-1) in
+    Array.iteri
+      (fun v q ->
+        match q with
+        | [] -> ()
+        | x :: _ ->
+          if
+            !best < 0
+            ||
+            let y = List.hd heads.(!best) in
+            x.arrival < y.arrival
+          then best := v)
+      heads;
+    if !best < 0 then None
+    else begin
+      match heads.(!best) with
+      | x :: rest ->
+        heads.(!best) <- rest;
+        Some x
+      | [] -> assert false
+    end
+  in
+  make_source ~n:t.n ~num_objects:t.num_objects pull
+
+let of_source ?limit src =
+  let buf = ref [] in
+  let count = ref 0 in
+  let continue () = match limit with None -> true | Some l -> !count < l in
+  let rec drain () =
+    if continue () then begin
+      match pull src with
+      | None -> ()
+      | Some txn ->
+        buf := txn :: !buf;
+        incr count;
+        drain ()
+    end
+  in
+  drain ();
+  create ~n:src.src_n ~num_objects:src.src_num_objects (List.rev !buf)
+
 let initial_homes ~rng t =
   let users = Array.make t.num_objects [] in
   Array.iter

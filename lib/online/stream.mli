@@ -41,6 +41,34 @@ val uniform :
     uniform k-subsets; inter-arrival gaps are geometric-ish with the
     given mean (>= 1). *)
 
+(** {2 Pull-based sources}
+
+    A [source] yields transactions one at a time in non-decreasing
+    arrival order (ties in any deterministic order), so long-horizon
+    executors can consume 10^6–10^7 transactions while holding only the
+    active frontier — the whole stream is never materialized. *)
+
+type source
+
+val make_source : n:int -> num_objects:int -> (unit -> txn option) -> source
+(** [make_source ~n ~num_objects pull] wraps a generator.  The contract
+    (unchecked): successive [pull]s return non-decreasing arrivals, and
+    every transaction is in range for [n]/[num_objects]. *)
+
+val source_n : source -> int
+val source_num_objects : source -> int
+
+val pull : source -> txn option
+(** Next transaction, or [None] when exhausted.  Stateful. *)
+
+val to_source : t -> source
+(** The stream's transactions in (arrival, node) order, pulled one at a
+    time (an O(n) per-node head scan per pull; nothing is copied). *)
+
+val of_source : ?limit:int -> source -> t
+(** Materialize (a prefix of) a source — for tests and small finite
+    workloads only; defeats the purpose on long horizons. *)
+
 val initial_homes : rng:Dtm_util.Prng.t -> t -> int array
 (** Homes for the objects: a uniform requester of each (uniform node if
     unused), as in the batch workloads. *)

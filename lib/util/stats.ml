@@ -77,6 +77,77 @@ let log2_slope pts =
   in
   fst (linear_regression lpts)
 
+module Window = struct
+  (* Bounded ring buffer of integer samples with exact nearest-rank
+     percentiles over the window contents.  The buffer is allocated once
+     at [create]; [add] never allocates, and [percentile] sorts a scratch
+     array also allocated at [create], so a long steady-state run can
+     sample latencies without GC pressure. *)
+  type t = {
+    buf : int array;
+    mutable next : int; (* write cursor *)
+    mutable filled : int; (* live samples, <= capacity *)
+    mutable total : int; (* samples ever added *)
+  }
+
+  let create capacity =
+    if capacity <= 0 then invalid_arg "Stats.Window.create: capacity <= 0";
+    { buf = Array.make capacity 0; next = 0; filled = 0; total = 0 }
+
+  let capacity w = Array.length w.buf
+  let length w = w.filled
+  let total w = w.total
+
+  let clear w =
+    w.next <- 0;
+    w.filled <- 0;
+    w.total <- 0
+
+  let add w x =
+    let cap = Array.length w.buf in
+    w.buf.(w.next) <- x;
+    w.next <- (w.next + 1) mod cap;
+    if w.filled < cap then w.filled <- w.filled + 1;
+    w.total <- w.total + 1
+
+  (* Exact nearest-rank percentile: the smallest sample such that at
+     least ceil(p/100 * n) samples are <= it.  No interpolation — tail
+     latencies should report a value that actually occurred. *)
+  let percentile w p =
+    if w.filled = 0 then invalid_arg "Stats.Window.percentile: empty";
+    if p < 0.0 || p > 100.0 then
+      invalid_arg "Stats.Window.percentile: p out of range";
+    let n = w.filled in
+    (* The ring occupies slots 0..filled-1 whenever filled < capacity and
+       the whole buffer once full, so the live multiset is always a
+       prefix. *)
+    let sorted = Array.sub w.buf 0 n in
+    Array.sort Int.compare sorted;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let rank = if rank < 1 then 1 else if rank > n then n else rank in
+    sorted.(rank - 1)
+
+  let p50 w = percentile w 50.0
+  let p99 w = percentile w 99.0
+  let p999 w = percentile w 99.9
+
+  let max_sample w =
+    if w.filled = 0 then invalid_arg "Stats.Window.max_sample: empty";
+    let m = ref w.buf.(0) in
+    for i = 1 to w.filled - 1 do
+      if w.buf.(i) > !m then m := w.buf.(i)
+    done;
+    !m
+
+  let mean w =
+    if w.filled = 0 then invalid_arg "Stats.Window.mean: empty";
+    let s = ref 0 in
+    for i = 0 to w.filled - 1 do
+      s := !s + w.buf.(i)
+    done;
+    float_of_int !s /. float_of_int w.filled
+end
+
 let histogram xs ~bins =
   if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
   let lo, hi = min_max xs in

@@ -30,3 +30,41 @@ val log2_slope : (float * float) array -> float
 val histogram : float array -> bins:int -> (float * int) array
 (** [histogram xs ~bins] buckets [xs] into [bins] equal-width bins over
     [min, max]; returns (bin lower edge, count). *)
+
+(** Bounded sliding window of integer samples (e.g. latencies in steps)
+    with exact nearest-rank percentiles.  The ring is allocated at
+    [create] and [add] never allocates, so a 10^7-transaction
+    steady-state run can record every latency without GC pressure;
+    [percentile] sorts a copy of the live samples (report-time only).
+    Once more than [capacity] samples arrive, the window holds the most
+    recent [capacity] of them. *)
+module Window : sig
+  type t
+
+  val create : int -> t
+  (** [create capacity] with [capacity >= 1]. *)
+
+  val capacity : t -> int
+
+  val length : t -> int
+  (** Live samples currently in the window ([<= capacity]). *)
+
+  val total : t -> int
+  (** Samples ever added, including ones that have rolled out. *)
+
+  val clear : t -> unit
+  val add : t -> int -> unit
+
+  val percentile : t -> float -> int
+  (** Exact nearest-rank percentile over the window: the smallest sample
+      with at least [ceil (p/100 * length)] samples [<=] it.  Always a
+      value that actually occurred.  Raises [Invalid_argument] on an
+      empty window or [p] outside [0, 100]. *)
+
+  val p50 : t -> int
+  val p99 : t -> int
+  val p999 : t -> int
+
+  val max_sample : t -> int
+  val mean : t -> float
+end

@@ -1,0 +1,116 @@
+module Prng = Dtm_util.Prng
+module Stream = Dtm_online.Stream
+
+type obj_dist = Uniform_objects | Zipf_objects of float | Hot_objects of float
+
+type spec = {
+  n : int;
+  num_objects : int;
+  k : int;
+  rate : float;
+  burst : int;
+  dist : obj_dist;
+  seed : int;
+}
+
+let validate spec =
+  if spec.n < 1 then invalid_arg "Injection: n < 1";
+  if spec.num_objects < 1 then invalid_arg "Injection: num_objects < 1";
+  if spec.k < 1 || spec.k > spec.num_objects then invalid_arg "Injection: bad k";
+  if not (spec.rate > 0.0) then invalid_arg "Injection: rate <= 0";
+  if spec.burst < 1 then invalid_arg "Injection: burst < 1";
+  match spec.dist with
+  | Zipf_objects e when e < 0.0 -> invalid_arg "Injection: negative exponent"
+  | Hot_objects p when p < 0.0 || p > 1.0 ->
+    invalid_arg "Injection: hot probability out of range"
+  | _ -> ()
+
+let dist_to_string = function
+  | Uniform_objects -> "uniform"
+  | Zipf_objects e -> Printf.sprintf "zipf(%.2f)" e
+  | Hot_objects p -> Printf.sprintf "hot(%.2f)" p
+
+let describe spec =
+  Printf.sprintf "rate %.3f, burst %d, %s, k=%d, m=%d" spec.rate spec.burst
+    (dist_to_string spec.dist) spec.k spec.num_objects
+
+let source ?limit spec =
+  validate spec;
+  let rng = Prng.create ~seed:spec.seed in
+  (* Cumulative weights for inverse-transform Zipf sampling, built once. *)
+  let zipf_cum =
+    match spec.dist with
+    | Zipf_objects e ->
+      let cum = Array.make spec.num_objects 0.0 in
+      let total = ref 0.0 in
+      for o = 0 to spec.num_objects - 1 do
+        total := !total +. (1.0 /. (float_of_int (o + 1) ** e));
+        cum.(o) <- !total
+      done;
+      Some cum
+    | Uniform_objects | Hot_objects _ -> None
+  in
+  let draw_object () =
+    match spec.dist with
+    | Uniform_objects -> Prng.int rng spec.num_objects
+    | Hot_objects p ->
+      if Prng.float rng 1.0 < p then 0 else Prng.int rng spec.num_objects
+    | Zipf_objects _ ->
+      let cum = Option.get zipf_cum in
+      let x = Prng.float rng cum.(spec.num_objects - 1) in
+      let lo = ref 0 and hi = ref (spec.num_objects - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cum.(mid) >= x then hi := mid else lo := mid + 1
+      done;
+      !lo
+  in
+  let draw_objects () =
+    (* k distinct objects by rejection (k is small), sorted for stable
+       downstream iteration order. *)
+    let rec go acc need =
+      if need = 0 then acc
+      else begin
+        let o = draw_object () in
+        if List.mem o acc then go acc need else go (o :: acc) (need - 1)
+      end
+    in
+    List.sort Int.compare (go [] spec.k)
+  in
+  let emitted = ref 0 in
+  let step = ref 0 in
+  let credit = ref 0.0 in
+  let due = ref 0 in
+  let exhausted () =
+    match limit with Some l -> !emitted >= l | None -> false
+  in
+  let pull () =
+    if exhausted () then None
+    else begin
+      (* Token bucket: every step earns [rate] credit; once at least
+         [burst] has accrued the whole integer part is released as a
+         batch arriving that step.  burst = 1 is a smooth trickle;
+         larger bursts clump arrivals adversarially. *)
+      while !due = 0 do
+        incr step;
+        credit := !credit +. spec.rate;
+        if !credit >= float_of_int spec.burst then begin
+          let m = int_of_float !credit in
+          due := m;
+          credit := !credit -. float_of_int m
+        end
+      done;
+      decr due;
+      incr emitted;
+      let node = Prng.int rng spec.n in
+      Some { Stream.node; objects = draw_objects (); arrival = !step }
+    end
+  in
+  Stream.make_source ~n:spec.n ~num_objects:spec.num_objects pull
+
+let homes spec =
+  validate spec;
+  (* A seed-derived but independent draw, so the object placement does
+     not shift when the arrival sequence is consumed differently. *)
+  let rng = Prng.create ~seed:(spec.seed lxor 0x686f6d65) in
+  Array.init spec.num_objects (fun _ -> Prng.int rng spec.n)

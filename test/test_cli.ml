@@ -133,7 +133,33 @@ let test_online_subcommand () =
       in
       Alcotest.(check int) (policy ^ " exit 0") 0 code;
       check_contains out [ "makespan:"; "mean response:" ])
-    [ "timestamp"; "greedy-cm"; "nearest"; "random" ]
+    [ "timestamp"; "greedy-cm"; "nearest"; "random"; "window-greedy" ]
+
+let test_serve_subcommand () =
+  List.iter
+    (fun dist ->
+      let code, out =
+        run
+          (Printf.sprintf
+             "%s serve -t clique:8 -w 16 -k 2 --rate 0.5 --dist %s --horizon 2000"
+             cli dist)
+      in
+      Alcotest.(check int) (dist ^ " exit 0") 0 code;
+      check_contains out [ "verdict:"; "injected:"; "latency:"; "recoveries:" ])
+    [ "uniform"; "zipf:1.1"; "hot:0.5" ]
+
+let test_serve_critical_flag () =
+  let code, out =
+    run
+      (cli
+     ^ " serve -t line:8 -w 8 -k 2 --rate 0.3 --horizon 1500 --critical")
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out [ "critical rate: rho* in [" ]
+
+let test_serve_bad_dist () =
+  let code, _ = run (cli ^ " serve -t clique:4 --dist pareto:2") in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
 
 let test_capacity_flag () =
   let code, out = run (cli ^ " schedule -t star:4x4 -w 6 -k 2 --capacity 1") in
@@ -285,6 +311,9 @@ let () =
           Alcotest.test_case "custom graph file" `Quick test_custom_graph_file;
           Alcotest.test_case "missing graph file" `Quick test_custom_graph_missing_file;
           Alcotest.test_case "online subcommand" `Quick test_online_subcommand;
+          Alcotest.test_case "serve subcommand" `Quick test_serve_subcommand;
+          Alcotest.test_case "serve --critical" `Quick test_serve_critical_flag;
+          Alcotest.test_case "serve bad dist" `Quick test_serve_bad_dist;
           Alcotest.test_case "capacity flag" `Quick test_capacity_flag;
           Alcotest.test_case "analyze clean" `Quick test_analyze_clean;
           Alcotest.test_case "analyze --json" `Quick test_analyze_json;

@@ -33,6 +33,12 @@ let test_experiments_subset () =
   check_identical "experiments e3 e8 f1 f2 f3" (fun j ->
       Printf.sprintf "%s -j %d e3 e8 f1 f2 f3" experiments j)
 
+let test_experiments_e16 () =
+  (* E16 fans its topology x policy cells over the pool and bisects
+     rho* per cell; the whole table must still be jobs-invariant. *)
+  check_identical "experiments e16" (fun j ->
+      Printf.sprintf "%s -j %d e16" experiments j)
+
 let test_experiments_csv () =
   check_identical "experiments --csv e8" (fun j ->
       Printf.sprintf "%s -j %d --csv e8" experiments j)
@@ -59,6 +65,7 @@ let () =
       ( "parallel-vs-sequential",
         [
           Alcotest.test_case "experiments subset" `Quick test_experiments_subset;
+          Alcotest.test_case "experiments e16" `Quick test_experiments_e16;
           Alcotest.test_case "experiments csv" `Quick test_experiments_csv;
           Alcotest.test_case "analyze json" `Quick test_analyze_json;
           Alcotest.test_case "analyze text" `Quick test_analyze_text;

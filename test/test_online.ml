@@ -16,6 +16,7 @@ let all_policies =
     ("greedy-cm", Policy.Timestamp { preemption = true });
     ("nearest", Policy.Nearest);
     ("random", Policy.Random_grant 7);
+    ("window-greedy", Policy.Window_greedy { window = 16; seed = 1 });
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -169,7 +170,7 @@ let test_deterministic () =
 
 let prop_online_completes =
   qtest "every policy completes every stream"
-    QCheck.(pair (int_range 0 100_000) (int_range 0 3))
+    QCheck.(pair (int_range 0 100_000) (int_range 0 4))
     (fun (seed, pi) ->
       let rng = Prng.create ~seed in
       let n = 4 + Prng.int rng 10 in

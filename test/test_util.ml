@@ -287,6 +287,71 @@ let test_stats_min_max () =
   Alcotest.(check bool) "max" true (feq hi 3.0)
 
 (* ------------------------------------------------------------------ *)
+(* Stats.Window                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_window_known_distribution () =
+  (* 1..100 shuffled: nearest-rank percentiles are exact order
+     statistics, so p50 = 50, p99 = 99, p99.9 = 100. *)
+  let w = Stats.Window.create 128 in
+  let xs = Array.init 100 (fun i -> i + 1) in
+  let rng = Dtm_util.Prng.create ~seed:11 in
+  Dtm_util.Prng.shuffle rng xs;
+  Array.iter (Stats.Window.add w) xs;
+  Alcotest.(check int) "p50" 50 (Stats.Window.p50 w);
+  Alcotest.(check int) "p99" 99 (Stats.Window.p99 w);
+  Alcotest.(check int) "p999" 100 (Stats.Window.p999 w);
+  Alcotest.(check int) "p0 -> min" 1 (Stats.Window.percentile w 0.0);
+  Alcotest.(check int) "p100 -> max" 100 (Stats.Window.percentile w 100.0);
+  Alcotest.(check int) "max_sample" 100 (Stats.Window.max_sample w);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Stats.Window.mean w)
+
+let test_window_nearest_rank () =
+  (* [1; 2; 3; 4]: rank ceil(p/100 * 4), a sample that occurred. *)
+  let w = Stats.Window.create 8 in
+  List.iter (Stats.Window.add w) [ 4; 2; 1; 3 ];
+  Alcotest.(check int) "p25" 1 (Stats.Window.percentile w 25.0);
+  Alcotest.(check int) "p50" 2 (Stats.Window.percentile w 50.0);
+  Alcotest.(check int) "p51" 3 (Stats.Window.percentile w 51.0);
+  Alcotest.(check int) "p75" 3 (Stats.Window.percentile w 75.0);
+  Alcotest.(check int) "p76" 4 (Stats.Window.percentile w 76.0)
+
+let test_window_rollover () =
+  (* Capacity 10, samples 1..25: the window holds 16..25. *)
+  let w = Stats.Window.create 10 in
+  for i = 1 to 25 do
+    Stats.Window.add w i
+  done;
+  Alcotest.(check int) "length" 10 (Stats.Window.length w);
+  Alcotest.(check int) "total" 25 (Stats.Window.total w);
+  Alcotest.(check int) "capacity" 10 (Stats.Window.capacity w);
+  Alcotest.(check int) "p50 of 16..25" 20 (Stats.Window.p50 w);
+  Alcotest.(check int) "p99 of 16..25" 25 (Stats.Window.p99 w);
+  Alcotest.(check int) "min survivor" 16 (Stats.Window.percentile w 0.0);
+  Alcotest.(check int) "max_sample" 25 (Stats.Window.max_sample w)
+
+let test_window_edge_cases () =
+  let w = Stats.Window.create 4 in
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.Window.percentile: empty") (fun () ->
+      ignore (Stats.Window.p50 w));
+  Stats.Window.add w 7;
+  Alcotest.(check int) "single p50" 7 (Stats.Window.p50 w);
+  Alcotest.(check int) "single p999" 7 (Stats.Window.p999 w);
+  Stats.Window.clear w;
+  Alcotest.(check int) "cleared length" 0 (Stats.Window.length w);
+  Alcotest.(check int) "cleared total" 0 (Stats.Window.total w);
+  List.iter (Stats.Window.add w) [ 5; 5; 5; 5 ];
+  Alcotest.(check int) "all-equal p50" 5 (Stats.Window.p50 w);
+  Alcotest.(check int) "all-equal p999" 5 (Stats.Window.p999 w);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.Window.percentile: p out of range") (fun () ->
+      ignore (Stats.Window.percentile w 101.0));
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Stats.Window.create: capacity <= 0") (fun () ->
+      ignore (Stats.Window.create 0))
+
+(* ------------------------------------------------------------------ *)
 (* Table                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -371,6 +436,12 @@ let () =
           Alcotest.test_case "log2 slope" `Quick test_stats_log2_slope;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "min_max" `Quick test_stats_min_max;
+          Alcotest.test_case "window known distribution" `Quick
+            test_window_known_distribution;
+          Alcotest.test_case "window nearest rank" `Quick
+            test_window_nearest_rank;
+          Alcotest.test_case "window rollover" `Quick test_window_rollover;
+          Alcotest.test_case "window edge cases" `Quick test_window_edge_cases;
         ] );
       ( "table",
         [
