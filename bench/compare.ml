@@ -22,23 +22,30 @@
 (* The kernels the gate protects.  Beyond the substrate layer (where the
    perf work lives), the list includes every experiment/ablation kernel
    that proved stable at the 50 ms CI quota: >= 0.05 ms/run (above timer
-   noise) and <= 1.3x max/min spread over repeated runs.  Excluded as
-   too noisy at that quota: e3 (tiny), e4 (1.6x), e5 (2.8x), e8 (1.8x),
-   e11 (allocation-heavy DP), and the sub-0.05 ms coloring/tsp
-   micro-kernels. *)
+   noise) and <= 1.3x max/min spread over repeated runs.  Re-measured
+   after the landmark-oracle PR (4 runs at 50 ms): e4 now spreads 1.08x,
+   e5 1.19x, e8 1.09x — all three rejoin the gate (their earlier 1.6x /
+   2.8x / 1.8x noise predated the grid/cluster scheduler rework).  Still
+   excluded: e3 (tiny), e11 (1.8x spread even after the incremental
+   rewrite — permutation search time depends on cutoff luck), and the
+   sub-0.05 ms coloring/tsp micro-kernels. *)
 let gated =
   [
     "dtm/substrate/apsp_grid16";
     "dtm/substrate/baseline_sequential";
     "dtm/substrate/dependency_build";
     "dtm/substrate/lower_bound";
+    "dtm/substrate/metric_landmark";
     "dtm/substrate/online_engine";
     "dtm/substrate/replay_grid";
     "dtm/substrate/replay_grid_cold";
     "dtm/substrate/validator";
     "dtm/experiments/e1_clique_thm1";
     "dtm/experiments/e2_hypercube_sec31";
+    "dtm/experiments/e4_grid_thm3";
+    "dtm/experiments/e5_cluster_thm4";
     "dtm/experiments/e6_star_thm5";
+    "dtm/experiments/e8_coloring_sec23";
     "dtm/experiments/e7_blockgrid_sec8";
     "dtm/extensions/e9_congestion_cap1";
     "dtm/extensions/e9_congestion_unbounded";

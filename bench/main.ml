@@ -230,6 +230,16 @@ let online_tests =
             ~homes:probe_homes ~horizon:1_000));
     ]
 
+(* Landmark oracle: build (L Dijkstras over CSR) plus a deterministic
+   batch of exact queries on a 32x32 grid.  Building a fresh oracle per
+   run keeps the per-domain query cache cold, so the goal-directed
+   search cost stays visible instead of degenerating into cache hits. *)
+let lm_graph = Dtm_topology.Grid.graph ~rows:32 ~cols:32
+let lm_pairs =
+  let rng = rng_of 11 in
+  Array.init 1024 (fun _ ->
+      (Dtm_util.Prng.int rng 1024, Dtm_util.Prng.int rng 1024))
+
 (* Substrate and baselines. *)
 let substrate_tests =
   Test.make_grouped ~name:"substrate"
@@ -239,6 +249,13 @@ let substrate_tests =
           Dtm_core.Dependency.build grid_metric grid_inst));
       Test.make ~name:"lower_bound" (stage (fun () ->
           Dtm_core.Lower_bound.compute grid_metric grid_inst));
+      Test.make ~name:"metric_landmark" (stage (fun () ->
+          let m =
+            Dtm_graph.Metric.of_landmark (Dtm_graph.Landmark.build lm_graph)
+          in
+          Array.fold_left
+            (fun acc (u, v) -> acc + Dtm_graph.Metric.dist m u v)
+            0 lm_pairs));
       Test.make ~name:"validator" (stage (fun () ->
           Dtm_core.Validator.is_feasible grid_metric grid_inst grid_sched));
       Test.make ~name:"replay_grid" (stage (fun () ->

@@ -41,7 +41,7 @@ let topo_arg =
         ~doc:
           "Topology, e.g. clique:64, line:128, grid:16x16, torus:8x8, \
            hypercube:6, butterfly:4, cluster:5x6:g12, star:8x7, blockgrid:9, \
-           blocktree:9.")
+           blocktree:9, powerlaw:100000x3:s42.")
 
 let objects_arg =
   Arg.(value & opt int 16 & info [ "w"; "objects" ] ~docv:"W" ~doc:"Number of shared objects.")

@@ -21,7 +21,7 @@ let theorem_bound topo inst =
   | Topology.Star p -> Some (Bounds.star p inst)
   | Topology.Torus _ | Topology.Hypercube _ | Topology.Butterfly _
   | Topology.Tree _ | Topology.Hypergrid _ | Topology.Block_grid _
-  | Topology.Block_tree _ ->
+  | Topology.Block_tree _ | Topology.Power_law _ ->
     Some (Bounds.diameter (Topology.metric topo) inst)
   | Topology.Custom { graph; _ } ->
     if Dtm_graph.Graph.is_connected graph then

@@ -7,6 +7,7 @@ type t =
   | Unrequested_object
   | Hub_overload
   | Home_not_at_requester
+  | Oracle_bound_violation
   | Unscheduled_txn
   | Phantom_entry
   | Early_first_use
@@ -37,6 +38,7 @@ let all =
     Unrequested_object;
     Hub_overload;
     Home_not_at_requester;
+    Oracle_bound_violation;
     Unscheduled_txn;
     Phantom_entry;
     Early_first_use;
@@ -67,6 +69,7 @@ let id = function
   | Unrequested_object -> "DTM006"
   | Hub_overload -> "DTM007"
   | Home_not_at_requester -> "DTM008"
+  | Oracle_bound_violation -> "DTM009"
   | Unscheduled_txn -> "DTM101"
   | Phantom_entry -> "DTM102"
   | Early_first_use -> "DTM103"
@@ -91,7 +94,7 @@ let of_id s = List.find_opt (fun c -> id c = s) all
 
 let default_severity = function
   | Unreachable_home | Metric_asymmetry | Metric_degenerate
-  | Triangle_violation | Unscheduled_txn | Phantom_entry | Early_first_use
+  | Triangle_violation | Oracle_bound_violation | Unscheduled_txn | Phantom_entry | Early_first_use
   | Motion_infeasible | Step_conflict | Capacity_mismatch
   | Trace_teleport | Trace_bad_hop | Trace_capacity_exceeded
   | Trace_premature_commit | Trace_cost_mismatch | Trace_unserializable
@@ -113,6 +116,7 @@ let title = function
   | Unrequested_object -> "unrequested-object"
   | Hub_overload -> "hub-overload"
   | Home_not_at_requester -> "home-not-at-requester"
+  | Oracle_bound_violation -> "oracle-bound-violation"
   | Unscheduled_txn -> "unscheduled-transaction"
   | Phantom_entry -> "phantom-entry"
   | Early_first_use -> "early-first-use"
@@ -152,6 +156,9 @@ let describe = function
   | Home_not_at_requester ->
     "a requested object starts away from all of its requesters, deviating \
      from the paper's initial-placement convention"
+  | Oracle_bound_violation ->
+    "a landmark oracle's cheap bound bracket excludes the exact distance \
+     it reports (lower > dist or dist > upper)"
   | Unscheduled_txn -> "a transaction is not assigned an execution step"
   | Phantom_entry ->
     "the schedule assigns a step to a node that holds no transaction"

@@ -38,6 +38,10 @@ type t =
       (** DTM008: some requested object starts away from all of its
           requesters — deviates from the paper's usual initial
           placement (Section 2.1). *)
+  | Oracle_bound_violation
+      (** DTM009: a landmark oracle's O(L) bound bracket excludes the
+          exact distance it reports — the rows and the search disagree,
+          so pruning is unsound. *)
   | Unscheduled_txn  (** DTM101: a transaction has no execution step. *)
   | Phantom_entry
       (** DTM102: the schedule assigns a step to a node that holds no

@@ -11,6 +11,12 @@
     Work is bounded by [budget] primitive distance lookups (default
     200_000): pair checks are exhaustive while they fit, then
     deterministically sampled; triple checks likewise.  Findings are
-    deduplicated per code. *)
+    deduplicated per code.
+
+    Landmark-backed metrics pay a pruned search per lookup instead of
+    an array read, so the budget is scaled down (~200x, floor 64) to
+    keep large-n lints fast; in exchange every sampled pair also checks
+    the oracle's own bound bracket, [lower <= dist <= upper]
+    ([DTM009]). *)
 
 val check : ?budget:int -> Dtm_graph.Metric.t -> Diagnostic.t list

@@ -23,3 +23,11 @@ let to_metric g =
     Array.blit rows.(u) 0 flat (u * n) n
   done;
   Metric.of_flat ~size:n flat
+
+(* The same cutoff [Metric.materialize] applies to closure oracles: up
+   to it the n^2 table is cache-resident and unbeatable per query;
+   above it the table stops fitting and the landmark oracle's L * n
+   rows take over. *)
+let auto_metric g =
+  if Graph.n g <= Metric.default_max_size then to_metric g
+  else Metric.of_landmark (Landmark.build g)

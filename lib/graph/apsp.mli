@@ -14,5 +14,10 @@ val to_metric : Graph.t -> Metric.t
 (** APSP-backed metric for [g], built directly on the flat
     {!Metric.of_flat} backend. *)
 
+val auto_metric : Graph.t -> Metric.t
+(** {!to_metric} up to {!Metric.default_max_size} nodes; above that, a
+    landmark (ALT) metric ({!Landmark.build}) — n² ints stop being
+    affordable exactly where the flat cutoff says so. *)
+
 val unit_weights : Graph.t -> bool
 (** True when every edge has weight 1. *)

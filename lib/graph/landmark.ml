@@ -1,0 +1,438 @@
+(* Landmark (ALT) distance oracle.
+
+   [Metric.Flat] materializes n^2 distances, which caps topologies at
+   ~10^3 nodes; this backend stores only L per-landmark distance rows
+   (L * n ints) and answers arbitrary queries exactly with a
+   goal-directed (A-star) Dijkstra over the CSR graph, pruned by the
+   triangle-inequality potential
+
+     h(x) = max_l |d(l, x) - d(l, v)|   <=  d(x, v)
+
+   which is a consistent heuristic, so the first settlement of the
+   target is the exact shortest-path distance.  Queries where the
+   potential is too weak to steer (small-world graphs) fall back to a
+   bidirectional Dijkstra instead — see [bidi] below.  The same rows
+   give the O(L) bound pair
+
+     lower(u, v) = max_l |d(l, u) - d(l, v)|
+     upper(u, v) = min_l  d(l, u) + d(l, v)
+
+   for callers that only need brackets; when the two coincide the exact
+   query is free, which on path-like graphs resolves most queries
+   without touching the priority queue at all.
+
+   Landmarks are chosen by farthest-point selection: the first is the
+   node farthest from node 0 (so it lands on the periphery), each next
+   one maximizes the distance to the landmarks already chosen, ties
+   broken towards the smaller node id.  Selection and the verdicts it
+   feeds are deterministic.
+
+   Per-query state (distance labels, heuristic memo, priority queue and
+   a direct-mapped exact-pair cache) lives in a per-domain scratch
+   keyed off the oracle, so a frozen oracle value can be captured by
+   closures running on [Dtm_util.Pool] domains: queries are pure reads
+   of the shared rows plus writes to domain-local scratch. *)
+
+type t = {
+  n : int;
+  landmarks : int array;  (* node ids, in selection order *)
+  rows : int array array;  (* rows.(l).(v) = d(landmarks.(l), v) *)
+  off : int array;  (* CSR of the underlying graph *)
+  nbr : int array;
+  wt : int array;
+  scratch : scratch Domain.DLS.key;
+}
+
+and scratch = {
+  mutable gdist : int array;  (* A* g-values / forward labels, stamped *)
+  mutable bdist : int array;  (* backward labels (bidirectional search) *)
+  mutable hmemo : int array;  (* h-values for the current target, stamped *)
+  mutable stamp : int array;
+  mutable epoch : int;
+  pq : int Dtm_util.Pqueue.t;
+  bq : int Dtm_util.Pqueue.t;
+  (* Direct-mapped exact-pair cache: [ckey.(i)] holds the encoded pair
+     (or -1) whose exact distance is [cval.(i)].  One slot per hash —
+     a stamped 1-way LRU; hot (pos, node) pairs in the open-system
+     engine hit it on every re-evaluation. *)
+  ckey : int array;
+  cval : int array;
+}
+
+let cache_bits = 14
+let cache_slots = 1 lsl cache_bits
+
+let make_scratch () =
+  {
+    gdist = [||];
+    bdist = [||];
+    hmemo = [||];
+    stamp = [||];
+    epoch = 0;
+    pq = Dtm_util.Pqueue.create ();
+    bq = Dtm_util.Pqueue.create ();
+    ckey = Array.make cache_slots (-1);
+    cval = Array.make cache_slots 0;
+  }
+
+let size t = t.n
+let num_landmarks t = Array.length t.landmarks
+let landmarks t = Array.copy t.landmarks
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let default_landmarks n =
+  (* Enough rows to steer A* without drowning the cache: 8 up to 64k
+     nodes, then one more per doubling. *)
+  let rec extra n acc = if n <= 65_536 then acc else extra (n / 2) (acc + 1) in
+  min n (8 + extra n 0)
+
+let of_rows ~n ~landmarks ~rows graph =
+  if Array.length landmarks = 0 then
+    invalid_arg "Landmark.of_rows: no landmarks";
+  if Array.length landmarks <> Array.length rows then
+    invalid_arg "Landmark.of_rows: landmarks/rows length mismatch";
+  if Graph.n graph <> n then invalid_arg "Landmark.of_rows: graph size mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Landmark.of_rows: row length mismatch")
+    rows;
+  let off, nbr, wt = Graph.csr graph in
+  {
+    n;
+    landmarks;
+    rows;
+    off;
+    nbr;
+    wt;
+    scratch = Domain.DLS.new_key make_scratch;
+  }
+
+let select ?landmarks:(want : int option) ~n dist_from =
+  if n < 1 then invalid_arg "Landmark.select: empty graph";
+  let want =
+    match want with
+    | None -> default_landmarks n
+    | Some l ->
+      if l < 1 then invalid_arg "Landmark.select: landmarks < 1";
+      min l n
+  in
+  let chosen = Array.make want 0 in
+  let rows = Array.make want [||] in
+  (* Farthest-point sweep.  [mind.(v)] is the distance from [v] to the
+     nearest chosen landmark; the next landmark maximizes it.  Nodes at
+     max_int (other components) win first, so every component gets a
+     landmark before refinement starts. *)
+  let row0 = dist_from 0 in
+  let first = ref 0 and best = ref (-1) in
+  for v = 0 to n - 1 do
+    let d = row0.(v) in
+    let d = if d = max_int then -1 else d in
+    if d > !best then begin
+      best := d;
+      first := v
+    end
+  done;
+  chosen.(0) <- !first;
+  rows.(0) <- dist_from !first;
+  let mind = Array.copy rows.(0) in
+  for l = 1 to want - 1 do
+    let pick = ref 0 and best = ref (-1) in
+    for v = 0 to n - 1 do
+      (* max_int (uncovered component) sorts above every finite
+         distance; ties keep the smallest id. *)
+      let d = mind.(v) in
+      if d > !best then begin
+        best := d;
+        pick := v
+      end
+    done;
+    chosen.(l) <- !pick;
+    let row = dist_from !pick in
+    rows.(l) <- row;
+    for v = 0 to n - 1 do
+      if row.(v) < mind.(v) then mind.(v) <- row.(v)
+    done
+  done;
+  (chosen, rows)
+
+let build ?landmarks graph =
+  let n = Graph.n graph in
+  if n < 1 then invalid_arg "Landmark.build: empty graph";
+  let chosen, rows =
+    select ?landmarks ~n (fun src -> Dijkstra.distances graph ~src)
+  in
+  let off, nbr, wt = Graph.csr graph in
+  {
+    n;
+    landmarks = chosen;
+    rows;
+    off;
+    nbr;
+    wt;
+    scratch = Domain.DLS.new_key make_scratch;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Bounds                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check t u v name =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg (name ^ ": node out of range")
+
+let unsafe_lower_bound t u v =
+  if u = v then 0
+  else begin
+    let rows = t.rows in
+    let best = ref 0 in
+    (try
+       for l = 0 to Array.length rows - 1 do
+         let row = Array.unsafe_get rows l in
+         let du = Array.unsafe_get row u and dv = Array.unsafe_get row v in
+         if du = max_int || dv = max_int then begin
+           (* Exactly one endpoint reaches this landmark: the pair is
+              disconnected and the lower bound is infinite. *)
+           if du <> dv then begin
+             best := max_int;
+             raise Exit
+           end
+         end
+         else begin
+           let d = if du >= dv then du - dv else dv - du in
+           if d > !best then best := d
+         end
+       done
+     with Exit -> ());
+    !best
+  end
+
+let unsafe_upper_bound t u v =
+  if u = v then 0
+  else begin
+    let rows = t.rows in
+    let best = ref max_int in
+    for l = 0 to Array.length rows - 1 do
+      let row = Array.unsafe_get rows l in
+      let du = Array.unsafe_get row u and dv = Array.unsafe_get row v in
+      if du < max_int && dv < max_int && du + dv < !best then best := du + dv
+    done;
+    !best
+  end
+
+let lower_bound t u v =
+  check t u v "Landmark.lower_bound";
+  unsafe_lower_bound t u v
+
+let upper_bound t u v =
+  check t u v "Landmark.upper_bound";
+  unsafe_upper_bound t u v
+
+(* ------------------------------------------------------------------ *)
+(* Exact queries: goal-directed Dijkstra                              *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_scratch t =
+  let s = Domain.DLS.get t.scratch in
+  if Array.length s.gdist < t.n then begin
+    s.gdist <- Array.make t.n 0;
+    s.bdist <- Array.make t.n 0;
+    s.hmemo <- Array.make t.n 0;
+    s.stamp <- Array.make t.n 0;
+    s.epoch <- 0
+  end;
+  s
+
+(* h(x) = max_l |d(l,x) - d(l,target)|, memoized per (query, node).
+   Disconnected-from-landmark nodes get h = 0 (still admissible): the
+   search itself discovers unreachability. *)
+let heuristic t s ~target x =
+  if s.stamp.(x) = s.epoch then s.hmemo.(x)
+  else begin
+    let rows = t.rows in
+    let best = ref 0 in
+    for l = 0 to Array.length rows - 1 do
+      let row = Array.unsafe_get rows l in
+      let dx = Array.unsafe_get row x and dv = Array.unsafe_get row target in
+      if dx < max_int && dv < max_int then begin
+        let d = if dx >= dv then dx - dv else dv - dx in
+        if d > !best then best := d
+      end
+    done;
+    s.stamp.(x) <- s.epoch;
+    s.hmemo.(x) <- !best;
+    s.gdist.(x) <- max_int;
+    !best
+  end
+
+let astar t s u v ~cap =
+  s.epoch <- s.epoch + 1;
+  Dtm_util.Pqueue.clear s.pq;
+  (* Equal-f ties break towards larger g.  On grids the ALT potential is
+     exact inside the u–v rectangle, so every node there shares the same
+     f; without the tie-break A-star settles the whole rectangle, with
+     it the search walks one corridor.  The composite key
+     [(f lsl 20) lor (gmask - g)] preserves the f-order whenever [cap]
+     is small enough not to overflow; huge-weight graphs degrade to the
+     plain key. *)
+  let shift = if cap < 1 lsl 40 then 20 else 0 in
+  let gmask = (1 lsl shift) - 1 in
+  let key f g = (f lsl shift) lor (gmask - min g gmask) in
+  let h0 = heuristic t s ~target:v u in
+  s.gdist.(u) <- 0;
+  Dtm_util.Pqueue.push s.pq ~prio:(key h0 0) u;
+  let answer = ref max_int in
+  (try
+     let rec loop () =
+       match Dtm_util.Pqueue.pop s.pq with
+       | None -> ()
+       | Some (k, x) ->
+         if x = v then begin
+           answer := s.gdist.(x);
+           raise Exit
+         end;
+         (* Lazy deletion: stale entries carry an f above the node's
+            current label + heuristic. *)
+         let f = k lsr shift in
+         if f = s.gdist.(x) + heuristic t s ~target:v x then begin
+           let g = s.gdist.(x) in
+           let hi = Array.unsafe_get t.off (x + 1) in
+           for i = Array.unsafe_get t.off x to hi - 1 do
+             let y = Array.unsafe_get t.nbr i in
+             let ng = g + Array.unsafe_get t.wt i in
+             let hy = heuristic t s ~target:v y in
+             (* [heuristic] initializes the label on first touch. *)
+             if ng < s.gdist.(y) && ng + hy <= cap then begin
+               s.gdist.(y) <- ng;
+               Dtm_util.Pqueue.push s.pq ~prio:(key (ng + hy) ng) y
+             end
+           done
+         end;
+         loop ()
+     in
+     loop ()
+   with Exit -> ());
+  !answer
+
+(* Bidirectional Dijkstra for the queries where the ALT potential is
+   weak.  On expander-like graphs (power-law, hypercube cores) every
+   pairwise distance concentrates near the average, so
+   max_l |d(l,u) - d(l,v)| is close to 0 and A-star degenerates to a
+   full Dijkstra over the ball of radius hi — nearly the whole graph.
+   Meeting in the middle explores two balls of radius ~d/2 instead,
+   which on a branching-b graph is ~sqrt(b^d): thousands of nodes
+   instead of all of them.  The landmark upper bound [hi] is the length
+   of a real u-landmark-v walk, so it seeds the incumbent; the search
+   stops when the two frontiers' minima sum past it. *)
+let bidi t s u v ~seed =
+  s.epoch <- s.epoch + 1;
+  Dtm_util.Pqueue.clear s.pq;
+  Dtm_util.Pqueue.clear s.bq;
+  let touch x =
+    if s.stamp.(x) <> s.epoch then begin
+      s.stamp.(x) <- s.epoch;
+      s.gdist.(x) <- max_int;
+      s.bdist.(x) <- max_int
+    end
+  in
+  touch u;
+  touch v;
+  s.gdist.(u) <- 0;
+  s.bdist.(v) <- 0;
+  Dtm_util.Pqueue.push s.pq ~prio:0 u;
+  Dtm_util.Pqueue.push s.bq ~prio:0 v;
+  let best = ref seed in
+  (* The graph is undirected, so both searches scan the same CSR rows;
+     the caller passes which label array is "mine" vs "theirs". *)
+  let expand mine theirs myq g x =
+    if g = Array.unsafe_get mine x then begin
+      let hi_i = Array.unsafe_get t.off (x + 1) in
+      for i = Array.unsafe_get t.off x to hi_i - 1 do
+        let y = Array.unsafe_get t.nbr i in
+        let ng = g + Array.unsafe_get t.wt i in
+        if ng < !best then begin
+          touch y;
+          if ng < Array.unsafe_get mine y then begin
+            Array.unsafe_set mine y ng;
+            Dtm_util.Pqueue.push myq ~prio:ng y;
+            let other = Array.unsafe_get theirs y in
+            if other < max_int && ng + other < !best then best := ng + other
+          end
+        end
+      done
+    end
+  in
+  let rec loop () =
+    match (Dtm_util.Pqueue.peek s.pq, Dtm_util.Pqueue.peek s.bq) with
+    | None, None -> ()
+    | Some (kf, _), Some (kb, _) when kf + kb >= !best -> ()
+    | fo, bo ->
+      let take_fwd =
+        match (fo, bo) with
+        | Some (kf, _), Some (kb, _) -> kf <= kb
+        | Some _, None -> true
+        | None, _ -> false
+      in
+      if take_fwd then begin
+        match Dtm_util.Pqueue.pop s.pq with
+        | Some (g, x) ->
+          expand s.gdist s.bdist s.pq g x;
+          loop ()
+        | None -> ()
+      end
+      else begin
+        match Dtm_util.Pqueue.pop s.bq with
+        | Some (g, x) ->
+          expand s.bdist s.gdist s.bq g x;
+          loop ()
+        | None -> ()
+      end
+  in
+  loop ();
+  !best
+
+let unsafe_dist t u v =
+  if u = v then 0
+  else begin
+    let lo = unsafe_lower_bound t u v in
+    if lo = max_int then max_int
+    else begin
+      let hi = unsafe_upper_bound t u v in
+      if lo = hi then lo
+      else begin
+        let s = ensure_scratch t in
+        (* Canonical orientation: the metric is symmetric, so (u, v) and
+           (v, u) share a cache slot. *)
+        let a, b = if u < v then (u, v) else (v, u) in
+        let key = (a * t.n) + b in
+        let slot = key land (cache_slots - 1) in
+        if Array.unsafe_get s.ckey slot = key then Array.unsafe_get s.cval slot
+        else begin
+          (* Dispatch on heuristic strength: when the ALT lower bound
+             recovers at least half the upper bound, goal direction is
+             doing real work (grids, lines, trees) and A-star wins; when
+             it does not (small-world graphs, where all landmark
+             differences collapse) the heuristic is ballast and meeting
+             in the middle is asymptotically better. *)
+          let d =
+            if 2 * lo >= hi then astar t s a b ~cap:hi
+            else bidi t s a b ~seed:hi
+          in
+          s.ckey.(slot) <- key;
+          s.cval.(slot) <- d;
+          d
+        end
+      end
+    end
+  end
+
+let dist t u v =
+  check t u v "Landmark.dist";
+  unsafe_dist t u v
+
+(* L * n ints plus the CSR aliases: the figure DESIGN.md quotes against
+   the n^2 flat table. *)
+let storage_words t = num_landmarks t * t.n

@@ -1,0 +1,82 @@
+(** Landmark (ALT) distance oracle: exact shortest-path queries in
+    O(L·n) storage instead of the n² flat table.
+
+    An oracle holds L per-landmark distance rows (each a full Dijkstra
+    from one landmark).  The rows give O(L) triangle-inequality bounds
+
+    {v lower(u,v) = max_l |d(l,u) - d(l,v)|
+      upper(u,v) = min_l  d(l,u) + d(l,v) v}
+
+    and settle the rest with one exact search over the CSR graph: a
+    goal-directed (A-star) Dijkstra when the ALT potential is strong
+    (structured topologies — grids, lines, trees), a bidirectional
+    Dijkstra seeded with the upper bound when it is not (small-world
+    graphs, where landmark differences collapse and meeting in the
+    middle is asymptotically better).  Queries are exact on any graph
+    and pure: per-query state lives in domain-local scratch, so a built
+    oracle can be shared across [Dtm_util.Pool] domains like a frozen
+    {!Dtm_sim.Router}.
+
+    Build cost is L Dijkstra runs (farthest-point selection); per-query
+    cost is O(L) when the bounds coincide, otherwise one pruned search.
+    A per-domain direct-mapped cache (16k slots) makes repeated hot
+    pairs O(1), which is the access pattern of the open-system engine
+    re-evaluating waiter distances step after step. *)
+
+type t
+
+val build : ?landmarks:int -> Graph.t -> t
+(** [build g] selects landmarks by farthest-point sweep (first the node
+    farthest from node 0, then iteratively the node maximizing the
+    distance to the chosen set; disconnected components are covered
+    first) and runs one Dijkstra per landmark.  [landmarks] defaults to
+    8 plus one per size doubling past 64k nodes, clamped to [n].
+    Raises [Invalid_argument] on an empty graph. *)
+
+val select : ?landmarks:int -> n:int -> (int -> int array) -> int array * int array array
+(** [select ~n dist_from] runs the farthest-point sweep of {!build}
+    against an arbitrary per-source distance supplier (e.g. a
+    {!Dtm_sim.Router}'s cached rows) and returns [(landmark ids, rows)]
+    ready for {!of_rows}.  Calls [dist_from] once per landmark plus once
+    for node 0. *)
+
+val of_rows :
+  n:int -> landmarks:int array -> rows:int array array -> Graph.t -> t
+(** [of_rows ~n ~landmarks ~rows g] wraps precomputed per-source
+    distance arrays — e.g. a frozen {!Dtm_sim.Router}'s source rows —
+    without copying them.  [rows.(l).(v)] must be the exact graph
+    distance from [landmarks.(l)] to [v]; the arrays must not be
+    mutated afterwards.  Raises [Invalid_argument] on length
+    mismatches or an empty landmark set. *)
+
+val size : t -> int
+val num_landmarks : t -> int
+
+val landmarks : t -> int array
+(** The landmark node ids, in selection order (a copy). *)
+
+val storage_words : t -> int
+(** Words held by the distance rows: [num_landmarks * size] — the
+    figure to compare against the flat table's [size²]. *)
+
+val dist : t -> int -> int -> int
+(** Exact shortest-path distance ([max_int] when disconnected); raises
+    [Invalid_argument] if a node is out of range. *)
+
+val lower_bound : t -> int -> int -> int
+(** O(L) lower bound on {!dist}; [max_int] when a landmark proves the
+    pair disconnected. *)
+
+val upper_bound : t -> int -> int -> int
+(** O(L) upper bound on {!dist} (a via-landmark walk); [max_int] when
+    no landmark reaches both endpoints. *)
+
+(**/**)
+
+val unsafe_dist : t -> int -> int -> int
+val unsafe_lower_bound : t -> int -> int -> int
+val unsafe_upper_bound : t -> int -> int -> int
+(** Bounds-check-free variants for [Metric]'s hot path; out-of-range
+    arguments are undefined behaviour. *)
+
+(**/**)

@@ -1,6 +1,7 @@
 type backend =
   | Oracle of (int -> int -> int)
   | Flat of int array (* row-major, length size * size *)
+  | Landmark of Landmark.t (* ALT oracle: L rows + on-demand A* *)
 
 type t = { size : int; backend : backend }
 
@@ -26,9 +27,16 @@ let of_matrix m =
   done;
   { size; backend = Flat data }
 
+let of_landmark lm = { size = Landmark.size lm; backend = Landmark lm }
+
 let size t = t.size
 
-let is_flat t = match t.backend with Flat _ -> true | Oracle _ -> false
+let is_flat t = match t.backend with Flat _ -> true | Oracle _ | Landmark _ -> false
+
+let is_landmark t =
+  match t.backend with Landmark _ -> true | Oracle _ | Flat _ -> false
+
+let landmark t = match t.backend with Landmark lm -> Some lm | _ -> None
 
 (* Hot path: caller guarantees [0 <= u, v < size].  The flat case is a
    single multiply-add and an unchecked read. *)
@@ -36,11 +44,30 @@ let unsafe_dist t u v =
   match t.backend with
   | Flat d -> Array.unsafe_get d ((u * t.size) + v)
   | Oracle f -> f u v
+  | Landmark lm -> Landmark.unsafe_dist lm u v
 
 let dist t u v =
   if u < 0 || u >= t.size || v < 0 || v >= t.size then
     invalid_arg "Metric.dist: node out of range";
   unsafe_dist t u v
+
+(* Bound pair: exact backends answer with the distance itself; the
+   landmark backend answers in O(L) without running a search.  Callers
+   that only need a bracket (ring searches, pruning) stay cheap on
+   every backend. *)
+let lower_bound t u v =
+  if u < 0 || u >= t.size || v < 0 || v >= t.size then
+    invalid_arg "Metric.lower_bound: node out of range";
+  match t.backend with
+  | Landmark lm -> Landmark.unsafe_lower_bound lm u v
+  | Flat _ | Oracle _ -> unsafe_dist t u v
+
+let upper_bound t u v =
+  if u < 0 || u >= t.size || v < 0 || v >= t.size then
+    invalid_arg "Metric.upper_bound: node out of range";
+  match t.backend with
+  | Landmark lm -> Landmark.unsafe_upper_bound lm u v
+  | Flat _ | Oracle _ -> unsafe_dist t u v
 
 let default_threshold = 16
 let default_max_size = 1024
@@ -49,6 +76,9 @@ let materialize ?(threshold = default_threshold) ?(max_size = default_max_size)
     t =
   match t.backend with
   | Flat _ -> t
+  (* The landmark backend exists precisely because the flat table does
+     not fit; materializing it would reintroduce the n^2 wall. *)
+  | Landmark _ -> t
   | Oracle f ->
     if t.size < threshold || t.size > max_size then t
     else begin
@@ -76,11 +106,11 @@ let diameter t =
       done
     done;
     !best
-  | Oracle f ->
+  | Oracle _ | Landmark _ ->
     let best = ref 0 in
     for u = 0 to n - 1 do
       for v = u + 1 to n - 1 do
-        let x = f u v in
+        let x = unsafe_dist t u v in
         if x < max_int then best := max !best x
       done
     done;

@@ -6,12 +6,14 @@
     abstracts over closed-form oracles and APSP-backed matrices so that a
     scheduler can run on either without caring which.
 
-    Two backends exist: a closure oracle ([make]) and a flat row-major
-    [int array] ([of_flat], [of_matrix], [materialize]).  The flat backend
-    is validated once at construction; lookups are a single bounds check
-    followed by an unchecked read, so the hot loops of [Dependency],
-    [Validator], [Tsp], and the simulators pay no closure call per
-    distance. *)
+    Three backends exist: a closure oracle ([make]), a flat row-major
+    [int array] ([of_flat], [of_matrix], [materialize]), and a landmark
+    (ALT) oracle ([of_landmark]) for graphs too large to materialize.
+    The flat backend is validated once at construction; lookups are a
+    single bounds check followed by an unchecked read, so the hot loops
+    of [Dependency], [Validator], [Tsp], and the simulators pay no
+    closure call per distance.  The landmark backend answers exactly via
+    goal-directed search in O(L·n) storage; see {!Landmark}. *)
 
 type t
 
@@ -29,6 +31,12 @@ val of_flat : size:int -> int array -> t
 val of_matrix : int array array -> t
 (** Copies a precomputed distance matrix into the flat backend. *)
 
+val of_landmark : Landmark.t -> t
+(** Wraps an ALT oracle: exact per-query distances from L landmark rows
+    plus goal-directed search, in O(L·n) storage.  {!materialize} leaves
+    landmark metrics unchanged — they exist precisely because the n²
+    table does not fit. *)
+
 val materialize : ?threshold:int -> ?max_size:int -> t -> t
 (** [materialize t] memoizes a closure-backed metric into the flat
     backend by evaluating all [size * size] pairs once.  Metrics smaller
@@ -38,10 +46,21 @@ val materialize : ?threshold:int -> ?max_size:int -> t -> t
     whose tables would no longer be comfortably cache- and
     memory-resident.  Flat metrics are returned unchanged. *)
 
+val default_max_size : int
+(** {!materialize}'s default size cutoff (1024): the boundary above
+    which the library stops building n² tables and switches to the
+    landmark backend ({!Apsp.auto_metric}). *)
+
 val size : t -> int
 
 val is_flat : t -> bool
 (** True when lookups are backed by the flat array. *)
+
+val is_landmark : t -> bool
+(** True when backed by a landmark (ALT) oracle. *)
+
+val landmark : t -> Landmark.t option
+(** The underlying ALT oracle, when there is one. *)
 
 val dist : t -> int -> int -> int
 (** [dist m u v]; raises [Invalid_argument] if a node is out of range. *)
@@ -51,6 +70,15 @@ val unsafe_dist : t -> int -> int -> int
     [0 <= u, v < size t].  On the flat backend this compiles to a single
     unchecked array read.  Out-of-range arguments are undefined
     behaviour. *)
+
+val lower_bound : t -> int -> int -> int
+(** Cheap lower bound on [dist t u v]: O(L) landmark bound on the
+    landmark backend, the exact distance elsewhere.  Lets ring searches
+    and branch-and-bound prune without paying a full query.  Raises
+    [Invalid_argument] if a node is out of range. *)
+
+val upper_bound : t -> int -> int -> int
+(** Cheap upper bound on [dist t u v], dual to {!lower_bound}. *)
 
 val diameter : t -> int
 (** Maximum finite pairwise distance (O(size^2) lookups; array scan on

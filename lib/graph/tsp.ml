@@ -40,6 +40,7 @@ module Scratch = struct
     mutable cand : int array;  (* B&B child ids, one t-slice per depth *)
     mutable ccost : int array;  (* B&B child edge costs, same layout *)
     mutable dp : int array;  (* Held-Karp fallback, (2^t)*t flat *)
+    mutable mst : int array;  (* MST-remainder memo by mask, -1 = unset *)
   }
 
   let create () =
@@ -52,6 +53,7 @@ module Scratch = struct
       cand = [||];
       ccost = [||];
       dp = [||];
+      mst = [||];
     }
 
   let ensure s ~terms:t =
@@ -68,6 +70,14 @@ module Scratch = struct
     end
 
   let ensure_dp s n = if Array.length s.dp < n then s.dp <- Array.make n 0
+
+  (* One slot per subset; reset (the 2^t prefix only) before each
+     search, since the memo is keyed by mask alone and the snapshotted
+     distances change between searches. *)
+  let reset_mst s t =
+    let need = 1 lsl t in
+    if Array.length s.mst < need then s.mst <- Array.make need (-1)
+    else Array.fill s.mst 0 need (-1)
 end
 
 (* Bring the arena's field labels into scope for the kernels below. *)
@@ -108,8 +118,11 @@ let load_scratch (s : Scratch.t) m ~start terms =
 
 (* Weight of the minimum spanning tree over the terminals NOT in [mask]
    (Prim, O(r^2) on the snapshotted distances).  Any completion of a
-   partial path must span those terminals, so this is admissible. *)
-let mst_remaining (s : Scratch.t) t mask =
+   partial path must span those terminals, so this is admissible.
+   Memoized by mask: the same remaining set is reached through every
+   permutation of the visited prefix and by all siblings pruned at the
+   same frontier, so most lookups after the first are array reads. *)
+let mst_remaining_compute (s : Scratch.t) t mask =
   let dm = s.dm and key = s.key and mark = s.mark and idx = s.idx in
   let r = ref 0 in
   for j = 0 to t - 1 do
@@ -147,6 +160,15 @@ let mst_remaining (s : Scratch.t) t mask =
       done
     done;
     !total
+  end
+
+let mst_remaining (s : Scratch.t) t mask =
+  let c = Array.unsafe_get s.mst mask in
+  if c >= 0 then c
+  else begin
+    let w = mst_remaining_compute s t mask in
+    Array.unsafe_set s.mst mask w;
+    w
   end
 
 (* Held-Karp on the arena: set-major flat table, dp.(set*t + last).
@@ -193,6 +215,7 @@ exception Budget
    initial incumbent): the search only records strict improvements, so
    the result is exact precisely because [upper] is achievable. *)
 let branch_and_bound (s : Scratch.t) t ~has_start ~upper =
+  Scratch.reset_mst s t;
   let dm = s.dm and d0 = s.d0 in
   let full = (1 lsl t) - 1 in
   let best = ref upper in
@@ -240,7 +263,16 @@ let branch_and_bound (s : Scratch.t) t ~has_start ~upper =
         for a = 0 to cnt - 1 do
           let j = cand.(base + a) in
           let c = ccost.(base + a) in
-          if g + c < !best then go (depth + 1) (mask lor (1 lsl j)) j (g + c)
+          (* Per-child admissible bound: the completion from [j] still
+             spans the set remaining after [j].  The memo makes this
+             a lookup for every sibling after the first toucher, and
+             the expanded child reuses the same entry for its own
+             frontier bound. *)
+          if g + c < !best then begin
+            let cmask = mask lor (1 lsl j) in
+            if cmask = full || g + c + mst_remaining s t cmask < !best then
+              go (depth + 1) cmask j (g + c)
+          end
         done
       end
     end

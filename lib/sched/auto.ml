@@ -10,7 +10,7 @@ let schedule ?(seed = 0) topo inst =
   | Topology.Star p -> Star_sched.schedule ~variant:(Star_sched.Best_periods { seed }) p inst
   | Topology.Torus _ | Topology.Hypercube _ | Topology.Butterfly _
   | Topology.Tree _ | Topology.Hypergrid _ | Topology.Block_grid _
-  | Topology.Block_tree _ | Topology.Custom _ ->
+  | Topology.Block_tree _ | Topology.Power_law _ | Topology.Custom _ ->
     Diameter_sched.schedule (Topology.metric topo) inst
 
 let name = function
@@ -22,5 +22,5 @@ let name = function
   | Topology.Star _ -> "star period schedule (Thm 5)"
   | Topology.Torus _ | Topology.Hypercube _ | Topology.Butterfly _
   | Topology.Tree _ | Topology.Hypergrid _ | Topology.Block_grid _
-  | Topology.Block_tree _ | Topology.Custom _ ->
+  | Topology.Block_tree _ | Topology.Power_law _ | Topology.Custom _ ->
     "bounded-diameter greedy (Sec 3.1)"

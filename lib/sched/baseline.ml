@@ -46,6 +46,12 @@ let nearest_tour_scan metric nodes =
    candidate index, exactly like the reference scan. *)
 let nearest_tour_bucketed metric nodes ds dmax =
   let m = Array.length nodes in
+  (* On a landmark metric each [dist] is a pruned search, but its O(L)
+     lower bound is nearly free: a candidate whose bound already
+     exceeds the incumbent cannot win or tie, so skip the search.
+     Exact backends answer [lower_bound] with the distance itself —
+     that would be the same lookup twice, hence the gate. *)
+  let use_lb = Dtm_graph.Metric.is_landmark metric in
   (* Per-distance buckets of candidate indices, swap-removed on visit. *)
   let blen = Array.make (dmax + 1) 0 in
   Array.iter (fun d -> blen.(d) <- blen.(d) + 1) ds;
@@ -78,10 +84,15 @@ let nearest_tour_bucketed metric nodes ds dmax =
       if d >= 0 && d <= dmax then
         for k = 0 to blen.(d) - 1 do
           let j = bucket.(d).(k) in
-          let dist = Dtm_graph.Metric.dist metric cur nodes.(j) in
-          if dist < !best || (dist = !best && j < !pick) then begin
-            best := dist;
-            pick := j
+          if
+            (not use_lb)
+            || Dtm_graph.Metric.lower_bound metric cur nodes.(j) <= !best
+          then begin
+            let dist = Dtm_graph.Metric.dist metric cur nodes.(j) in
+            if dist < !best || (dist = !best && j < !pick) then begin
+              best := dist;
+              pick := j
+            end
           end
         done
     in

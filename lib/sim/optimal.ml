@@ -4,50 +4,134 @@ module Schedule = Dtm_core.Schedule
 let max_transactions = 8
 
 (* Heap's algorithm over an int array of transaction nodes: every
-   permutation visited by one swap each, no list materialization.  Each
-   order runs through the engine with the incumbent makespan as cutoff,
-   so hopeless orders are abandoned after a prefix; priorities are an
-   O(1) rank-array lookup instead of the seed's O(n) [List.assoc]. *)
+   permutation visited by one swap each, no list materialization.
+
+   The engine fold is replayed incrementally.  Executing an order is a
+   left fold of per-object state (release time, position); Heap's
+   consecutive permutations differ by one swap, so the fold prefix up
+   to the lower swapped index is shared.  Heap's swaps cluster at LOW
+   indices, though, so the engine consumes the array in REVERSE
+   (position t-1 first): the frequently-swapped front of the array
+   becomes the tail of the fold, and per-position state snapshots let
+   each order resume below the highest swapped index — the innermost
+   0<->1 swap replays 2 fold steps instead of t.  Reversing only
+   permutes the enumeration order of the same t! orders, so the optimal
+   makespan is unchanged.  Orders are abandoned (and the snapshot
+   trail truncated) as soon as one ready time reaches the incumbent
+   makespan, exactly like [Engine.run_bounded]'s cutoff. *)
 let exhaustive metric inst =
   let nodes = Array.copy (Instance.txn_nodes inst) in
   let t = Array.length nodes in
   if t > max_transactions then
     invalid_arg "Optimal.exhaustive: too many transactions";
-  let rank = Array.make (max 1 (Instance.n inst)) 0 in
-  let priority v = rank.(v) in
-  let best = ref None and best_mk = ref max_int in
-  let try_order () =
-    Array.iteri (fun i v -> rank.(v) <- i) nodes;
-    match
-      Engine.run_bounded ~priority:(Engine.Custom priority) ~cutoff:!best_mk
-        metric inst
-    with
-    | None -> ()
-    | Some sched ->
-      let mk = Schedule.makespan sched in
-      if mk < !best_mk then begin
-        best := Some sched;
-        best_mk := mk
+  let n = Instance.n inst in
+  if t = 0 then Schedule.create ~n
+  else begin
+    let w = Instance.num_objects inst in
+    let objs_of = Array.make n [||] in
+    let has_txn = Array.make n false in
+    Array.iter
+      (fun v ->
+        match Instance.txn_at inst v with
+        | Some objs ->
+          objs_of.(v) <- objs;
+          has_txn.(v) <- true
+        | None -> ())
+      nodes;
+    (* snap p = object state after folding positions t-1 .. p; snap t is
+       the initial placement.  [avail] is the lowest valid snapshot. *)
+    let release = Array.make_matrix (t + 1) w 0 in
+    let pos = Array.make_matrix (t + 1) w 0 in
+    let mk = Array.make (t + 1) 0 in
+    for o = 0 to w - 1 do
+      pos.(t).(o) <- Instance.home inst o
+    done;
+    let avail = ref t in
+    let best_mk = ref max_int in
+    let best_nodes = Array.copy nodes in
+    let try_order () =
+      try
+        for p = !avail - 1 downto 0 do
+          let v = nodes.(p) in
+          let src = p + 1 in
+          let ready = ref 1 in
+          if has_txn.(v) then
+            Array.iter
+              (fun o ->
+                let r =
+                  release.(src).(o)
+                  + Dtm_graph.Metric.dist metric pos.(src).(o) v
+                in
+                if r > !ready then ready := r)
+              objs_of.(v);
+          (* The makespan is the max of the ready times, so once one
+             transaction reaches the incumbent the whole order is dead;
+             the snapshots written so far stay valid. *)
+          if has_txn.(v) && !ready >= !best_mk then begin
+            avail := src;
+            raise Exit
+          end;
+          Array.blit release.(src) 0 release.(p) 0 w;
+          Array.blit pos.(src) 0 pos.(p) 0 w;
+          if has_txn.(v) then begin
+            Array.iter
+              (fun o ->
+                release.(p).(o) <- !ready;
+                pos.(p).(o) <- v)
+              objs_of.(v);
+            mk.(p) <- max mk.(src) !ready
+          end
+          else mk.(p) <- mk.(src);
+          avail := p
+        done;
+        if mk.(0) < !best_mk then begin
+          best_mk := mk.(0);
+          Array.blit nodes 0 best_nodes 0 t
+        end
+      with Exit -> ()
+    in
+    let swap i j =
+      let tmp = nodes.(i) in
+      nodes.(i) <- nodes.(j);
+      nodes.(j) <- tmp;
+      (* Both swapped indices are <= j, so snapshots at or below j are
+         stale; everything above survives. *)
+      if !avail < j + 1 then avail := j + 1
+    in
+    let rec heap k =
+      if k <= 1 then try_order ()
+      else begin
+        for i = 0 to k - 2 do
+          heap (k - 1);
+          if k land 1 = 0 then swap i (k - 1) else swap 0 (k - 1)
+        done;
+        heap (k - 1)
       end
-  in
-  let swap i j =
-    let tmp = nodes.(i) in
-    nodes.(i) <- nodes.(j);
-    nodes.(j) <- tmp
-  in
-  let rec heap k =
-    if k <= 1 then try_order ()
-    else begin
-      for i = 0 to k - 2 do
-        heap (k - 1);
-        if k land 1 = 0 then swap i (k - 1) else swap 0 (k - 1)
-      done;
-      heap (k - 1)
-    end
-  in
-  heap t;
-  match !best with
-  | Some s -> s
-  | None -> Schedule.create ~n:(Instance.n inst)
+    in
+    heap t;
+    (* Replay the winning order once to materialize the schedule — the
+       snapshots hold only object state, not per-node times. *)
+    let sched = Schedule.create ~n in
+    let release = Array.make w 0 in
+    let posn = Array.init w (Instance.home inst) in
+    for p = t - 1 downto 0 do
+      let v = best_nodes.(p) in
+      if has_txn.(v) then begin
+        let ready = ref 1 in
+        Array.iter
+          (fun o ->
+            let r = release.(o) + Dtm_graph.Metric.dist metric posn.(o) v in
+            if r > !ready then ready := r)
+          objs_of.(v);
+        Schedule.set sched ~node:v ~time:!ready;
+        Array.iter
+          (fun o ->
+            release.(o) <- !ready;
+            posn.(o) <- v)
+          objs_of.(v)
+      end
+    done;
+    sched
+  end
 
 let makespan metric inst = Schedule.makespan (exhaustive metric inst)

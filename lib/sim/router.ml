@@ -61,6 +61,19 @@ let distance t ~src ~dst =
   if s.dist.(dst) = max_int then invalid_arg "Router.distance: unreachable";
   s.dist.(dst)
 
+(* The landmark oracle wraps the router's own cached [dist] arrays
+   zero-copy: warming the selected sources here and freezing afterwards
+   leaves router and oracle sharing one set of rows.  The arrays are
+   write-once (computed, cached, never touched again), which is exactly
+   the immutability [Landmark.of_rows] demands. *)
+let landmark_metric ?landmarks t =
+  let n = Array.length t.sources in
+  let chosen, rows =
+    Dtm_graph.Landmark.select ?landmarks ~n (fun src -> (source t src).dist)
+  in
+  Dtm_graph.Metric.of_landmark
+    (Dtm_graph.Landmark.of_rows ~n ~landmarks:chosen ~rows t.graph)
+
 (* Count edges on the parent chain directly: no intermediate path list. *)
 let hops t ~src ~dst =
   let s = source t src in

@@ -45,6 +45,13 @@ val hops : t -> src:int -> dst:int -> int
 (** Number of edges of {!route}, counted on the parent chain without
     materializing the path. *)
 
+val landmark_metric : ?landmarks:int -> t -> Dtm_graph.Metric.t
+(** Landmark (ALT) metric over the router's graph, backed zero-copy by
+    the router's own per-source cache: the selected sources are warmed
+    (and so cached, on an unfrozen router) and their distance rows
+    shared with the oracle.  Freeze afterwards to share both across
+    pool domains.  [landmarks] as in {!Dtm_graph.Landmark.build}. *)
+
 (**/**)
 
 type source = private { dist : int array; parent : int array }

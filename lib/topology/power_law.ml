@@ -1,0 +1,58 @@
+(* Barabási–Albert preferential attachment.
+
+   Each arriving node attaches to [attach] distinct existing nodes,
+   picked proportionally to degree by uniform sampling from the
+   endpoint list (every edge contributes both ends, so a node appears
+   once per incident edge).  The seed graph is a clique on
+   [attach + 1] nodes, so the graph is connected by construction and
+   every node has degree >= attach.  All randomness flows through one
+   [Prng], so a params value names exactly one graph. *)
+
+type params = { n : int; attach : int; seed : int }
+
+let validate p =
+  if p.n < 2 then invalid_arg "Power_law: n < 2";
+  if p.attach < 1 then invalid_arg "Power_law: attach < 1";
+  if p.attach >= p.n then invalid_arg "Power_law: attach >= n"
+
+let graph p =
+  validate p;
+  let m0 = p.attach + 1 in
+  let rng = Dtm_util.Prng.create ~seed:p.seed in
+  (* [ends] lists every edge endpoint; uniform draws from it are
+     degree-proportional.  Final length is twice the edge count. *)
+  let num_edges = (m0 * (m0 - 1) / 2) + ((p.n - m0) * p.attach) in
+  let ends = Array.make (2 * num_edges) 0 in
+  let filled = ref 0 in
+  let edges = ref [] in
+  let add u v =
+    edges := (u, v, 1) :: !edges;
+    ends.(!filled) <- u;
+    ends.(!filled + 1) <- v;
+    filled := !filled + 2
+  in
+  for u = 0 to m0 - 1 do
+    for v = u + 1 to m0 - 1 do
+      add u v
+    done
+  done;
+  let chosen = Array.make p.attach (-1) in
+  for v = m0 to p.n - 1 do
+    (* attach distinct targets by rejection; attach is small and the
+       endpoint pool grows linearly, so retries are rare. *)
+    let pool = !filled in
+    for i = 0 to p.attach - 1 do
+      let rec draw () =
+        let t = ends.(Dtm_util.Prng.int rng pool) in
+        let rec dup j = j < i && (chosen.(j) = t || dup (j + 1)) in
+        if dup 0 then draw () else t
+      in
+      chosen.(i) <- draw ()
+    done;
+    for i = 0 to p.attach - 1 do
+      add chosen.(i) v
+    done
+  done;
+  Dtm_graph.Graph.of_edges ~n:p.n !edges
+
+let metric p = Dtm_graph.Apsp.auto_metric (graph p)

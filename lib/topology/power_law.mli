@@ -1,0 +1,18 @@
+(** Power-law (Barabási–Albert) random graph: the large sparse networks
+    the fog-cloud direction targets (arXiv 2511.09776), and the natural
+    stress test for the landmark metric backend — hub-and-spoke
+    structure with small diameter and no closed-form distances.
+
+    Arriving nodes attach to [attach] distinct existing nodes with
+    probability proportional to degree; the seed graph is a clique on
+    [attach + 1] nodes, so the result is connected.  Unit edge
+    weights.  Deterministic in [seed]. *)
+
+type params = { n : int; attach : int; seed : int }
+
+val graph : params -> Dtm_graph.Graph.t
+(** Requires [n >= 2] and [1 <= attach < n]. *)
+
+val metric : params -> Dtm_graph.Metric.t
+(** {!Dtm_graph.Apsp.auto_metric} of {!graph}: APSP-backed up to the
+    materialization cutoff, landmark-backed above it. *)

@@ -12,6 +12,7 @@ type t =
   | Hypergrid of Hypergrid.params
   | Block_grid of { s : int }
   | Block_tree of { s : int }
+  | Power_law of Power_law.params
   | Custom of { name : string; graph : Dtm_graph.Graph.t }
 
 let n = function
@@ -24,6 +25,7 @@ let n = function
   | Tree p -> Tree.n_of p
   | Hypergrid p -> Hypergrid.n_of p
   | Block_grid { s } | Block_tree { s } -> Blocks.n (Blocks.make ~s)
+  | Power_law p -> p.Power_law.n
   | Custom { graph; _ } -> Dtm_graph.Graph.n graph
 
 let graph = function
@@ -40,6 +42,7 @@ let graph = function
   | Hypergrid p -> Hypergrid.graph p
   | Block_grid { s } -> Block_grid.graph (Blocks.make ~s)
   | Block_tree { s } -> Block_tree.graph (Blocks.make ~s)
+  | Power_law p -> Power_law.graph p
   | Custom { graph; _ } -> graph
 
 let metric = function
@@ -56,7 +59,8 @@ let metric = function
   | Hypergrid p -> Hypergrid.metric p
   | Block_grid { s } -> Block_grid.metric (Blocks.make ~s)
   | Block_tree { s } -> Block_tree.metric (Blocks.make ~s)
-  | Custom { graph; _ } -> Dtm_graph.Apsp.to_metric graph
+  | Power_law p -> Power_law.metric p
+  | Custom { graph; _ } -> Dtm_graph.Apsp.auto_metric graph
 
 let to_string = function
   | Clique n -> Printf.sprintf "clique:%d" n
@@ -76,6 +80,9 @@ let to_string = function
       (String.concat "x" (List.map string_of_int p.Hypergrid.dims))
   | Block_grid { s } -> Printf.sprintf "blockgrid:%d" s
   | Block_tree { s } -> Printf.sprintf "blocktree:%d" s
+  | Power_law p ->
+    Printf.sprintf "powerlaw:%dx%d:s%d" p.Power_law.n p.Power_law.attach
+      p.Power_law.seed
   | Custom { name; _ } -> Printf.sprintf "custom:%s" name
 
 let parse_int s = int_of_string_opt (String.trim s)
@@ -155,6 +162,15 @@ let of_string str =
         Ok (Block_tree { s })
       with Invalid_argument _ -> fail ())
     | _ -> fail ())
+  | [ "powerlaw"; p; s ] -> (
+    match (parse_pair p, s) with
+    | Some (n, attach), s
+      when String.length s > 1 && s.[0] = 's' && n >= 2 && attach >= 1
+           && attach < n -> (
+      match parse_int (String.sub s 1 (String.length s - 1)) with
+      | Some seed when seed >= 0 -> Ok (Power_law { Power_law.n; attach; seed })
+      | _ -> fail ())
+    | _ -> fail ())
   | _ -> fail ()
 
 let describe t =
@@ -173,6 +189,7 @@ let describe t =
     | Hypergrid _ -> "d-dimensional grid"
     | Block_grid _ -> "Section-8 block grid"
     | Block_tree _ -> "Section-8 block tree"
+    | Power_law _ -> "power-law (Barabási–Albert) graph"
     | Custom _ -> "custom graph"
   in
   Printf.sprintf "%s (%s, %d nodes)" (to_string t) kind (n t)
@@ -192,4 +209,5 @@ let all_examples =
     Hypergrid { Hypergrid.dims = [ 3; 3; 3 ] };
     Block_grid { s = 4 };
     Block_tree { s = 4 };
+    Power_law { Power_law.n = 24; attach = 2; seed = 7 };
   ]

@@ -19,6 +19,10 @@ type t =
       (** d-dimensional grid (Section 3.1 mentions log-n dimensions) *)
   | Block_grid of { s : int }  (** Section 8 grid construction *)
   | Block_tree of { s : int }  (** Section 8 tree construction *)
+  | Power_law of Power_law.params
+      (** Barabási–Albert preferential attachment: the large sparse
+          networks of the fog-cloud direction (arXiv 2511.09776).
+          Landmark-backed metric above the materialization cutoff. *)
   | Custom of { name : string; graph : Dtm_graph.Graph.t }
       (** arbitrary user graph (APSP metric; scheduled by the Section 3.1
           greedy).  Not produced by {!of_string} — build it directly,
@@ -35,7 +39,8 @@ val metric : t -> Dtm_graph.Metric.t
 
 val to_string : t -> string
 (** Round-trips with {!of_string}, e.g. ["clique:64"], ["ring:32"], ["grid:8x8"],
-    ["cluster:5x6:g12"], ["star:8x7"], ["hypercube:6"]. *)
+    ["cluster:5x6:g12"], ["star:8x7"], ["hypercube:6"],
+    ["powerlaw:100000x3:s42"]. *)
 
 val of_string : string -> (t, string) result
 

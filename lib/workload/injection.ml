@@ -114,3 +114,24 @@ let homes spec =
      not shift when the arrival sequence is consumed differently. *)
   let rng = Prng.create ~seed:(spec.seed lxor 0x686f6d65) in
   Array.init spec.num_objects (fun _ -> Prng.int rng spec.n)
+
+(* Stateless placement for streamed instances: [homes] threads one
+   generator through the objects in order, which forces the whole array
+   into existence; a random-access hash gives each object its home in
+   O(1) with no array at all.  The two placements are both uniform but
+   NOT equal — [homes] stays byte-stable for the closed-system
+   experiments, [home_of] serves the large-n paths born in this PR.
+   Xorshift-multiply finalizer (splitmix-style, constants trimmed to
+   OCaml's 63-bit ints). *)
+let home_of spec =
+  validate spec;
+  let base = spec.seed lxor 0x686f6d65 in
+  let n = spec.n in
+  fun o ->
+    if o < 0 || o >= spec.num_objects then
+      invalid_arg "Injection.home_of: object out of range";
+    let z = base + (o * 0x9e3779b9) in
+    let z = (z lxor (z lsr 30)) * 0x2545F4914F6CDD1D in
+    let z = (z lxor (z lsr 27)) * 0x2545F4914F6CDD1D in
+    let z = (z lxor (z lsr 31)) land max_int in
+    z mod n

@@ -41,6 +41,15 @@ val homes : spec -> int array
 (** Initial object placement: uniform per object, drawn from a
     seed-derived generator independent of the arrival sequence. *)
 
+val home_of : spec -> int -> int
+(** Stateless O(1) placement for streamed instances: the home of each
+    object is a hash of [(spec.seed, object)], so million-object
+    universes never materialize a placement array
+    ([Array.init m (home_of spec)] recovers one when an engine needs
+    it).  Deterministic in the spec but {e not} equal to {!homes},
+    which stays byte-stable for the closed-system experiments.  Raises
+    [Invalid_argument] out of range. *)
+
 val dist_to_string : obj_dist -> string
 
 val describe : spec -> string
