@@ -36,6 +36,7 @@ let gated =
     "dtm/substrate/dependency_build";
     "dtm/substrate/lower_bound";
     "dtm/substrate/metric_landmark";
+    "dtm/substrate/metric_landmark_weighted";
     "dtm/substrate/online_engine";
     "dtm/substrate/replay_grid";
     "dtm/substrate/replay_grid_cold";
@@ -60,7 +61,23 @@ let gated =
     "dtm/ablations/grid_xi_double";
     "dtm/verify/trace_lint";
     "dtm/verify/model_check_small";
+    "dtm/stm/commit_throughput_1d";
+    "dtm/stm/commit_throughput_4d";
   ]
+
+(* Per-kernel threshold overrides, multiplied on top of --factor's
+   normalized-ratio gate.  The STM kernels spawn real domains inside
+   the timed region, which makes them quota-sensitive in two ways: on
+   a shared CI box domain wake-up latency swings the 4-domain kernel
+   ~1.5x between otherwise identical runs (measured: 5.6-8.2 ms
+   spread at the 50 ms quota), and the per-run domain spawn/teardown
+   cost amortizes differently at the 50 ms CI quota than at the
+   500 ms baseline quota (the 1-domain kernel reads ~2.3x its
+   baseline ms from that alone).  Gate both, but at a looser
+   threshold so scheduler jitter and quota skew do not read as perf
+   regressions; a genuine slowdown still trips the widened bound. *)
+let factor_override =
+  [ ("dtm/stm/commit_throughput_1d", 1.5); ("dtm/stm/commit_throughput_4d", 1.5) ]
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON-subset parser: objects, strings (escapes pass through
@@ -274,11 +291,18 @@ let () =
         Printf.printf "%-40s MISSING from fresh run\n" name;
         failed := true
       | Some base_ms, Some fresh_ms ->
+        let widen =
+          match List.assoc_opt name factor_override with
+          | Some w -> w
+          | None -> 1.0
+        in
         let norm = fresh_ms /. base_ms /. speed in
-        let flag = norm > !factor in
+        let flag = norm > !factor *. widen in
         if flag then failed := true;
-        Printf.printf "%-40s %10.4f %10.4f %7.2fx%s\n" name base_ms fresh_ms
+        Printf.printf "%-40s %10.4f %10.4f %7.2fx%s%s\n" name base_ms fresh_ms
           norm
+          (if widen > 1.0 then Printf.sprintf " (gate %.1fx)" (!factor *. widen)
+           else "")
           (if flag then "  REGRESSION" else ""))
     gated;
   if !failed then begin

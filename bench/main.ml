@@ -240,6 +240,33 @@ let lm_pairs =
   Array.init 1024 (fun _ ->
       (Dtm_util.Prng.int rng 1024, Dtm_util.Prng.int rng 1024))
 
+(* Weighted small-world variant: random 1..100 edge weights on a
+   power-law graph route every query through the bidi fallback's
+   ALT-pruned path (uniform-weight graphs skip the pruning), so this
+   kernel watches the cost the weighted tuning targets.  The oracle is
+   built once — queries, not construction, are the measured object —
+   and, as with [metric_landmark], the oracle is rebuilt per run so the
+   per-domain query cache stays cold. *)
+let lmw_n = 4096
+let lmw_graph =
+  let g0 =
+    Dtm_topology.Power_law.graph
+      { Dtm_topology.Power_law.n = lmw_n; attach = 3; seed = 42 }
+  in
+  let rng = rng_of 7 in
+  let edges =
+    List.map
+      (fun { Dtm_graph.Graph.u; v; _ } ->
+        (u, v, 1 + Dtm_util.Prng.int rng 100))
+      (Dtm_graph.Graph.edges g0)
+  in
+  Dtm_graph.Graph.of_edges ~n:lmw_n edges
+
+let lmw_pairs =
+  let rng = rng_of 23 in
+  Array.init 64 (fun _ ->
+      (Dtm_util.Prng.int rng lmw_n, Dtm_util.Prng.int rng lmw_n))
+
 (* Substrate and baselines. *)
 let substrate_tests =
   Test.make_grouped ~name:"substrate"
@@ -256,6 +283,11 @@ let substrate_tests =
           Array.fold_left
             (fun acc (u, v) -> acc + Dtm_graph.Metric.dist m u v)
             0 lm_pairs));
+      Test.make ~name:"metric_landmark_weighted" (stage (fun () ->
+          let lm = Dtm_graph.Landmark.build lmw_graph in
+          Array.fold_left
+            (fun acc (u, v) -> acc + Dtm_graph.Landmark.dist lm u v)
+            0 lmw_pairs));
       Test.make ~name:"validator" (stage (fun () ->
           Dtm_core.Validator.is_feasible grid_metric grid_inst grid_sched));
       Test.make ~name:"replay_grid" (stage (fun () ->
@@ -286,6 +318,43 @@ let verify_tests =
             tiny_inst));
     ]
 
+(* STM commit-path kernels: a fixed injected workload with zero
+   busy-work, so the measurement is the commit protocol itself (open
+   CAS, validation, status CAS, pool orchestration).  The 4-domain
+   variant pays the pool spawn per run on purpose — that is the real
+   cost of standing up the runtime. *)
+let stm_spec =
+  {
+    Dtm_workload.Injection.n = 32;
+    num_objects = 256;
+    k = 2;
+    rate = 2.0;
+    burst = 1;
+    dist = Dtm_workload.Injection.Uniform_objects;
+    seed = 13;
+  }
+
+let stm_workload =
+  Dtm_stm.Runtime.of_injection ~work_scale:0
+    ~metric:(Dtm_topology.Clique.metric stm_spec.Dtm_workload.Injection.n)
+    ~spec:stm_spec ~count:2048 ()
+
+let stm_cm =
+  Dtm_stm.Cm.of_policy (Dtm_online.Policy.Timestamp { preemption = true })
+
+let stm_tests =
+  Test.make_grouped ~name:"stm"
+    [
+      Test.make ~name:"commit_throughput_1d" (stage (fun () ->
+          Dtm_stm.Runtime.run ~cm:stm_cm ~domains:1
+            ~num_objects:stm_spec.Dtm_workload.Injection.num_objects
+            stm_workload));
+      Test.make ~name:"commit_throughput_4d" (stage (fun () ->
+          Dtm_stm.Runtime.run ~cm:stm_cm ~domains:4
+            ~num_objects:stm_spec.Dtm_workload.Injection.num_objects
+            stm_workload));
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"dtm"
     [
@@ -295,6 +364,7 @@ let all_tests =
       online_tests;
       substrate_tests;
       verify_tests;
+      stm_tests;
     ]
 
 let bench_limit = 2000

@@ -328,6 +328,7 @@ let online_cmd =
           ("nearest", Dtm_online.Policy.Nearest);
           ("random", Dtm_online.Policy.Random_grant 1);
           ("window-greedy", Dtm_online.Policy.Window_greedy { window = 16; seed = 1 });
+          ("backoff", Dtm_online.Policy.Backoff { seed = 1; limit = 8 });
         ]
     in
     Arg.(
@@ -335,8 +336,8 @@ let online_cmd =
       & opt policy_conv (Dtm_online.Policy.Timestamp { preemption = true })
       & info [ "policy" ] ~docv:"POLICY"
           ~doc:
-            "Contention manager: timestamp, greedy-cm, nearest, random, or \
-             window-greedy.")
+            "Contention manager: timestamp, greedy-cm, nearest, random, \
+             window-greedy, or backoff.")
   in
   Cmd.v
     (Cmd.info "online"
@@ -430,6 +431,7 @@ let serve_cmd =
           ("nearest", Dtm_online.Policy.Nearest);
           ("random", Dtm_online.Policy.Random_grant 1);
           ("window-greedy", Dtm_online.Policy.Window_greedy { window = 16; seed = 1 });
+          ("backoff", Dtm_online.Policy.Backoff { seed = 1; limit = 8 });
         ]
     in
     Arg.(
@@ -437,8 +439,8 @@ let serve_cmd =
       & opt policy_conv (Dtm_online.Policy.Timestamp { preemption = true })
       & info [ "policy" ] ~docv:"POLICY"
           ~doc:
-            "Contention manager: timestamp, greedy-cm, nearest, random, or \
-             window-greedy.")
+            "Contention manager: timestamp, greedy-cm, nearest, random, \
+             window-greedy, or backoff.")
   in
   let horizon_arg =
     Arg.(
@@ -754,6 +756,175 @@ let verify_cmd =
       const run $ topo_opt_arg $ objects_arg $ k_arg $ seed_arg $ seeds_arg
       $ workload_arg $ verify_capacity_arg $ json_arg $ codes_arg $ jobs_arg)
 
+let stm_cmd =
+  let module I = Dtm_workload.Injection in
+  let module Stm = Dtm_stm in
+  let run topo w k seed rate burst dist count domains seeds work_ns policies =
+    let n = Topology.n topo in
+    let metric = Topology.metric topo in
+    let spec = { I.n; num_objects = w; k; rate; burst; dist; seed } in
+    let seed_list = List.init (max 1 seeds) (fun i -> seed + i) in
+    Printf.printf "topology:      %s\n" (Topology.describe topo);
+    Printf.printf "injection:     %s\n" (I.describe spec);
+    Printf.printf "workload:      %d txns per run, %d seeds\n" count seeds;
+    Printf.printf "calibration:   %.2f ns per work unit, %.0f ns target per \
+                   distance unit\n"
+      (Stm.Calibrate.ns_per_unit ()) work_ns;
+    (* Sim-vs-measured rank correlation, one row per policy. *)
+    let row_domains = match domains with d :: _ -> d | [] -> 1 in
+    print_newline ();
+    Printf.printf "%-28s %14s %10s %12s\n" "policy" "corr(sim,wall)"
+      "abort-rate" "mean-wall-ms";
+    List.iter
+      (fun policy ->
+        let row =
+          Stm.Validate.policy_row ~domains:row_domains ~work_target_ns:work_ns
+            ~metric ~spec ~count ~seeds:seed_list policy
+        in
+        let mean_wall_ms =
+          Array.fold_left
+            (fun a s -> a +. (float_of_int s.Stm.Validate.wall_ns /. 1e6))
+            0.0 row.Stm.Validate.samples
+          /. float_of_int (max 1 (Array.length row.Stm.Validate.samples))
+        in
+        Printf.printf "%-28s %14.3f %10.3f %12.2f\n" row.Stm.Validate.cm_name
+          row.Stm.Validate.correlation row.Stm.Validate.mean_abort_rate
+          mean_wall_ms)
+      policies;
+    (* Scaling curve for the first policy over the domain list, plus the
+       wall-clock-independent correctness verdicts CI keys on. *)
+    (match policies with
+    | [] -> ()
+    | policy :: _ ->
+      let work_scale = Stm.Calibrate.units_for ~target_ns:work_ns in
+      let workload =
+        Stm.Runtime.of_injection ~work_scale ~metric ~spec ~count ()
+      in
+      Printf.printf "\nscaling (%s, fixed workload):\n"
+        (Dtm_online.Policy.to_string policy);
+      Printf.printf "%8s %10s %16s %10s %8s\n" "domains" "wall-ms"
+        "throughput" "aborts" "speedup";
+      let base = ref 0 in
+      let all_ok = ref true in
+      List.iter
+        (fun d ->
+          let rep, records =
+            Stm.Runtime.run ~record:true ~cm:(Stm.Cm.of_policy policy)
+              ~domains:d ~num_objects:w workload
+          in
+          if !base = 0 then base := rep.Stm.Runtime.wall_ns;
+          let ok =
+            Stm.Validate.conserved rep workload
+            && Stm.Validate.log_serializable records
+          in
+          all_ok := !all_ok && ok;
+          Printf.printf "%8d %10.2f %16.0f %10d %8.2f\n" d
+            (float_of_int rep.Stm.Runtime.wall_ns /. 1e6)
+            rep.Stm.Runtime.throughput rep.Stm.Runtime.aborts
+            (float_of_int !base /. float_of_int rep.Stm.Runtime.wall_ns))
+        domains;
+      Printf.printf "\nverdict:       %s (conservation + serializability at \
+                     every domain count)\n"
+        (if !all_ok then "ok" else "FAILED");
+      if not !all_ok then exit 1)
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "rate" ] ~docv:"RHO" ~doc:"Injection rate (transactions per step).")
+  in
+  let burst_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "burst" ] ~docv:"B" ~doc:"Token-bucket burstiness.")
+  in
+  let dist_arg =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "uniform" ] -> Ok I.Uniform_objects
+      | [ "zipf"; e ] -> (
+        match float_of_string_opt e with
+        | Some e when e >= 0.0 -> Ok (I.Zipf_objects e)
+        | _ -> Error (`Msg "zipf wants a non-negative exponent, e.g. zipf:1.1"))
+      | [ "hot"; p ] -> (
+        match float_of_string_opt p with
+        | Some p when p >= 0.0 && p <= 1.0 -> Ok (I.Hot_objects p)
+        | _ -> Error (`Msg "hot wants a probability, e.g. hot:0.8"))
+      | _ -> Error (`Msg "expected uniform, zipf:EXPONENT, or hot:PROB")
+    in
+    let print ppf d = Format.pp_print_string ppf (I.dist_to_string d) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) I.Uniform_objects
+      & info [ "dist" ] ~docv:"DIST"
+          ~doc:"Object popularity: uniform, zipf:EXPONENT, or hot:PROB.")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt int 2000
+      & info [ "count" ] ~docv:"N" ~doc:"Transactions to execute per run.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 4 ]
+      & info [ "domains" ] ~docv:"D,D,..."
+          ~doc:"Domain counts for the scaling curve (first is the baseline \
+                and runs the correlation rows).")
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "seeds" ] ~docv:"S"
+          ~doc:"Seeds per correlation row (>= 2 for a defined rank \
+                correlation).")
+  in
+  let work_ns_arg =
+    Arg.(
+      value
+      & opt float 2000.0
+      & info [ "work-ns" ] ~docv:"NS"
+          ~doc:"Calibrated busy-work per simulated distance unit, in \
+                nanoseconds.")
+  in
+  let policies_arg =
+    let policy_conv =
+      Arg.enum
+        [
+          ("timestamp", Dtm_online.Policy.Timestamp { preemption = false });
+          ("greedy-cm", Dtm_online.Policy.Timestamp { preemption = true });
+          ("nearest", Dtm_online.Policy.Nearest);
+          ("random", Dtm_online.Policy.Random_grant 1);
+          ("window-greedy", Dtm_online.Policy.Window_greedy { window = 16; seed = 1 });
+          ("backoff", Dtm_online.Policy.Backoff { seed = 1; limit = 8 });
+        ]
+    in
+    Arg.(
+      value
+      & opt (list policy_conv)
+          [
+            Dtm_online.Policy.Timestamp { preemption = true };
+            Dtm_online.Policy.Window_greedy { window = 16; seed = 1 };
+            Dtm_online.Policy.Backoff { seed = 1; limit = 8 };
+          ]
+      & info [ "policies" ] ~docv:"P,P,..."
+          ~doc:"Contention managers to compare: timestamp, greedy-cm, \
+                nearest, random, window-greedy, backoff.")
+  in
+  Cmd.v
+    (Cmd.info "stm"
+       ~doc:
+         "Execute injected workloads on the multicore STM runtime and \
+          correlate simulated makespans with measured wall-clock.")
+    Term.(
+      const run $ topo_arg $ objects_arg $ k_arg $ seed_arg $ rate_arg
+      $ burst_arg $ dist_arg $ count_arg $ domains_arg $ seeds_arg
+      $ work_ns_arg $ policies_arg)
+
 let topologies_cmd =
   let run () =
     print_endline "supported topologies (with example parameters):";
@@ -781,5 +952,6 @@ let () =
             verify_cmd;
             online_cmd;
             serve_cmd;
+            stm_cmd;
             topologies_cmd;
           ]))

@@ -1182,3 +1182,117 @@ let e16_stability ~seeds =
         "and survive only on watchdog recoveries (forced column).";
       ];
   }
+
+(* ------------------------------------------------------------------ *)
+(* E17: executable STM — does simulated makespan predict wall-clock?  *)
+(* ------------------------------------------------------------------ *)
+
+let e17_stm ~seeds =
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("topology", Table.Left);
+          ("policy (as CM)", Table.Left);
+          ("corr(sim,wall)", Table.Right);
+          ("abort rate", Table.Right);
+          ("mean sim steps", Table.Right);
+          ("mean wall ms", Table.Right);
+          ("conserved", Table.Left);
+        ]
+  in
+  let topologies =
+    [
+      Topology.Clique 16;
+      Topology.Grid { rows = 4; cols = 4 };
+      Topology.Line 16;
+    ]
+  in
+  let policies =
+    [
+      Dtm_online.Policy.Timestamp { preemption = true };
+      Dtm_online.Policy.Timestamp { preemption = false };
+      Dtm_online.Policy.Window_greedy { window = 16; seed = 1 };
+      Dtm_online.Policy.Backoff { seed = 1; limit = 8 };
+    ]
+  in
+  (* Rank correlation needs several per-seed samples; pad short seed
+     lists deterministically. *)
+  let seeds =
+    match seeds with
+    | _ :: _ as l when List.length l >= 4 -> l
+    | s :: _ -> [ s; s + 1; s + 2; s + 3 ]
+    | [] -> [ 1; 2; 3; 4 ]
+  in
+  let count = 400 in
+  (* Sequential on purpose: the STM runs spawn their own domain pools,
+     and the numbers are wall-clock — keep the machine quiet. *)
+  let rows =
+    List.concat_map
+      (fun topo ->
+        let n = Topology.n topo in
+        let metric = Topology.metric topo in
+        let spec =
+          {
+            (* A contended burst: arrivals outpace service, so the sim
+               makespan measures scheduling, not the injection tail. *)
+            Dtm_workload.Injection.n;
+            num_objects = n;
+            k = 2;
+            rate = 5.0;
+            burst = 4;
+            dist = Dtm_workload.Injection.Zipf_objects 0.8;
+            seed = List.hd seeds;
+          }
+        in
+        List.map
+          (fun policy ->
+            let row =
+              Dtm_stm.Validate.policy_row ~domains:4 ~work_target_ns:20_000.0
+                ~metric ~spec ~count ~seeds policy
+            in
+            let samples = row.Dtm_stm.Validate.samples in
+            let mean f =
+              Dtm_util.Stats.mean (Array.map f samples)
+            in
+            let conserved =
+              Array.for_all
+                (fun s -> s.Dtm_stm.Validate.commits = count)
+                samples
+            in
+            [
+              Topology.to_string topo;
+              row.Dtm_stm.Validate.cm_name;
+              Table.cell_float row.Dtm_stm.Validate.correlation;
+              Table.cell_float row.Dtm_stm.Validate.mean_abort_rate;
+              Table.cell_float
+                (mean (fun s -> float_of_int s.Dtm_stm.Validate.sim_makespan));
+              Table.cell_float
+                (mean (fun s -> float_of_int s.Dtm_stm.Validate.wall_ns /. 1e6));
+              (if conserved then "yes" else "NO");
+            ])
+          policies)
+      topologies
+  in
+  let per_topo = List.length policies in
+  List.iteri
+    (fun i row ->
+      Table.add_row t row;
+      if (i + 1) mod per_topo = 0 && i + 1 < List.length rows then
+        Table.add_separator t)
+    rows;
+  {
+    table = t;
+    notes =
+      [
+        "The loop closed: the same injected instances run through the";
+        "discrete open-system simulator (makespan in steps) and through";
+        "the live DSTM-style runtime on 4 domains (makespan in wall-clock";
+        "ns), with each policy adapted as the contention manager.";
+        "corr is the Spearman rank correlation across seeds - positive";
+        "means the analysis's ordering of instances survives contact with";
+        "real hardware.  Wall-clock numbers vary between machines and";
+        "runs; 'conserved' (every transaction committed exactly once)";
+        "must not.";
+      ];
+  }

@@ -62,3 +62,9 @@ val e16_stability : seeds:int list -> result
 (** Open-system extension (arXiv 2208.07359 direction): continual
     arrivals at rate rho; per-topology critical rates rho*, stability
     verdicts, and exact latency percentiles per contention manager. *)
+
+val e17_stm : seeds:int list -> result
+(** Executable-STM extension (ROADMAP item 2): the same injected
+    instances through the open-system simulator and the multicore DSTM
+    runtime; Spearman rank correlation of simulated makespan against
+    measured wall-clock, per topology x contention manager. *)

@@ -143,6 +143,13 @@ let all =
       csv = Some (csv_of_experiment Experiments.e16_stability);
     };
     {
+      id = "e17";
+      title = "Executable STM (sim-to-metal correlation)";
+      claim = "simulated makespans rank-order measured wall-clock per CM";
+      run = of_experiment Experiments.e17_stm;
+      csv = Some (csv_of_experiment Experiments.e17_stm);
+    };
+    {
       id = "f1";
       title = "Figure 1: line decomposition";
       claim = "n = 32 line, l = 8, alternating S1/S2 subgraphs";

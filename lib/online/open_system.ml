@@ -54,7 +54,7 @@ let run ?(policy = Policy.Timestamp { preemption = false }) ?(patience = 50)
   if divergence_cap < 1 then invalid_arg "Open_system.run: divergence_cap < 1";
   let rng =
     match policy with
-    | Policy.Random_grant seed -> Prng.create ~seed
+    | Policy.Random_grant seed | Policy.Backoff { seed; _ } -> Prng.create ~seed
     | Policy.Timestamp _ | Policy.Nearest | Policy.Window_greedy _ ->
       Prng.create ~seed:0
   in
@@ -147,7 +147,8 @@ let run ?(policy = Policy.Timestamp { preemption = false }) ?(patience = 50)
                 Some c
               else acc)
           None candidates
-      | Policy.Random_grant _ -> Some (Prng.choose_list rng candidates)
+      | Policy.Random_grant _ | Policy.Backoff _ ->
+        Some (Prng.choose_list rng candidates)
       | Policy.Window_greedy { window; seed } ->
         let key c =
           let w = Policy.window_index ~window ~arrival:c.arrival in

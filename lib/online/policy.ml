@@ -3,6 +3,7 @@ type t =
   | Nearest
   | Random_grant of int
   | Window_greedy of { window : int; seed : int }
+  | Backoff of { seed : int; limit : int }
 
 let to_string = function
   | Timestamp { preemption = true } -> "timestamp+preemption (Greedy CM)"
@@ -10,6 +11,7 @@ let to_string = function
   | Nearest -> "nearest"
   | Random_grant _ -> "random"
   | Window_greedy _ -> "window-greedy"
+  | Backoff _ -> "randomized-backoff"
 
 let window_index ~window ~arrival =
   if window < 1 then invalid_arg "Policy.window_index: window < 1";
@@ -30,3 +32,15 @@ let mix64 x =
 
 let window_priority ~seed ~window_id ~id =
   mix64 (seed lxor mix64 (window_id lxor mix64 id))
+
+(* Randomized exponential backoff (the Polite manager of Scherer-Scott):
+   the delay for attempt [a] is a stateless pseudo-random draw from
+   [1, 2^min(a, limit)], so two contenders with equal ages still
+   de-synchronize.  Stateless for the same reason as [window_priority]:
+   the STM runtime consults it from many domains at once and must not
+   share a Prng. *)
+let backoff_delay ~seed ~id ~attempt ~limit =
+  if limit < 1 then invalid_arg "Policy.backoff_delay: limit < 1";
+  if attempt < 0 then invalid_arg "Policy.backoff_delay: attempt < 0";
+  let cap = 1 lsl min attempt limit in
+  1 + (mix64 (seed lxor mix64 ((attempt * 0x1000003) lxor mix64 id)) mod cap)

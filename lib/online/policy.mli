@@ -26,6 +26,15 @@ type t =
           the window floor still bounds how long anyone waits.
           Non-preemptive; relies on the executor's watchdog for deadlock
           recovery.  Requires [window >= 1]. *)
+  | Backoff of { seed : int; limit : int }
+      (** randomized exponential backoff (the Polite manager of
+          Scherer-Scott): on conflict the requester retreats for a
+          pseudo-random delay that doubles per attempt up to
+          [2^limit], then claims the object outright.  In the discrete
+          online engines the grant order degenerates to a seeded random
+          waiter (backoff has no meaning when grants are instantaneous
+          per step); the STM runtime uses the full delay schedule via
+          {!backoff_delay}.  Requires [limit >= 1]. *)
 
 val to_string : t -> string
 
@@ -37,3 +46,10 @@ val window_priority : seed:int -> window_id:int -> id:int -> int
 (** Deterministic per-(transaction, window) priority: a stateless
     SplitMix64-style hash, non-negative, identical across runs and
     platforms.  Lower wins. *)
+
+val backoff_delay : seed:int -> id:int -> attempt:int -> limit:int -> int
+(** Pseudo-random backoff delay for a transaction's [attempt]-th
+    conflict: uniform-ish in [1, 2^min(attempt, limit)], stateless and
+    platform-independent (same SplitMix64 mixer as
+    {!window_priority}).  Raises [Invalid_argument] when [limit < 1]
+    or [attempt < 0]. *)

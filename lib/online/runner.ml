@@ -31,7 +31,8 @@ let run ?(policy = Policy.Timestamp { preemption = false }) ?(patience = 50)
   if patience < 1 then invalid_arg "Runner.run: patience < 1";
   let rng =
     match policy with
-    | Policy.Random_grant seed -> Dtm_util.Prng.create ~seed
+    | Policy.Random_grant seed | Policy.Backoff { seed; _ } ->
+      Dtm_util.Prng.create ~seed
     | Policy.Timestamp _ | Policy.Nearest | Policy.Window_greedy _ ->
       Dtm_util.Prng.create ~seed:0
   in
@@ -110,7 +111,8 @@ let run ?(policy = Policy.Timestamp { preemption = false }) ?(patience = 50)
                 Some c
               else acc)
           None candidates
-      | Policy.Random_grant _ -> Some (Dtm_util.Prng.choose_list rng candidates)
+      | Policy.Random_grant _ | Policy.Backoff _ ->
+        Some (Dtm_util.Prng.choose_list rng candidates)
       | Policy.Window_greedy { window; seed } ->
         let key c =
           let w = Policy.window_index ~window ~arrival:c.arrival in

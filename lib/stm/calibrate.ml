@@ -1,0 +1,33 @@
+(* A multiply-xor chain: each iteration depends on the previous one, so
+   neither the compiler nor the CPU can collapse the loop, and
+   [Sys.opaque_identity] keeps the result observable. *)
+let spin k =
+  let acc = ref 0x9e3779b9 in
+  for i = 1 to k do
+    acc := (!acc * 0x1000193) lxor i
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let measure_once iters =
+  let t0 = Unix.gettimeofday () in
+  spin iters;
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0) *. 1e9 /. float_of_int iters
+
+let cached = Atomic.make None
+
+let ns_per_unit () =
+  match Atomic.get cached with
+  | Some v -> v
+  | None ->
+    spin 200_000 (* warm-up *);
+    let rounds = Array.init 5 (fun _ -> measure_once 1_000_000) in
+    Array.sort compare rounds;
+    let v = Float.max 0.05 rounds.(2) in
+    (* Racing initializations agree closely; first one published wins. *)
+    ignore (Atomic.compare_and_set cached None (Some v));
+    (match Atomic.get cached with Some v -> v | None -> v)
+
+let units_for ~target_ns =
+  if target_ns < 0.0 then invalid_arg "Calibrate.units_for: negative target";
+  max 1 (int_of_float (target_ns /. ns_per_unit ()))

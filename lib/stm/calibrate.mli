@@ -1,0 +1,20 @@
+(** Calibrated busy-work, so a transaction's simulated execution time
+    (in abstract work units) maps to a comparable wall-clock cost on
+    this machine.
+
+    [spin] is a data-dependent integer loop the compiler cannot elide;
+    [ns_per_unit] measures its per-iteration cost once (median of
+    several rounds, cached), and [units_for] converts a nanosecond
+    target into loop iterations. *)
+
+val spin : int -> unit
+(** [spin k] burns roughly [k] loop iterations of integer work.
+    [k <= 0] is a no-op.  Safe to call from any domain. *)
+
+val ns_per_unit : unit -> float
+(** Measured cost of one [spin] iteration in nanoseconds (cached after
+    the first call; first call takes a few milliseconds).  Values on
+    contemporary hardware are typically 0.3–2 ns. *)
+
+val units_for : target_ns:float -> int
+(** Loop iterations whose duration approximates [target_ns] (>= 1). *)

@@ -1,0 +1,81 @@
+module Policy = Dtm_online.Policy
+
+type decision = Abort_other | Abort_self | Wait of int
+
+type t = {
+  name : string;
+  resolve : self:Desc.t -> other:Desc.t -> attempt:int -> decision;
+}
+
+let older (a : Desc.t) (b : Desc.t) =
+  a.Desc.birth < b.Desc.birth
+  || (a.Desc.birth = b.Desc.birth && a.Desc.tid < b.Desc.tid)
+
+(* Greedy (Guerraoui-Herlihy-Pochon): age decides instantly.  The
+   globally oldest live transaction is never on the losing side, so the
+   system always makes progress. *)
+let greedy ~self ~other ~attempt:_ =
+  if older self other then Abort_other else Abort_self
+
+let timestamp_preemptive = { name = "timestamp+preemption"; resolve = greedy }
+
+(* Non-preemptive timestamp: honour the owner's "irrevocable grant" for
+   a bounded number of increasingly long spins (mirroring the online
+   engine, where a granted object cannot be stolen until commit), then
+   fall back to age so the wait cannot become a deadlock. *)
+let timestamp_patience = 24
+
+let timestamp =
+  let resolve ~self ~other ~attempt =
+    if attempt < timestamp_patience then Wait (1 lsl min attempt 10)
+    else if older self other then Abort_other
+    else Abort_self
+  in
+  { name = "timestamp"; resolve }
+
+(* Window-based greedy (Sharma-Busch, arXiv 1002.4182): earlier windows
+   always win; within a window a seeded hash ranks the contenders.  The
+   key is a total order over descriptors, so the minimum live
+   transaction always wins its conflicts. *)
+let window_greedy ~window ~seed =
+  let key (d : Desc.t) =
+    let w = Policy.window_index ~window ~arrival:(max 1 d.Desc.birth) in
+    (w, Policy.window_priority ~seed ~window_id:w ~id:d.Desc.tid, d.Desc.tid)
+  in
+  let resolve ~self ~other ~attempt:_ =
+    if key self < key other then Abort_other else Abort_self
+  in
+  { name = "window-greedy"; resolve }
+
+(* Polite (Scherer-Scott): back off for a randomized, exponentially
+   growing delay; after [limit] attempts lose patience and take the
+   object.  Stateless draws de-synchronize symmetric contenders. *)
+let backoff ~seed ~limit =
+  if limit < 1 then invalid_arg "Cm.backoff: limit < 1";
+  let resolve ~self:(s : Desc.t) ~other:_ ~attempt =
+    if attempt >= limit then Abort_other
+    else Wait (Policy.backoff_delay ~seed ~id:s.Desc.tid ~attempt ~limit)
+  in
+  { name = "randomized-backoff"; resolve }
+
+(* Seeded coin on the unordered tid pair: both sides compute the same
+   winner, and the verdict is stable across retries (descriptors keep
+   their tid), so the loser only proceeds once the winner resolves. *)
+let random_grant ~seed =
+  let resolve ~self:(s : Desc.t) ~other:(o : Desc.t) ~attempt:_ =
+    let lo = min s.Desc.tid o.Desc.tid and hi = max s.Desc.tid o.Desc.tid in
+    let low_wins = Policy.window_priority ~seed ~window_id:lo ~id:hi land 1 = 0 in
+    if (s.Desc.tid = lo) = low_wins then Abort_other else Abort_self
+  in
+  { name = "random"; resolve }
+
+let of_policy = function
+  | Policy.Timestamp { preemption = true } -> timestamp_preemptive
+  | Policy.Timestamp { preemption = false } -> timestamp
+  | Policy.Window_greedy { window; seed } -> window_greedy ~window ~seed
+  | Policy.Backoff { seed; limit } -> backoff ~seed ~limit
+  | Policy.Random_grant seed -> random_grant ~seed
+  | Policy.Nearest ->
+    (* Domains share one address space; "distance to the object" is
+       meaningless, so locality-seeking degenerates to Greedy. *)
+    { timestamp_preemptive with name = "nearest(greedy-fallback)" }

@@ -1,0 +1,57 @@
+(** Contention managers: the pluggable conflict arbiter of the DSTM
+    design, adapting the repo's scheduling policies
+    ({!Dtm_online.Policy}) into live abort/wait decisions.
+
+    When transaction [self] finds object [o] owned by an [Active]
+    transaction [other], the runtime asks the manager what to do.  The
+    manager only advises — the runtime enacts the decision with the
+    obstruction-free primitives ([Desc.try_abort] on [other] or on
+    [self]'s own descriptor).  [attempt] counts how many times [self]
+    has consulted the manager for this acquisition, so waiting
+    managers can escalate.
+
+    Managers must be safe to call concurrently from many domains; all
+    adapters here are stateless (pure functions of the two descriptors
+    and the attempt count), which also keeps arbitration symmetric —
+    both sides of a conflict compute the same winner. *)
+
+type decision =
+  | Abort_other  (** kill the current owner and retry the CAS *)
+  | Abort_self  (** abort [self]; the runtime re-runs the transaction *)
+  | Wait of int
+      (** spin for this many backoff units, then re-examine.  The
+          runtime bounds the spin and re-checks [self]'s own status so
+          a waiter that got aborted notices promptly. *)
+
+type t = {
+  name : string;
+  resolve : self:Desc.t -> other:Desc.t -> attempt:int -> decision;
+}
+
+val older : Desc.t -> Desc.t -> bool
+(** [older a b] — strictly older by [(birth, tid)]; the total order
+    every timestamp manager arbitrates on. *)
+
+val of_policy : Dtm_online.Policy.t -> t
+(** Adapt a scheduling policy:
+
+    - [Timestamp { preemption = true }] — the Greedy manager: the
+      older transaction always wins immediately ([Abort_other] /
+      [Abort_self]).  No waiting, no deadlock, the globally oldest
+      transaction is never aborted.
+    - [Timestamp { preemption = false }] — polite timestamp: bounded
+      waiting first (the grant is "irrevocable" for a while, matching
+      the non-preemptive online engine), then age decides.
+    - [Window_greedy] — priority is [(window of birth, seeded
+      per-window hash, tid)]; lower wins outright.  The randomized
+      within-window priorities break adversarial age chains exactly as
+      in the online engine.
+    - [Backoff] — the Polite manager of Scherer-Scott: randomized
+      exponential backoff via {!Dtm_online.Policy.backoff_delay} for
+      [limit] attempts, then claim the object outright.
+    - [Random_grant] — a seeded coin on the (unordered) pair of tids
+      picks the winner; stable across retries, so the loser can only
+      get through once the winner resolves.
+    - [Nearest] — has no shared-memory analogue (there is no object
+      position between domains); falls back to Greedy and says so in
+      its [name]. *)

@@ -1,0 +1,18 @@
+type status = Active | Committed | Aborted
+
+type t = { tid : int; birth : int; status : status Atomic.t }
+
+let make ~tid ~birth = { tid; birth; status = Atomic.make Active }
+
+let committed_root () =
+  { tid = -1; birth = 0; status = Atomic.make Committed }
+
+let status t = Atomic.get t.status
+let is_active t = Atomic.get t.status = Active
+let try_commit t = Atomic.compare_and_set t.status Active Committed
+let try_abort t = Atomic.compare_and_set t.status Active Aborted
+
+let status_to_string = function
+  | Active -> "active"
+  | Committed -> "committed"
+  | Aborted -> "aborted"

@@ -1,0 +1,47 @@
+(** Transaction descriptors: the single word of shared state whose CAS
+    decides a transaction's fate (DSTM, Herlihy et al., PODC 2003).
+
+    Every attempt of a transaction allocates a fresh descriptor whose
+    [status] starts [Active].  Exactly one CAS ever succeeds on it —
+    either the owner flips it to [Committed] at its commit point, or a
+    conflicting transaction flips it to [Aborted] — so all object
+    locators pointing at the descriptor change logical value
+    atomically.  Descriptors are never reused; freshly-allocated
+    immutable locators plus fresh descriptors rule out ABA on the
+    object words. *)
+
+type status = Active | Committed | Aborted
+
+type t = {
+  tid : int;  (** workload index; stable across retries of one txn *)
+  birth : int;
+      (** arrival step of the transaction — the age every timestamp-
+          based contention manager arbitrates on.  Stable across
+          retries, so an unlucky transaction only gets older (the
+          Greedy CM's no-starvation argument needs exactly this). *)
+  status : status Atomic.t;
+}
+
+val make : tid:int -> birth:int -> t
+(** A fresh [Active] descriptor. *)
+
+val committed_root : unit -> t
+(** A pre-committed descriptor ([tid = -1]) for the initial locator of
+    a transactional object. *)
+
+val status : t -> status
+(** [Atomic.get] — a full acquire fence, so a [Committed] answer also
+    publishes every plain write the owner made before its commit CAS. *)
+
+val is_active : t -> bool
+
+val try_commit : t -> bool
+(** CAS [Active -> Committed]; false iff a conflicting transaction
+    already aborted this descriptor. *)
+
+val try_abort : t -> bool
+(** CAS [Active -> Aborted]; false iff already resolved.  Callable from
+    any domain — this is the obstruction-free "abort the other guy"
+    primitive. *)
+
+val status_to_string : status -> string

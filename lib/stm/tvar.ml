@@ -1,0 +1,33 @@
+type locator = {
+  owner : Desc.t;
+  old_version : int;
+  old_value : int;
+  new_value : int;
+}
+
+type t = { id : int; loc : locator Atomic.t }
+
+(* The root locator's owner is pre-committed, so [stable] resolves it to
+   (old_version + 1, new_value); seeding old_version with -1 makes the
+   initial committed state version 0. *)
+let create ~id value =
+  {
+    id;
+    loc =
+      Atomic.make
+        {
+          owner = Desc.committed_root ();
+          old_version = -1;
+          old_value = value;
+          new_value = value;
+        };
+  }
+
+let stable l =
+  match Desc.status l.owner with
+  | Desc.Committed -> (l.old_version + 1, l.new_value)
+  | Desc.Active | Desc.Aborted -> (l.old_version, l.old_value)
+
+let read t = stable (Atomic.get t.loc)
+let value t = snd (read t)
+let version t = fst (read t)

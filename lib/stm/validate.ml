@@ -1,0 +1,194 @@
+module I = Dtm_workload.Injection
+module Open_system = Dtm_online.Open_system
+module Stats = Dtm_util.Stats
+
+type sample = {
+  seed : int;
+  sim_makespan : int;
+  wall_ns : int;
+  commits : int;
+  aborts : int;
+}
+
+type row = {
+  policy : Dtm_online.Policy.t;
+  cm_name : string;
+  samples : sample array;
+  correlation : float;
+  mean_abort_rate : float;
+}
+
+let sim_makespan ?policy ~metric ~spec ~count () =
+  let src = I.source ~limit:count spec in
+  let homes = I.homes spec in
+  (* Generous horizon: a drained run stops at its makespan anyway, and
+     the frontier-only engine iterates empty steps cheaply. *)
+  let horizon = 1000 + (64 * count) in
+  let r = Open_system.run ?policy metric src ~homes ~horizon in
+  r.Open_system.horizon
+
+let policy_row ?(domains = 4) ?(work_target_ns = 2000.0) ~metric ~spec ~count
+    ~seeds policy =
+  let work_scale = Calibrate.units_for ~target_ns:work_target_ns in
+  let cm = Cm.of_policy policy in
+  let samples =
+    List.map
+      (fun seed ->
+        let spec = { spec with I.seed } in
+        let sim = sim_makespan ~policy ~metric ~spec ~count () in
+        let workload =
+          Runtime.of_injection ~work_scale ~metric ~spec ~count ()
+        in
+        let rep, _ =
+          Runtime.run ~cm ~domains ~num_objects:spec.I.num_objects workload
+        in
+        {
+          seed;
+          sim_makespan = sim;
+          wall_ns = rep.Runtime.wall_ns;
+          commits = rep.Runtime.commits;
+          aborts = rep.Runtime.aborts;
+        })
+      seeds
+    |> Array.of_list
+  in
+  let sims = Array.map (fun s -> float_of_int s.sim_makespan) samples in
+  let walls = Array.map (fun s -> float_of_int s.wall_ns) samples in
+  let correlation =
+    if Array.length samples >= 2 then Stats.spearman sims walls else 0.0
+  in
+  let mean_abort_rate =
+    if Array.length samples = 0 then 0.0
+    else
+      let r =
+        Array.fold_left
+          (fun acc s ->
+            acc
+            +.
+            let st = s.commits + s.aborts in
+            if st = 0 then 0.0 else float_of_int s.aborts /. float_of_int st)
+          0.0 samples
+      in
+      r /. float_of_int (Array.length samples)
+  in
+  { policy; cm_name = cm.Cm.name; samples; correlation; mean_abort_rate }
+
+type speedup_point = {
+  p_domains : int;
+  p_wall_ns : int;
+  p_throughput : float;
+  p_abort_rate : float;
+  p_speedup : float;
+}
+
+let speedup_curve ?(work_target_ns = 2000.0) ~metric ~spec ~count ~domains_list
+    policy =
+  if domains_list = [] then invalid_arg "Validate.speedup_curve: empty list";
+  let work_scale = Calibrate.units_for ~target_ns:work_target_ns in
+  let cm = Cm.of_policy policy in
+  let workload = Runtime.of_injection ~work_scale ~metric ~spec ~count () in
+  let base = ref 0 in
+  List.map
+    (fun domains ->
+      let rep, _ =
+        Runtime.run ~cm ~domains ~num_objects:spec.I.num_objects workload
+      in
+      if !base = 0 then base := rep.Runtime.wall_ns;
+      {
+        p_domains = domains;
+        p_wall_ns = rep.Runtime.wall_ns;
+        p_throughput = rep.Runtime.throughput;
+        p_abort_rate = rep.Runtime.abort_rate;
+        p_speedup = float_of_int !base /. float_of_int rep.Runtime.wall_ns;
+      })
+    domains_list
+
+(* Structural serializability of a commit log: every object's committed
+   write versions form a gap-free chain 1..k (the open-for-write CAS
+   hands versions out in order), and the version conflict graph —
+   writer(v) -> writer(v+1), writer(v) -> readers(v),
+   readers(v) -> writer(v+1) — is acyclic, which is exactly
+   "equivalent to some serial order" once writes are chains. *)
+let log_serializable (records : Runtime.commit_record array) =
+  let n = Array.length records in
+  let writer = Hashtbl.create 64 (* (obj, version) -> record index *) in
+  let readers = Hashtbl.create 64 (* (obj, version) -> index list *) in
+  let per_object = Hashtbl.create 64 (* obj -> version list *) in
+  let duplicate = ref false in
+  Array.iteri
+    (fun i (r : Runtime.commit_record) ->
+      Array.iter
+        (fun (o, v) ->
+          if Hashtbl.mem writer (o, v) then duplicate := true;
+          Hashtbl.replace writer (o, v) i;
+          Hashtbl.replace per_object o
+            (v :: Option.value ~default:[] (Hashtbl.find_opt per_object o)))
+        r.Runtime.write_set;
+      Array.iter
+        (fun (o, v) ->
+          Hashtbl.replace readers (o, v)
+            (i :: Option.value ~default:[] (Hashtbl.find_opt readers (o, v))))
+        r.Runtime.read_set)
+    records;
+  (not !duplicate)
+  && Hashtbl.fold
+       (fun _ versions ok ->
+         ok
+         &&
+         let sorted = List.sort compare versions in
+         List.for_all2
+           (fun v i -> v = i)
+           sorted
+           (List.init (List.length sorted) (fun i -> i + 1)))
+       per_object true
+  &&
+  let adj = Array.make (max 1 n) [] and indeg = Array.make (max 1 n) 0 in
+  let edge a b =
+    if a <> b then begin
+      adj.(a) <- b :: adj.(a);
+      indeg.(b) <- indeg.(b) + 1
+    end
+  in
+  Hashtbl.iter
+    (fun (o, v) w ->
+      (match Hashtbl.find_opt writer (o, v + 1) with
+      | Some w' -> edge w w'
+      | None -> ());
+      List.iter
+        (fun r ->
+          edge w r;
+          match Hashtbl.find_opt writer (o, v + 1) with
+          | Some w' -> edge r w'
+          | None -> ())
+        (Option.value ~default:[] (Hashtbl.find_opt readers (o, v))))
+    writer;
+  (* Readers of a version with no committed writer (e.g. version 0)
+     still precede the writer of the next version. *)
+  Hashtbl.iter
+    (fun (o, v) rs ->
+      if not (Hashtbl.mem writer (o, v)) then
+        match Hashtbl.find_opt writer (o, v + 1) with
+        | Some w' -> List.iter (fun r -> edge r w') rs
+        | None -> ())
+    readers;
+  let q = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 && i < n then Queue.add i q) indeg;
+  let seen = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    incr seen;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v q)
+      adj.(u)
+  done;
+  !seen = n
+
+let conserved (rep : Runtime.report) specs =
+  let writes =
+    Array.fold_left (fun a s -> a + Array.length s.Runtime.writes) 0 specs
+  in
+  rep.Runtime.commits = Array.length specs
+  && rep.Runtime.starts = rep.Runtime.commits + rep.Runtime.aborts
+  && rep.Runtime.total_increments = writes

@@ -1,0 +1,85 @@
+(** The closing of the loop: do simulated makespans predict wall-clock?
+
+    For each policy, the harness replays the {e same} seeded injection
+    instances twice — once through the discrete open-system simulator
+    ({!Dtm_online.Open_system}, makespan in steps) and once through the
+    live STM runtime ({!Runtime}, makespan in nanoseconds) — and
+    reports the Spearman rank correlation between the two across
+    seeds.  A policy whose simulated ordering of instances matches its
+    measured ordering is a policy whose analysis transfers to the
+    metal. *)
+
+type sample = {
+  seed : int;
+  sim_makespan : int;  (** simulator steps until drained *)
+  wall_ns : int;
+  commits : int;
+  aborts : int;
+}
+
+type row = {
+  policy : Dtm_online.Policy.t;
+  cm_name : string;
+  samples : sample array;
+  correlation : float;
+      (** Spearman of sim makespan vs wall-clock over the seeds *)
+  mean_abort_rate : float;
+}
+
+val sim_makespan :
+  ?policy:Dtm_online.Policy.t ->
+  metric:Dtm_graph.Metric.t ->
+  spec:Dtm_workload.Injection.spec ->
+  count:int ->
+  unit ->
+  int
+(** Steps the open-system engine needs to drain [count] injected
+    transactions (its [report.horizon] on a drained run). *)
+
+val policy_row :
+  ?domains:int ->
+  ?work_target_ns:float ->
+  metric:Dtm_graph.Metric.t ->
+  spec:Dtm_workload.Injection.spec ->
+  count:int ->
+  seeds:int list ->
+  Dtm_online.Policy.t ->
+  row
+(** One correlation row: per seed in [seeds], rebuild the spec with
+    that seed, simulate, then execute on [domains] (default 4) with
+    each work unit calibrated to [work_target_ns] (default 2000 ns).
+    Needs >= 2 seeds for a defined correlation. *)
+
+type speedup_point = {
+  p_domains : int;
+  p_wall_ns : int;
+  p_throughput : float;
+  p_abort_rate : float;
+  p_speedup : float;  (** first listed domain count's wall / this wall *)
+}
+
+val speedup_curve :
+  ?work_target_ns:float ->
+  metric:Dtm_graph.Metric.t ->
+  spec:Dtm_workload.Injection.spec ->
+  count:int ->
+  domains_list:int list ->
+  Dtm_online.Policy.t ->
+  speedup_point list
+(** Execute one fixed workload at each domain count (in list order);
+    speedups are relative to the first entry, so pass [1] first to get
+    the classic scaling curve. *)
+
+val log_serializable : Runtime.commit_record array -> bool
+(** Structural conflict-serializability of a recorded run: every
+    object's committed write versions form a gap-free chain [1..k],
+    and the version conflict graph (writer(v) before writer(v+1) and
+    readers(v); readers(v) before writer(v+1)) is acyclic.
+    [test/test_stm.ml] cross-checks this against the DTM115 trace
+    lint. *)
+
+val conserved : Runtime.report -> Runtime.txn_spec array -> bool
+(** The zero-lost-commit verdict: every transaction committed exactly
+    once ([commits] = workload size, [starts = commits + aborts]) and
+    the summed final object values equal the summed write-set sizes —
+    no increment was lost or duplicated by the commit protocol. *)

@@ -77,6 +77,45 @@ let log2_slope pts =
   in
   fst (linear_regression lpts)
 
+(* Average ranks (1-based, ties share the mean of their rank range), the
+   standard fractional-rank convention so Spearman on tied data matches
+   textbook values. *)
+let ranks xs =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    (* positions !i..!j hold equal values; average rank is the midpoint *)
+    let avg = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.spearman: length mismatch";
+  if n < 2 then invalid_arg "Stats.spearman: need >= 2 points";
+  let rx = ranks xs and ry = ranks ys in
+  let mx = mean rx and my = mean ry in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = rx.(i) -. mx and dy = ry.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0
+  else !sxy /. sqrt (!sxx *. !syy)
+
 module Window = struct
   (* Bounded ring buffer of integer samples with exact nearest-rank
      percentiles over the window contents.  The buffer is allocated once

@@ -27,6 +27,16 @@ val log2_slope : (float * float) array -> float
 (** Slope of [log2 y] against [log2 x]: the empirical growth exponent.
     Requires positive coordinates. *)
 
+val ranks : float array -> float array
+(** Fractional (average) 1-based ranks: ties share the mean of the rank
+    range they span. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation: Pearson correlation of the fractional
+    ranks, in [-1, 1].  Returns 0 when either side is constant (no
+    ordering information).  Raises [Invalid_argument] on mismatched
+    lengths or fewer than 2 points. *)
+
 val histogram : float array -> bins:int -> (float * int) array
 (** [histogram xs ~bins] buckets [xs] into [bins] equal-width bins over
     [min, max]; returns (bin lower edge, count). *)

@@ -65,17 +65,28 @@ let source ?limit spec =
       done;
       !lo
   in
+  (* k distinct objects by rejection (k is small), sorted for stable
+     downstream iteration order.  The buffer is reused across pulls and
+     membership is a linear scan over at most k ints, so a draw
+     allocates nothing but the emitted list; the rejection order is
+     identical to the original list-based loop, so seeded workloads
+     replay byte-for-byte. *)
+  let draw_buf = Array.make spec.k 0 in
   let draw_objects () =
-    (* k distinct objects by rejection (k is small), sorted for stable
-       downstream iteration order. *)
-    let rec go acc need =
-      if need = 0 then acc
-      else begin
-        let o = draw_object () in
-        if List.mem o acc then go acc need else go (o :: acc) (need - 1)
+    let filled = ref 0 in
+    while !filled < spec.k do
+      let o = draw_object () in
+      let dup = ref false in
+      for i = 0 to !filled - 1 do
+        if draw_buf.(i) = o then dup := true
+      done;
+      if not !dup then begin
+        draw_buf.(!filled) <- o;
+        incr filled
       end
-    in
-    List.sort Int.compare (go [] spec.k)
+    done;
+    Array.sort Int.compare draw_buf;
+    Array.fold_right (fun o acc -> o :: acc) draw_buf []
   in
   let emitted = ref 0 in
   let step = ref 0 in

@@ -173,6 +173,62 @@ let test_powerlaw_large_uses_landmark () =
       row.(v) (Metric.dist m 17 v)
   done
 
+(* Weighted small-world exactness: random edge weights on a
+   Barabási–Albert graph exercise the bidi fallback's ALT-pruning path
+   (uniform-weight graphs skip it entirely), pinning the pruned search
+   to Dijkstra.  The deterministic case is big enough that nearly every
+   query dispatches to bidi rather than A-star. *)
+let reweight ~wmax ~seed g =
+  let rng = Prng.create ~seed in
+  let edges =
+    List.map
+      (fun { Graph.u; v; _ } -> (u, v, 1 + Prng.int rng wmax))
+      (Graph.edges g)
+  in
+  Graph.of_edges ~n:(Graph.n g) edges
+
+let prop_weighted_powerlaw_exact =
+  qtest "landmark dist = Dijkstra on weighted power-law" seed_gen ~count:15
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let n = 60 + Prng.int rng 140 in
+      let attach = 2 + Prng.int rng 2 in
+      let g0 =
+        Topology.graph
+          (Topology.Power_law { Dtm_topology.Power_law.n; attach; seed })
+      in
+      let g = reweight ~wmax:(1 + Prng.int rng 99) ~seed:(seed + 1) g0 in
+      let lm = Landmark.build ~landmarks:(1 + Prng.int rng 7) g in
+      let ok = ref true in
+      for _ = 1 to 3 do
+        let src = Prng.int rng n in
+        let row = Dtm_graph.Dijkstra.distances g ~src in
+        for v = 0 to n - 1 do
+          if Landmark.dist lm src v <> row.(v) then ok := false
+        done
+      done;
+      !ok)
+
+let test_weighted_powerlaw_medium () =
+  let n = 3000 in
+  let g0 =
+    Topology.graph
+      (Topology.Power_law { Dtm_topology.Power_law.n; attach = 3; seed = 42 })
+  in
+  let g = reweight ~wmax:100 ~seed:7 g0 in
+  let lm = Landmark.build g in
+  let rng = Prng.create ~seed:99 in
+  for _ = 1 to 5 do
+    let src = Prng.int rng n in
+    let row = Dtm_graph.Dijkstra.distances g ~src in
+    for _ = 1 to 400 do
+      let v = Prng.int rng n in
+      Alcotest.(check int)
+        (Printf.sprintf "dist %d->%d" src v)
+        row.(v) (Landmark.dist lm src v)
+    done
+  done
+
 (* The scaling contract (ISSUE 8 acceptance): an n=10^5 grid builds,
    answers 10^4 queries, and drives a streamed open-system run in
    seconds — with a live heap orders of magnitude below the ~40 GB an
@@ -237,6 +293,79 @@ let test_grid_100k_smoke () =
        total build_s query_s run_s)
     true (total < 60.0)
 
+(* The 10^6-node tier of the same contract.  Build is ~24 BFS rows
+   (unit-weight grid), queries mostly resolve from the lo = hi bracket,
+   and the streamed run never materializes the instance.  Gated behind
+   DTM_LARGE_N_1M because even in release profile it needs a couple of
+   minutes of one core — the CI large-n job opts in; plain
+   [dune runtest] stays at the 10^5 tier. *)
+let test_grid_1m_smoke () =
+  let rows = 1000 and cols = 1000 in
+  let n = rows * cols in
+  let t0 = Unix.gettimeofday () in
+  let g = Dtm_topology.Grid.graph ~rows ~cols in
+  let lm = Landmark.build g in
+  let m = Metric.of_landmark lm in
+  let build_s = Unix.gettimeofday () -. t0 in
+  let row = Dtm_graph.Dijkstra.distances g ~src:123456 in
+  let rng = Prng.create ~seed:11 in
+  for _ = 1 to 50 do
+    let v = Prng.int rng n in
+    Alcotest.(check int) "grid dist" row.(v) (Metric.dist m 123456 v)
+  done;
+  let t1 = Unix.gettimeofday () in
+  let acc = ref 0 in
+  for _ = 1 to 10_000 do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    acc := !acc + Metric.dist m u v
+  done;
+  let query_s = Unix.gettimeofday () -. t1 in
+  Alcotest.(check bool) "queries nonzero" true (!acc > 0);
+  let spec =
+    {
+      Dtm_workload.Injection.n;
+      num_objects = 64;
+      k = 2;
+      rate = 0.05;
+      burst = 1;
+      dist = Dtm_workload.Injection.Uniform_objects;
+      seed = 3;
+    }
+  in
+  let homes = Array.init 64 (Dtm_workload.Injection.home_of spec) in
+  let t2 = Unix.gettimeofday () in
+  let r =
+    Dtm_online.Open_system.run m
+      (Dtm_workload.Injection.source ~limit:1_000 spec)
+      ~homes ~horizon:200_000
+  in
+  let run_s = Unix.gettimeofday () -. t2 in
+  Alcotest.(check int) "all injected committed" 1_000
+    r.Dtm_online.Open_system.committed;
+  Gc.full_major ();
+  let live_words = (Gc.stat ()).Gc.live_words in
+  (* n^2 would be 10^12 words; 24 landmark rows are 24M words and the
+     graph another ~40M.  256M words (~2 GB) still catches accidental
+     materialization by nearly four orders of magnitude. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "live heap %d words < 256M" live_words)
+    true
+    (live_words < 256_000_000);
+  let total = build_s +. query_s +. run_s in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "wall clock %.1fs (build %.1f, queries %.1f, run %.1f) < 300s" total
+       build_s query_s run_s)
+    true (total < 300.0)
+
+let large_n_tests =
+  let base =
+    [ Alcotest.test_case "grid 100k smoke" `Slow test_grid_100k_smoke ]
+  in
+  if Sys.getenv_opt "DTM_LARGE_N_1M" <> None then
+    base @ [ Alcotest.test_case "grid 1M smoke" `Slow test_grid_1m_smoke ]
+  else base
+
 let () =
   Alcotest.run "dtm_landmark"
     [
@@ -252,6 +381,9 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_powerlaw_roundtrip;
           Alcotest.test_case "large n uses landmark" `Quick
             test_powerlaw_large_uses_landmark;
+          prop_weighted_powerlaw_exact;
+          Alcotest.test_case "weighted power-law medium" `Quick
+            test_weighted_powerlaw_medium;
         ] );
-      ("large_n", [ Alcotest.test_case "grid 100k smoke" `Slow test_grid_100k_smoke ]);
+      ("large_n", large_n_tests);
     ]
