@@ -54,6 +54,8 @@ let gated =
     "dtm/extensions/e12_ring_sched";
     "dtm/extensions/e14_online_greedy_cm";
     "dtm/online/steady_state_1m";
+    "dtm/online/steady_state_1m_s1";
+    "dtm/online/steady_state_1m_s4";
     "dtm/online/stability_probe";
     "dtm/ablations/cluster_approach1";
     "dtm/ablations/cluster_approach2";
@@ -77,7 +79,21 @@ let gated =
    threshold so scheduler jitter and quota skew do not read as perf
    regressions; a genuine slowdown still trips the widened bound. *)
 let factor_override =
-  [ ("dtm/stm/commit_throughput_1d", 1.5); ("dtm/stm/commit_throughput_4d", 1.5) ]
+  [
+    ("dtm/stm/commit_throughput_1d", 1.5);
+    ("dtm/stm/commit_throughput_4d", 1.5);
+    (* The sharded 4-cell kernel shares the STM kernels' domain wake-up
+       jitter: its pool-map barrier per round is scheduler-sensitive on
+       shared CI boxes. *)
+    ("dtm/online/steady_state_1m_s4", 1.5);
+  ]
+
+(* Kernels whose reading only means "scaling" when the host gives each
+   domain a core: name -> domains it wants.  When the fresh run's
+   recorded core count is below that, the kernel is reported and
+   annotated but never fails the gate — a single-core container running
+   4 domains measures contention, not a regression. *)
+let multicore = [ ("dtm/stm/commit_throughput_4d", 4); ("dtm/online/steady_state_1m_s4", 4) ]
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON-subset parser: objects, strings (escapes pass through
@@ -199,7 +215,7 @@ let parse (s : string) : json =
   if !pos <> n then fail "trailing garbage";
   v
 
-let read_results path =
+let read_doc path =
   let ic =
     try open_in_bin path
     with Sys_error msg ->
@@ -213,18 +229,30 @@ let read_results path =
   | exception Malformed msg ->
     Printf.eprintf "compare: %s: malformed JSON (%s)\n" path msg;
     exit 2
-  | Obj fields -> (
-    match List.assoc_opt "results" fields with
-    | Some (Obj results) ->
-      List.filter_map
-        (fun (k, v) -> match v with Num f -> Some (k, f) | _ -> None)
-        results
-    | _ ->
-      Printf.eprintf "compare: %s: no \"results\" object\n" path;
-      exit 2)
+  | Obj fields -> fields
   | _ ->
     Printf.eprintf "compare: %s: top level is not an object\n" path;
     exit 2
+
+let results_of path fields =
+  match List.assoc_opt "results" fields with
+  | Some (Obj results) ->
+    List.filter_map
+      (fun (k, v) -> match v with Num f -> Some (k, f) | _ -> None)
+      results
+  | _ ->
+    Printf.eprintf "compare: %s: no \"results\" object\n" path;
+    exit 2
+
+(* Detected core count of the machine that produced the file; absent in
+   files written before the field existed. *)
+let cores_of fields =
+  match List.assoc_opt "config" fields with
+  | Some (Obj config) -> (
+    match List.assoc_opt "cores" config with
+    | Some (Num c) -> Some (int_of_float c)
+    | _ -> None)
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* The gate                                                            *)
@@ -267,8 +295,10 @@ let () =
       Printf.eprintf "%s\n" usage;
       exit 2
   in
-  let fresh = read_results fresh_path in
-  let baseline = read_results baseline_path in
+  let fresh_doc = read_doc fresh_path in
+  let fresh = results_of fresh_path fresh_doc in
+  let fresh_cores = cores_of fresh_doc in
+  let baseline = results_of baseline_path (read_doc baseline_path) in
   let ratios =
     List.filter_map
       (fun (name, base_ms) ->
@@ -296,12 +326,21 @@ let () =
           | Some w -> w
           | None -> 1.0
         in
+        let undercored =
+          match (List.assoc_opt name multicore, fresh_cores) with
+          | Some domains, Some cores -> cores < domains
+          | _ -> false
+        in
         let norm = fresh_ms /. base_ms /. speed in
-        let flag = norm > !factor *. widen in
+        let flag = (not undercored) && norm > !factor *. widen in
         if flag then failed := true;
-        Printf.printf "%-40s %10.4f %10.4f %7.2fx%s%s\n" name base_ms fresh_ms
+        Printf.printf "%-40s %10.4f %10.4f %7.2fx%s%s%s\n" name base_ms fresh_ms
           norm
           (if widen > 1.0 then Printf.sprintf " (gate %.1fx)" (!factor *. widen)
+           else "")
+          (if undercored then
+             Printf.sprintf "  (cores %d < domains: informational, not gated)"
+               (Option.get fresh_cores)
            else "")
           (if flag then "  REGRESSION" else ""))
     gated;

@@ -347,7 +347,13 @@ let online_cmd =
       $ policy_arg)
 
 let serve_cmd =
-  let run topo w k seed rate burst dist policy horizon patience critical =
+  let run topo w k seed rate burst dist policy horizon patience critical shards
+      jobs =
+    apply_jobs jobs;
+    if shards < 1 then begin
+      prerr_endline "dtm serve: --shards must be >= 1";
+      exit 124
+    end;
     let n = Topology.n topo in
     let metric = Topology.metric topo in
     let spec =
@@ -357,11 +363,14 @@ let serve_cmd =
     Printf.printf "topology:      %s\n" (Topology.describe topo);
     Printf.printf "injection:     %s\n" (Dtm_workload.Injection.describe spec);
     Printf.printf "policy:        %s\n" (Dtm_online.Policy.to_string policy);
+    if shards > 1 then Printf.printf "shards:        %d\n" shards;
     let serve rate =
-      let src =
-        Dtm_workload.Injection.source { spec with Dtm_workload.Injection.rate }
+      let factory =
+        Dtm_workload.Injection.source_factory
+          { spec with Dtm_workload.Injection.rate }
       in
-      Dtm_online.Open_system.run ~policy ~patience metric src ~homes ~horizon
+      Dtm_online.Sharded.run ~policy ~patience ~shards metric factory ~homes
+        ~horizon
     in
     let r = serve rate in
     let module O = Dtm_online.Open_system in
@@ -461,13 +470,23 @@ let serve_cmd =
       & info [ "critical" ]
           ~doc:"Also binary-search the critical rate rho* for this policy.")
   in
+  let shards_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Partition objects across S shards advanced in bulk-synchronous \
+             rounds on the domain pool; 1 (the default) runs the unsharded \
+             engine.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a continual-arrival open-system workload and judge stability.")
     Term.(
       const run $ topo_arg $ objects_arg $ k_arg $ seed_arg $ rate_arg
       $ burst_arg $ dist_arg $ policy_arg $ horizon_arg $ patience_arg
-      $ critical_arg)
+      $ critical_arg $ shards_arg $ jobs_arg)
 
 let analyze_cmd =
   let module Analysis = Dtm_analysis in
@@ -800,7 +819,12 @@ let stm_cmd =
       let workload =
         Stm.Runtime.of_injection ~work_scale ~metric ~spec ~count ()
       in
-      Printf.printf "\nscaling (%s, fixed workload):\n"
+      let cores = Domain.recommended_domain_count () in
+      Printf.printf "\ncores:         %d detected%s\n" cores
+        (if List.exists (fun d -> d > cores) domains then
+           " (domain counts above this measure overhead, not scaling)"
+         else "");
+      Printf.printf "scaling (%s, fixed workload):\n"
         (Dtm_online.Policy.to_string policy);
       Printf.printf "%8s %10s %16s %10s %8s\n" "domains" "wall-ms"
         "throughput" "aborts" "speedup";

@@ -1296,3 +1296,123 @@ let e17_stm ~seeds =
         "must not.";
       ];
   }
+
+(* ------------------------------------------------------------------ *)
+(* E18: sharded open system — what does partitioning cost and buy?    *)
+(* ------------------------------------------------------------------ *)
+
+let e18_sharding ~seeds =
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("shards", Table.Right);
+          ("policy", Table.Left);
+          ("rho*", Table.Right);
+          ("tput @0.40", Table.Right);
+          ("verdict", Table.Left);
+          ("peak q", Table.Right);
+          ("p99", Table.Right);
+          ("forced", Table.Right);
+        ]
+  in
+  let shard_counts = [ 1; 2; 4; 8 ] in
+  let policies =
+    [
+      Dtm_online.Policy.Timestamp { preemption = false };
+      Dtm_online.Policy.Timestamp { preemption = true };
+      Dtm_online.Policy.Window_greedy { window = 16; seed = 1 };
+    ]
+  in
+  (* Like E16, the bisection multiplies the run count, so the sweep
+     fixes the workload seed to the first requested seed. *)
+  let seed = match seeds with s :: _ -> s | [] -> 1 in
+  let topo = Topology.Grid { rows = 8; cols = 8 } in
+  let n = Topology.n topo in
+  let metric = Topology.metric topo in
+  let reference_rate = 0.40 in
+  let rho_lo = 0.05 and rho_hi = 1.60 in
+  let cells =
+    List.concat_map
+      (fun shards -> List.map (fun policy -> (shards, policy)) policies)
+      shard_counts
+  in
+  let rows =
+    Dtm_util.Pool.run
+      (fun (shards, policy) ->
+        let spec rate =
+          {
+            Dtm_workload.Injection.n;
+            num_objects = 2 * n;
+            k = 2;
+            rate;
+            burst = 4;
+            dist = Dtm_workload.Injection.Zipf_objects 1.0;
+            seed;
+          }
+        in
+        let homes = Dtm_workload.Injection.homes (spec reference_rate) in
+        let serve ~horizon rate =
+          Dtm_online.Sharded.run ~policy ~divergence_cap:400 ~shards metric
+            (Dtm_workload.Injection.source_factory (spec rate))
+            ~homes ~horizon
+        in
+        let stable rate =
+          (serve ~horizon:1_000 rate).Dtm_online.Open_system.verdict
+          = Dtm_online.Open_system.Bounded
+        in
+        let lo, hi =
+          Dtm_online.Open_system.critical_rate ~iters:5 ~lo:rho_lo ~hi:rho_hi
+            stable
+        in
+        let rho_star =
+          if lo = hi && hi = rho_hi then Printf.sprintf ">= %.2f" rho_hi
+          else if lo = hi then Printf.sprintf "< %.2f" rho_lo
+          else Printf.sprintf "%.3f" (0.5 *. (lo +. hi))
+        in
+        let r = serve ~horizon:2_500 reference_rate in
+        let module O = Dtm_online.Open_system in
+        let tput =
+          if r.O.horizon = 0 then 0.0
+          else float_of_int r.O.committed /. float_of_int r.O.horizon
+        in
+        [
+          string_of_int shards;
+          Dtm_online.Policy.to_string policy;
+          rho_star;
+          Table.cell_float tput;
+          O.verdict_to_string r.O.verdict;
+          Table.cell_int r.O.peak_queue;
+          Table.cell_int r.O.latency_p99;
+          Table.cell_int r.O.forced_grants;
+        ])
+      cells
+  in
+  let per_count = List.length policies in
+  List.iteri
+    (fun i row ->
+      Table.add_row t row;
+      if (i + 1) mod per_count = 0 && i + 1 < List.length rows then
+        Table.add_separator t)
+    rows;
+  {
+    table = t;
+    notes =
+      [
+        "The open system of E16, partitioned across S shards that";
+        "advance in bulk-synchronous rounds (8x8 grid, bursty Zipf";
+        "injection, first seed).  S = 1 is the unsharded engine; larger";
+        "S exchanges cross-shard object grants through the round-based";
+        "message protocol, so every remote handoff costs up to two";
+        "round-lengths of latency.  rho* is the bisected critical rate;";
+        "throughput (committed per step) and queue/latency are read at";
+        "rho = 0.40.  For age-based policies the handoff tax shows up as";
+        "latency, not capacity: rho* stays flat while p99 and the peak";
+        "queue stretch with S.  Window-greedy inverts: its global window";
+        "wedges the unsharded engine below rho = 0.40, and partitioning";
+        "breaks the wedge (bounded again at S >= 4).  The simulated";
+        "committed-per-step cost is what sharding pays for wall-clock";
+        "parallelism - the online/steady_state_1m_s4 bench kernel";
+        "measures the other side of that trade on real domains.";
+      ];
+  }

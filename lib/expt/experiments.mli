@@ -68,3 +68,9 @@ val e17_stm : seeds:int list -> result
     instances through the open-system simulator and the multicore DSTM
     runtime; Spearman rank correlation of simulated makespan against
     measured wall-clock, per topology x contention manager. *)
+
+val e18_sharding : seeds:int list -> result
+(** Sharded open system: critical rate rho*, committed-per-step
+    throughput, and latency percentiles as the object space is
+    partitioned across S shards advancing in bulk-synchronous rounds,
+    per contention-manager policy. *)

@@ -150,6 +150,13 @@ let all =
       csv = Some (csv_of_experiment Experiments.e17_stm);
     };
     {
+      id = "e18";
+      title = "Sharded open system (bulk-synchronous partitioning)";
+      claim = "sharding trades critical rate for wall-clock parallelism";
+      run = of_experiment Experiments.e18_sharding;
+      csv = Some (csv_of_experiment Experiments.e18_sharding);
+    };
+    {
       id = "f1";
       title = "Figure 1: line decomposition";
       claim = "n = 32 line, l = 8, alternating S1/S2 subgraphs";

@@ -29,7 +29,93 @@ let distances_and_parents g ~src =
   loop ();
   (dist, parent)
 
-let distances g ~src = fst (distances_and_parents g ~src)
+(* Distance-only variant on a flat monomorphic heap: two parallel int
+   arrays instead of [Pqueue]'s boxed entries, so the inner loop never
+   allocates.  Distances are unique, so any correct relaxation order
+   yields the same array — unlike [distances_and_parents], whose parent
+   trees are tie-sensitive (Router replay depends on that exact heap)
+   and therefore keep the original queue. *)
+let distances g ~src =
+  let n = Graph.n g in
+  let off, nbr, wt = Graph.csr g in
+  let dist = Array.make n max_int in
+  let cap = ref 256 in
+  let hp = ref (Array.make !cap 0) in
+  let hv = ref (Array.make !cap 0) in
+  let size = ref 0 in
+  let push prio v =
+    if !size = !cap then begin
+      let ncap = 2 * !cap in
+      let np = Array.make ncap 0 and nv = Array.make ncap 0 in
+      Array.blit !hp 0 np 0 !size;
+      Array.blit !hv 0 nv 0 !size;
+      hp := np;
+      hv := nv;
+      cap := ncap
+    end;
+    let a = !hp and b = !hv in
+    (* Sift the hole up, then drop the new entry in. *)
+    let i = ref !size in
+    incr size;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if Array.unsafe_get a p > prio then begin
+        Array.unsafe_set a !i (Array.unsafe_get a p);
+        Array.unsafe_set b !i (Array.unsafe_get b p);
+        i := p
+      end
+      else continue := false
+    done;
+    Array.unsafe_set a !i prio;
+    Array.unsafe_set b !i v
+  in
+  dist.(src) <- 0;
+  push 0 src;
+  while !size > 0 do
+    let a = !hp and b = !hv in
+    let d = Array.unsafe_get a 0 and u = Array.unsafe_get b 0 in
+    (* Pop: move the last entry into the root's hole, sifting down. *)
+    decr size;
+    if !size > 0 then begin
+      let lp = Array.unsafe_get a !size and lv = Array.unsafe_get b !size in
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 in
+        if l >= !size then continue := false
+        else begin
+          let r = l + 1 in
+          let c =
+            if r < !size && Array.unsafe_get a r < Array.unsafe_get a l then r
+            else l
+          in
+          if Array.unsafe_get a c < lp then begin
+            Array.unsafe_set a !i (Array.unsafe_get a c);
+            Array.unsafe_set b !i (Array.unsafe_get b c);
+            i := c
+          end
+          else continue := false
+        end
+      done;
+      Array.unsafe_set a !i lp;
+      Array.unsafe_set b !i lv
+    end;
+    (* Lazy deletion: an entry is current only while it matches the
+       label it was pushed with. *)
+    if d = Array.unsafe_get dist u then begin
+      let hi = Array.unsafe_get off (u + 1) in
+      for i = Array.unsafe_get off u to hi - 1 do
+        let v = Array.unsafe_get nbr i in
+        let nd = d + Array.unsafe_get wt i in
+        if nd < Array.unsafe_get dist v then begin
+          Array.unsafe_set dist v nd;
+          push nd v
+        end
+      done
+    end
+  done;
+  dist
 
 let path g ~src ~dst =
   let dist, parent = distances_and_parents g ~src in

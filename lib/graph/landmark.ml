@@ -399,49 +399,14 @@ let astar t s u v ~cap =
    instead of all of them.  The landmark upper bound [hi] is the length
    of a real u-landmark-v walk, so it seeds the incumbent; the search
    stops when the two frontiers' minima sum past it. *)
+(* The caller preselects the pruning rows ([s.sel_rows]/[s.sel_du]/
+   [s.sel_dv]/[s.nsel]) — the ranking rides on the bounds pass that
+   already reads every row at both endpoints, so selection costs the
+   query nothing here. *)
 let bidi t s u v ~seed =
   s.epoch <- s.epoch + 1;
   Dtm_util.Pqueue.clear s.pq;
   Dtm_util.Pqueue.clear s.bq;
-  (* Rank the landmark rows by their contribution to the u-v lower
-     bound and keep the strongest [max_active]: those are the landmarks
-     roughly "behind" one endpoint, whose triangle differences actually
-     separate progress-towards-v from progress-away.  Their endpoint
-     distances are read here, once per query; [touch] below then costs
-     [nsel] row reads per first-touched node. *)
-  s.nsel <- 0;
-  if not t.wt_uniform then begin
-    let rows = t.rows in
-    let nrows = Array.length rows in
-    let score = Array.make nrows (-1) in
-    for l = 0 to nrows - 1 do
-      let row = Array.unsafe_get rows l in
-      let du = Array.unsafe_get row u and dv = Array.unsafe_get row v in
-      if du < max_int && dv < max_int then
-        score.(l) <- (if du >= dv then du - dv else dv - du)
-    done;
-    let nsel = ref 0 in
-    while !nsel < max_active do
-      let pick = ref (-1) and best = ref (-1) in
-      for l = 0 to nrows - 1 do
-        if score.(l) > !best then begin
-          best := score.(l);
-          pick := l
-        end
-      done;
-      if !best < 0 then nsel := max_active (* no finite rows left *)
-      else begin
-        let l = !pick in
-        score.(l) <- -1;
-        let row = rows.(l) in
-        s.sel_rows.(!nsel) <- row;
-        s.sel_du.(!nsel) <- row.(u);
-        s.sel_dv.(!nsel) <- row.(v);
-        incr nsel;
-        s.nsel <- !nsel
-      end
-    done
-  end;
   (* First touch memoizes the landmark bounds towards both endpoints:
      [hmemo.(x)] bounds d(x, v), [bmemo.(x)] bounds d(x, u).  They are
      pruning bounds, not search potentials — the queues stay keyed on
@@ -539,34 +504,92 @@ let bidi t s u v ~seed =
 let unsafe_dist t u v =
   if u = v then 0
   else begin
-    let lo = unsafe_lower_bound t u v in
+    (* One fused pass over the rows: the lower bound, the upper bound
+       and bidi's two-best-row ranking all derive from the same
+       (row.(u), row.(v)) pair, so computing them together halves the
+       strided row reads per query and makes the pruning-row selection
+       free — it used to be a third full scan inside [bidi]. *)
+    let rows = t.rows in
+    let lo = ref 0 and hi = ref max_int in
+    let b1 = ref (-1) and s1 = ref (-1) in
+    let b2 = ref (-1) and s2 = ref (-1) in
+    (try
+       for l = 0 to Array.length rows - 1 do
+         let row = Array.unsafe_get rows l in
+         let du = Array.unsafe_get row u and dv = Array.unsafe_get row v in
+         if du = max_int || dv = max_int then begin
+           (* Exactly one endpoint reaches this landmark: the pair is
+              disconnected and the lower bound is infinite. *)
+           if du <> dv then begin
+             lo := max_int;
+             raise Exit
+           end
+         end
+         else begin
+           let d = if du >= dv then du - dv else dv - du in
+           if d > !lo then lo := d;
+           if du + dv < !hi then hi := du + dv;
+           (* Streaming top-2, first-maximum wins on ties — the same
+              rows the removed selection scan inside [bidi] picked. *)
+           if d > !s1 then begin
+             b2 := !b1;
+             s2 := !s1;
+             b1 := l;
+             s1 := d
+           end
+           else if d > !s2 then begin
+             b2 := l;
+             s2 := d
+           end
+         end
+       done
+     with Exit -> ());
+    let lo = !lo and hi = !hi in
     if lo = max_int then max_int
+    else if lo = hi then lo
     else begin
-      let hi = unsafe_upper_bound t u v in
-      if lo = hi then lo
+      let s = ensure_scratch t in
+      (* Canonical orientation: the metric is symmetric, so (u, v) and
+         (v, u) share a cache slot. *)
+      let a, b = if u < v then (u, v) else (v, u) in
+      let key = (a * t.n) + b in
+      let slot = key land (cache_slots - 1) in
+      if Array.unsafe_get s.ckey slot = key then Array.unsafe_get s.cval slot
       else begin
-        let s = ensure_scratch t in
-        (* Canonical orientation: the metric is symmetric, so (u, v) and
-           (v, u) share a cache slot. *)
-        let a, b = if u < v then (u, v) else (v, u) in
-        let key = (a * t.n) + b in
-        let slot = key land (cache_slots - 1) in
-        if Array.unsafe_get s.ckey slot = key then Array.unsafe_get s.cval slot
-        else begin
-          (* Dispatch on heuristic strength: when the ALT lower bound
-             recovers at least half the upper bound, goal direction is
-             doing real work (grids, lines, trees) and A-star wins; when
-             it does not (small-world graphs, where all landmark
-             differences collapse) the heuristic is ballast and meeting
-             in the middle is asymptotically better. *)
-          let d =
-            if 2 * lo >= hi then astar t s a b ~cap:hi
-            else bidi t s a b ~seed:hi
-          in
-          s.ckey.(slot) <- key;
-          s.cval.(slot) <- d;
-          d
-        end
+        (* Dispatch on heuristic strength: when the ALT lower bound
+           recovers at least half the upper bound, goal direction is
+           doing real work (grids, lines, trees) and A-star wins; when
+           it does not (small-world graphs, where all landmark
+           differences collapse) the heuristic is ballast and meeting
+           in the middle is asymptotically better. *)
+        let d =
+          if 2 * lo >= hi then astar t s a b ~cap:hi
+          else begin
+            (* Hand bidi its pruning rows: the two strongest from the
+               pass above, endpoint distances re-read in canonical
+               (a, b) orientation.  Uniform-weight graphs skip pruning
+               entirely (the heuristic cannot separate frontiers). *)
+            s.nsel <- 0;
+            if (not t.wt_uniform) && !b1 >= 0 then begin
+              let row = rows.(!b1) in
+              s.sel_rows.(0) <- row;
+              s.sel_du.(0) <- row.(a);
+              s.sel_dv.(0) <- row.(b);
+              s.nsel <- 1;
+              if !b2 >= 0 then begin
+                let row = rows.(!b2) in
+                s.sel_rows.(1) <- row;
+                s.sel_du.(1) <- row.(a);
+                s.sel_dv.(1) <- row.(b);
+                s.nsel <- 2
+              end
+            end;
+            bidi t s a b ~seed:hi
+          end
+        in
+        s.ckey.(slot) <- key;
+        s.cval.(slot) <- d;
+        d
       end
     end
   end

@@ -30,6 +30,20 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     application raises, the exception of the earliest-submitted failing
     element is re-raised after the whole batch has settled. *)
 
+val bsp : t -> workers:int -> (round:int -> int -> bool) -> unit
+(** [bsp t ~workers step] runs [workers] cells in lockstep
+    bulk-synchronous rounds: round [r] applies [step ~round:r i] to every
+    cell index [i] (possibly in parallel) and only starts round [r + 1]
+    once all cells have finished round [r] — the join of the underlying
+    {!map} is the barrier, and its lock hand-off makes every write a cell
+    performed during round [r] (shared mailboxes, counters) visible to
+    all cells in round [r + 1] without further synchronization, provided
+    no location is written by two cells in the same round.  The loop
+    continues while {e any} cell returns [true] and stops after the first
+    round in which all return [false].  Cells are submitted in index
+    order, so the computation is byte-identical at any pool size,
+    including a sequential [jobs = 1] pool. *)
+
 val map_reduce :
   t -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc -> 'a list -> 'acc
 (** [map_reduce t ~map ~reduce ~init xs] folds [reduce] over the mapped

@@ -185,6 +185,23 @@ module Window = struct
       s := !s + w.buf.(i)
     done;
     float_of_int !s /. float_of_int w.filled
+
+  (* Replays each source's live samples oldest-first into a fresh ring,
+     so under the usual eviction rule the merged window keeps the most
+     recent samples of the concatenation; rolled-out counts carry over
+     into [total].  Deterministic in the list order. *)
+  let merge ~capacity ws =
+    let w = create capacity in
+    List.iter
+      (fun src ->
+        let cap = Array.length src.buf in
+        let start = if src.filled < cap then 0 else src.next in
+        for j = 0 to src.filled - 1 do
+          add w src.buf.((start + j) mod cap)
+        done;
+        w.total <- w.total + (src.total - src.filled))
+      ws;
+    w
 end
 
 let histogram xs ~bins =

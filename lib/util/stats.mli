@@ -77,4 +77,12 @@ module Window : sig
 
   val max_sample : t -> int
   val mean : t -> float
+
+  val merge : capacity:int -> t list -> t
+  (** [merge ~capacity ws] is a fresh window fed every live sample of the
+      windows in [ws], taken in list order and oldest-first within each
+      window, with the rolled-out portion of each [total] carried over —
+      so [total (merge ~capacity ws) = sum of totals].  Per-shard
+      latency windows merge into one global window this way; the result
+      is deterministic in the order of [ws]. *)
 end

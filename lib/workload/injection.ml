@@ -85,7 +85,18 @@ let source ?limit spec =
         incr filled
       end
     done;
-    Array.sort Int.compare draw_buf;
+    (* Ascending insertion sort: k is tiny (2-3), the entries are
+       distinct, and this skips [Array.sort]'s per-call overhead on the
+       engine's hottest allocation path; the sorted result is identical. *)
+    for i = 1 to spec.k - 1 do
+      let x = draw_buf.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && draw_buf.(!j) > x do
+        draw_buf.(!j + 1) <- draw_buf.(!j);
+        decr j
+      done;
+      draw_buf.(!j + 1) <- x
+    done;
     Array.fold_right (fun o acc -> o :: acc) draw_buf []
   in
   let emitted = ref 0 in
@@ -118,6 +129,10 @@ let source ?limit spec =
     end
   in
   Stream.make_source ~n:spec.n ~num_objects:spec.num_objects pull
+
+let source_factory ?limit spec =
+  validate spec;
+  fun () -> source ?limit spec
 
 let homes spec =
   validate spec;

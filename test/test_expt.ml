@@ -6,8 +6,8 @@ let test_registry_complete () =
   let ids = List.map (fun e -> e.Dtm_expt.Registry.id) Dtm_expt.Registry.all in
   let expected =
     [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11";
-      "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "f1"; "f2"; "f3"; "f4"; "f5";
-      "f6" ]
+      "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "f1"; "f2"; "f3"; "f4";
+      "f5"; "f6" ]
   in
   Alcotest.(check (list string)) "all entries present" expected ids
 

@@ -77,6 +77,56 @@ let test_shutdown_then_map_still_works () =
   (* After shutdown the caller drains the queue itself. *)
   Alcotest.(check (list int)) "after" [ 2; 3; 4 ] (Pool.map p succ [ 1; 2; 3 ])
 
+let test_bsp_rounds_and_barrier () =
+  (* A token-passing chain with double-buffered mailboxes, the pattern
+     the sharded engine uses: round r reads the buffer written in round
+     r-1 and writes the other one, so no location is read and written by
+     different cells in the same round.  Any barrier slip (a cell
+     starting round r+1 before all of round r finished) changes the
+     tally. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          let workers = 5 in
+          let rounds = 12 in
+          let mail = Array.init 2 (fun _ -> Array.make workers 0) in
+          let seen = Array.make workers 0 in
+          Pool.bsp p ~workers (fun ~round i ->
+              let cur = mail.(round land 1)
+              and nxt = mail.((round + 1) land 1) in
+              seen.(i) <- seen.(i) + cur.(i);
+              nxt.((i + 1) mod workers) <- seen.(i) + 1;
+              round + 1 < rounds);
+          (* The protocol is deterministic, so a plain sequential replay
+             gives the expected trace. *)
+          let emailbox = Array.make workers 0 in
+          let eseen = Array.make workers 0 in
+          for _ = 0 to rounds - 1 do
+            let next = Array.make workers 0 in
+            for i = 0 to workers - 1 do
+              eseen.(i) <- eseen.(i) + emailbox.(i);
+              next.((i + 1) mod workers) <- eseen.(i) + 1
+            done;
+            Array.blit next 0 emailbox 0 workers
+          done;
+          Alcotest.(check (array int))
+            (Printf.sprintf "bsp jobs=%d" jobs)
+            eseen seen))
+    [ 1; 2; 4 ]
+
+let test_bsp_stops_when_all_done () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      let calls = Array.make 3 0 in
+      (* Cells retire at different rounds; the loop runs until the last. *)
+      Pool.bsp p ~workers:3 (fun ~round i ->
+          calls.(i) <- calls.(i) + 1;
+          round < i);
+      Alcotest.(check (array int)) "every cell stepped every round"
+        [| 3; 3; 3 |] calls;
+      Alcotest.check_raises "workers 0"
+        (Invalid_argument "Pool.bsp: workers must be >= 1") (fun () ->
+          Pool.bsp p ~workers:0 (fun ~round:_ _ -> false)))
+
 let test_default_pool_configurable () =
   Pool.set_default_jobs 2;
   Alcotest.(check int) "configured" 2 (Pool.default_jobs ());
@@ -125,6 +175,8 @@ let () =
           Alcotest.test_case "earliest exception wins" `Quick
             test_earliest_exception_wins;
           Alcotest.test_case "nested maps" `Quick test_nested_maps;
+          Alcotest.test_case "bsp barrier" `Quick test_bsp_rounds_and_barrier;
+          Alcotest.test_case "bsp termination" `Quick test_bsp_stops_when_all_done;
           Alcotest.test_case "shutdown" `Quick test_shutdown_then_map_still_works;
           Alcotest.test_case "default pool" `Quick test_default_pool_configurable;
           Alcotest.test_case "jobs validation" `Quick test_jobs_validation;

@@ -351,6 +351,77 @@ let test_window_edge_cases () =
     (Invalid_argument "Stats.Window.create: capacity <= 0") (fun () ->
       ignore (Stats.Window.create 0))
 
+let test_window_merge () =
+  (* Two windows with disjoint samples: the merge holds all of them and
+     the percentiles are over the union. *)
+  let a = Stats.Window.create 8 and b = Stats.Window.create 8 in
+  List.iter (Stats.Window.add a) [ 1; 3; 5 ];
+  List.iter (Stats.Window.add b) [ 2; 4 ];
+  let m = Stats.Window.merge ~capacity:16 [ a; b ] in
+  Alcotest.(check int) "length" 5 (Stats.Window.length m);
+  Alcotest.(check int) "total" 5 (Stats.Window.total m);
+  Alcotest.(check int) "p50" 3 (Stats.Window.p50 m);
+  Alcotest.(check int) "max" 5 (Stats.Window.max_sample m);
+  (* A rolled-over source: live samples replay oldest-first and the
+     rolled-out count carries into [total]. *)
+  let c = Stats.Window.create 4 in
+  for i = 1 to 10 do
+    Stats.Window.add c i
+  done;
+  (* c holds 7..10 with total 10 *)
+  let m2 = Stats.Window.merge ~capacity:3 [ c ] in
+  Alcotest.(check int) "rolled length" 3 (Stats.Window.length m2);
+  Alcotest.(check int) "rolled total" 10 (Stats.Window.total m2);
+  (* capacity 3 keeps the most recent of c's live samples: 8, 9, 10 *)
+  Alcotest.(check int) "rolled min" 8 (Stats.Window.percentile m2 0.0);
+  Alcotest.(check int) "rolled max" 10 (Stats.Window.max_sample m2);
+  let e = Stats.Window.merge ~capacity:2 [] in
+  Alcotest.(check int) "empty merge" 0 (Stats.Window.length e)
+
+(* Merging k windows = feeding one window the concatenation of their
+   live sample sequences (oldest-first), for any capacities. *)
+let prop_window_merge_is_concat =
+  qtest ~count:200 "Window.merge = concat replay"
+    QCheck.(
+      pair (int_range 1 12)
+        (small_list (pair (int_range 1 8) (small_list small_int))))
+    (fun (cap, specs) ->
+      let windows =
+        List.map
+          (fun (c, xs) ->
+            let w = Stats.Window.create c in
+            List.iter (Stats.Window.add w) xs;
+            (w, xs))
+          specs
+      in
+      let merged = Stats.Window.merge ~capacity:cap (List.map fst windows) in
+      (* Rebuild the expected live sequences directly from the inputs:
+         a window of capacity c fed xs holds the last min(c, len xs)
+         samples, oldest first. *)
+      let replay = Stats.Window.create cap in
+      let replayed_total = ref 0 in
+      List.iter
+        (fun (c, xs) ->
+          let n = List.length xs in
+          let live = max 0 (n - c) in
+          List.iteri
+            (fun i x -> if i >= live then Stats.Window.add replay x)
+            xs;
+          replayed_total := !replayed_total + live)
+        specs;
+      let same_samples =
+        Stats.Window.length merged = Stats.Window.length replay
+        && (Stats.Window.length merged = 0
+           || List.for_all
+                (fun p ->
+                  Stats.Window.percentile merged p
+                  = Stats.Window.percentile replay p)
+                [ 0.0; 25.0; 50.0; 75.0; 99.0; 100.0 ])
+      in
+      same_samples
+      && Stats.Window.total merged
+         = Stats.Window.total replay + !replayed_total)
+
 (* ------------------------------------------------------------------ *)
 (* Table                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -442,6 +513,8 @@ let () =
             test_window_nearest_rank;
           Alcotest.test_case "window rollover" `Quick test_window_rollover;
           Alcotest.test_case "window edge cases" `Quick test_window_edge_cases;
+          Alcotest.test_case "window merge" `Quick test_window_merge;
+          prop_window_merge_is_concat;
         ] );
       ( "table",
         [
